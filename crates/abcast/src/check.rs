@@ -1,0 +1,175 @@
+//! Executable versions of the §2.2 atomic-broadcast properties.
+//!
+//! * **Integrity** — every delivered message was previously broadcast;
+//! * **No Duplication** — no header is delivered twice at the same node;
+//! * **Total Order** — all nodes deliver a prefix of one common order,
+//!   without gaps.
+//!
+//! The checker runs over recorded delivery histories (header + payload) from
+//! every correct node after a simulation.
+
+use crate::types::MsgHdr;
+use bytes::Bytes;
+use std::collections::HashSet;
+
+/// A violated atomic-broadcast property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A node delivered the same header twice.
+    Duplicate { node: usize, hdr: MsgHdr },
+    /// Two nodes delivered different messages at the same position.
+    OrderMismatch {
+        node_a: usize,
+        node_b: usize,
+        position: usize,
+    },
+    /// A node delivered a message that was never broadcast.
+    OutOfThinAir { node: usize, hdr: MsgHdr },
+    /// Two nodes delivered different payloads for the same header.
+    PayloadMismatch { hdr: MsgHdr },
+}
+
+/// Check delivery histories (one per correct node).
+///
+/// `broadcast` is the set of payloads handed to the protocol by clients; pass
+/// `None` to skip the Integrity check (e.g. when payloads are synthesised
+/// internally).
+pub fn check_histories(
+    histories: &[Vec<(MsgHdr, Bytes)>],
+    broadcast: Option<&HashSet<Bytes>>,
+) -> Result<(), Violation> {
+    // No Duplication, per node.
+    for (node, h) in histories.iter().enumerate() {
+        let mut seen = HashSet::with_capacity(h.len());
+        for (hdr, _) in h {
+            if !seen.insert(*hdr) {
+                return Err(Violation::Duplicate { node, hdr: *hdr });
+            }
+        }
+    }
+
+    // Total Order: every history must be a prefix of the longest one
+    // (same headers AND same payloads at each position).
+    let longest = histories
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, h)| h.len())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    if let Some(reference) = histories.get(longest) {
+        for (node, h) in histories.iter().enumerate() {
+            for (pos, (hdr, payload)) in h.iter().enumerate() {
+                let (ref_hdr, ref_payload) = &reference[pos];
+                if hdr != ref_hdr {
+                    return Err(Violation::OrderMismatch {
+                        node_a: longest,
+                        node_b: node,
+                        position: pos,
+                    });
+                }
+                if payload != ref_payload {
+                    return Err(Violation::PayloadMismatch { hdr: *hdr });
+                }
+            }
+        }
+    }
+
+    // Integrity: every delivered payload was broadcast.
+    if let Some(sent) = broadcast {
+        for (node, h) in histories.iter().enumerate() {
+            for (hdr, payload) in h {
+                if !sent.contains(payload) {
+                    return Err(Violation::OutOfThinAir { node, hdr: *hdr });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Epoch;
+
+    fn hdr(cnt: u32) -> MsgHdr {
+        MsgHdr::new(Epoch::new(0, 1), cnt)
+    }
+
+    fn entry(cnt: u32, p: &'static [u8]) -> (MsgHdr, Bytes) {
+        (hdr(cnt), Bytes::from_static(p))
+    }
+
+    #[test]
+    fn identical_histories_pass() {
+        let h = vec![entry(1, b"a"), entry(2, b"b")];
+        assert_eq!(check_histories(&[h.clone(), h.clone(), h], None), Ok(()));
+    }
+
+    #[test]
+    fn prefixes_pass() {
+        let long = vec![entry(1, b"a"), entry(2, b"b"), entry(3, b"c")];
+        let short = vec![entry(1, b"a")];
+        assert_eq!(
+            check_histories(&[short, long.clone(), vec![]], None),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let h = vec![entry(1, b"a"), entry(1, b"a")];
+        assert_eq!(
+            check_histories(&[h], None),
+            Err(Violation::Duplicate {
+                node: 0,
+                hdr: hdr(1)
+            })
+        );
+    }
+
+    #[test]
+    fn divergent_order_detected() {
+        let a = vec![entry(1, b"a"), entry(2, b"b")];
+        let b = vec![entry(1, b"a"), entry(3, b"c")];
+        let err = check_histories(&[a, b], None).unwrap_err();
+        assert!(matches!(err, Violation::OrderMismatch { position: 1, .. }));
+    }
+
+    #[test]
+    fn payload_divergence_detected() {
+        let a = vec![entry(1, b"a"), entry(2, b"b")];
+        let b = vec![entry(1, b"a"), entry(2, b"X")];
+        assert_eq!(
+            check_histories(&[a, b], None),
+            Err(Violation::PayloadMismatch { hdr: hdr(2) })
+        );
+    }
+
+    #[test]
+    fn thin_air_detected() {
+        let sent: HashSet<Bytes> = [Bytes::from_static(b"a")].into_iter().collect();
+        let h = vec![entry(1, b"a"), entry(2, b"ghost")];
+        assert_eq!(
+            check_histories(&[h], Some(&sent)),
+            Err(Violation::OutOfThinAir {
+                node: 0,
+                hdr: hdr(2)
+            })
+        );
+    }
+
+    #[test]
+    fn empty_histories_pass() {
+        assert_eq!(check_histories(&[vec![], vec![]], None), Ok(()));
+        assert_eq!(check_histories(&[], None), Ok(()));
+    }
+
+    #[test]
+    fn gap_is_an_order_mismatch() {
+        // Node b skipped header 2: at position 1 it delivered 3 instead.
+        let a = vec![entry(1, b"a"), entry(2, b"b"), entry(3, b"c")];
+        let b = vec![entry(1, b"a"), entry(3, b"c")];
+        assert!(check_histories(&[a, b], None).is_err());
+    }
+}

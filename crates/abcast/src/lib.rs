@@ -1,0 +1,31 @@
+//! # abcast — shared atomic-broadcast machinery
+//!
+//! Everything that is common across Acuerdo and the six baseline systems:
+//!
+//! * [`types`]: the epoch / message-header / vote types of Figure 1 of the
+//!   paper, with their total orders and fixed-size codecs;
+//! * [`client`]: the closed-loop window client used by the §4.1 broadcast
+//!   experiments (at most `window` outstanding messages) and the open-loop
+//!   client used by the §4.2 election experiment;
+//! * [`app`]: the delivery interface between a broadcast protocol and the
+//!   replicated application (a recording log by default; the replicated hash
+//!   table of §4.3 in the `kvstore` crate);
+//! * [`check`]: executable versions of the §2.2 correctness properties —
+//!   Integrity, No Duplication, Total Order — applied to recorded delivery
+//!   histories;
+//! * [`stats`]: log-bucketed latency histograms and run summaries;
+//! * [`workload`]: payload generators, including the YCSB-load zipfian
+//!   (θ = 0.99) key distribution of §4.3.
+
+pub mod app;
+pub mod check;
+pub mod client;
+pub mod stats;
+pub mod types;
+pub mod workload;
+
+pub use app::{App, DeliveryLog};
+pub use check::{check_histories, Violation};
+pub use client::{ClientPort, ClientReq, ClientResp, OpenLoopClient, WindowClient};
+pub use stats::{LatencyHist, RunResult};
+pub use types::{Epoch, MsgHdr, Vote};

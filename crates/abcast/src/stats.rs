@@ -1,0 +1,251 @@
+//! Latency histograms and run summaries.
+
+use simnet::SimTime;
+use std::time::Duration;
+
+/// Number of logarithmic buckets: covers ~100 ns to ~17 minutes with 5%
+/// resolution.
+const BUCKETS: usize = 512;
+/// Lower bound of bucket 0, in nanoseconds.
+const FLOOR_NS: f64 = 100.0;
+/// Geometric growth factor between buckets.
+const GROWTH: f64 = 1.05;
+
+/// A fixed-memory log-bucketed latency histogram.
+///
+/// Buckets grow geometrically (5% per bucket), giving ~5% quantile error —
+/// plenty for reproducing curves plotted on a log axis.
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum_ns: f64,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if (ns as f64) <= FLOOR_NS {
+            return 0;
+        }
+        let b = ((ns as f64 / FLOOR_NS).ln() / GROWTH.ln()).floor() as usize;
+        b.min(BUCKETS - 1)
+    }
+
+    fn bucket_value(b: usize) -> f64 {
+        FLOOR_NS * GROWTH.powi(b as i32)
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as f64;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns / self.count as f64 / 1_000.0
+    }
+
+    /// Approximate quantile (`q` in [0, 1]) in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(b) / 1_000.0;
+            }
+        }
+        self.max_ns as f64 / 1_000.0
+    }
+
+    /// Median in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th percentile in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Largest sample in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1_000.0
+    }
+
+    /// Smallest sample in microseconds (0 if empty).
+    pub fn min_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns as f64 / 1_000.0
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+/// Summary of one measured run: completed messages, bytes, and latency
+/// statistics over the measurement window.
+#[derive(Clone)]
+pub struct RunResult {
+    /// Completed (committed-and-acknowledged) messages in the window.
+    pub completed: u64,
+    /// Payload bytes completed in the window.
+    pub payload_bytes: u64,
+    /// Start of the measurement window.
+    pub window_start: SimTime,
+    /// Time of the last completion (end of useful signal).
+    pub last_completion: SimTime,
+    /// Latency histogram over the window.
+    pub latency: LatencyHist,
+}
+
+impl RunResult {
+    /// Elapsed measurement time in seconds (at least 1 ns to avoid division
+    /// by zero).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.last_completion
+            .saturating_since(self.window_start)
+            .as_secs_f64()
+            .max(1e-9)
+    }
+
+    /// Throughput in messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.completed as f64 / self.elapsed_secs()
+    }
+
+    /// Throughput in megabytes of payload per second (the unit of Figure 8's
+    /// x-axis).
+    pub fn mb_per_sec(&self) -> f64 {
+        self.payload_bytes as f64 / 1e6 / self.elapsed_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_is_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.p50_us(), 0.0);
+        assert_eq!(h.min_us(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.count(), 2);
+        assert!((h.mean_us() - 20.0).abs() < 1e-9);
+        assert!((h.max_us() - 30.0).abs() < 1e-9);
+        assert!((h.min_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = LatencyHist::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.p50_us();
+        assert!((450.0..=550.0).contains(&p50), "p50 {p50}");
+        let p99 = h.p99_us();
+        assert!((930.0..=1050.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn tiny_and_huge_samples_clamp() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(10_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(0.0) > 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max_us() >= 1000.0);
+        assert!((a.mean_us() - 505.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_result_rates() {
+        let r = RunResult {
+            completed: 1_000,
+            payload_bytes: 10_000,
+            window_start: SimTime::from_millis(100),
+            last_completion: SimTime::from_millis(1_100),
+            latency: LatencyHist::new(),
+        };
+        assert!((r.msgs_per_sec() - 1_000.0).abs() < 1e-6);
+        assert!((r.mb_per_sec() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_result_zero_window_is_finite() {
+        let r = RunResult {
+            completed: 5,
+            payload_bytes: 50,
+            window_start: SimTime::from_millis(1),
+            last_completion: SimTime::from_millis(1),
+            latency: LatencyHist::new(),
+        };
+        assert!(r.msgs_per_sec().is_finite());
+    }
+}

@@ -1,0 +1,214 @@
+//! The protocol types of Figure 1 of the paper.
+//!
+//! All tuples are ordered by their values left to right, exactly as the
+//! paper's pseudocode requires: epochs by `(round, ldr)`, message headers by
+//! `(epoch, cnt)`, votes by `(e_new, acpt)`.
+
+use rdma_prims::FixedCodec;
+
+/// An epoch: a leader's period of sovereignty, identified by a round number
+/// and the leader's process id. Ordered by round, then leader id.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch {
+    /// Increasing round number.
+    pub round: u32,
+    /// Leader process id for this round.
+    pub ldr: u32,
+}
+
+impl Epoch {
+    /// The "no epoch yet" sentinel used before any election completes.
+    pub const ZERO: Epoch = Epoch { round: 0, ldr: 0 };
+
+    /// Construct an epoch.
+    pub const fn new(round: u32, ldr: u32) -> Self {
+        Epoch { round, ldr }
+    }
+
+    /// The `new_bigger_epoch` of Figure 7: the smallest epoch led by `me`
+    /// that is strictly larger than both arguments.
+    ///
+    /// If `(max.round, me)` already beats both, the round can be kept;
+    /// otherwise the round is bumped.
+    pub fn bigger_for(a: Epoch, b: Epoch, me: u32) -> Epoch {
+        let base = a.max(b);
+        let candidate = Epoch::new(base.round, me);
+        if candidate > base {
+            candidate
+        } else {
+            Epoch::new(base.round + 1, me)
+        }
+    }
+}
+
+/// A message header: the epoch in which the message was proposed plus a
+/// monotonically increasing per-epoch count. The total order of messages is
+/// the order of their headers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MsgHdr {
+    /// Proposing epoch.
+    pub epoch: Epoch,
+    /// Message id within the epoch. Count 0 is reserved for the recovery
+    /// *diff* message a new leader sends when entering broadcast (§3.4).
+    pub cnt: u32,
+}
+
+impl MsgHdr {
+    /// The "nothing accepted yet" sentinel.
+    pub const ZERO: MsgHdr = MsgHdr {
+        epoch: Epoch::ZERO,
+        cnt: 0,
+    };
+
+    /// Construct a header.
+    pub const fn new(epoch: Epoch, cnt: u32) -> Self {
+        MsgHdr { epoch, cnt }
+    }
+
+    /// Whether this is a diff (epoch-entry) message.
+    pub fn is_diff(&self) -> bool {
+        self.cnt == 0
+    }
+
+    /// The header following this one within the same epoch.
+    pub fn next(&self) -> MsgHdr {
+        MsgHdr::new(self.epoch, self.cnt + 1)
+    }
+}
+
+/// An election vote (Figure 1 line 6): the proposed new epoch plus the
+/// candidate's last accepted message. Ordered by epoch, then accepted header,
+/// and only ever increased by a node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vote {
+    /// The epoch the voter proposes to join.
+    pub e_new: Epoch,
+    /// The candidate leader's last accepted message header.
+    pub acpt: MsgHdr,
+}
+
+impl Vote {
+    /// Construct a vote.
+    pub const fn new(e_new: Epoch, acpt: MsgHdr) -> Self {
+        Vote { e_new, acpt }
+    }
+}
+
+impl FixedCodec for Epoch {
+    const SIZE: usize = 8;
+    fn encode(&self, buf: &mut [u8]) {
+        self.round.encode(&mut buf[..4]);
+        self.ldr.encode(&mut buf[4..]);
+    }
+    fn decode(buf: &[u8]) -> Self {
+        Epoch {
+            round: u32::decode(&buf[..4]),
+            ldr: u32::decode(&buf[4..]),
+        }
+    }
+}
+
+impl FixedCodec for MsgHdr {
+    const SIZE: usize = 12;
+    fn encode(&self, buf: &mut [u8]) {
+        self.epoch.encode(&mut buf[..8]);
+        self.cnt.encode(&mut buf[8..]);
+    }
+    fn decode(buf: &[u8]) -> Self {
+        MsgHdr {
+            epoch: Epoch::decode(&buf[..8]),
+            cnt: u32::decode(&buf[8..]),
+        }
+    }
+}
+
+impl FixedCodec for Vote {
+    const SIZE: usize = 20;
+    fn encode(&self, buf: &mut [u8]) {
+        self.e_new.encode(&mut buf[..8]);
+        self.acpt.encode(&mut buf[8..]);
+    }
+    fn decode(buf: &[u8]) -> Self {
+        Vote {
+            e_new: Epoch::decode(&buf[..8]),
+            acpt: MsgHdr::decode(&buf[8..]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_order_is_round_then_leader() {
+        assert!(Epoch::new(0, 2) > Epoch::new(0, 1));
+        assert!(Epoch::new(1, 0) > Epoch::new(0, 9));
+        assert!(Epoch::new(2, 3) == Epoch::new(2, 3));
+    }
+
+    #[test]
+    fn hdr_order_is_epoch_then_count() {
+        let e01 = Epoch::new(0, 1);
+        let e03 = Epoch::new(0, 3);
+        assert!(MsgHdr::new(e01, 2) > MsgHdr::new(e01, 1));
+        assert!(MsgHdr::new(e03, 0) > MsgHdr::new(e01, 999));
+    }
+
+    #[test]
+    fn vote_order_is_epoch_then_accepted() {
+        let e = Epoch::new(1, 1);
+        let lo = Vote::new(e, MsgHdr::new(Epoch::new(0, 1), 3));
+        let hi = Vote::new(e, MsgHdr::new(Epoch::new(0, 1), 4));
+        assert!(hi > lo);
+        let bigger_epoch = Vote::new(Epoch::new(1, 2), MsgHdr::ZERO);
+        assert!(bigger_epoch > hi);
+    }
+
+    #[test]
+    fn bigger_for_strictly_increases() {
+        // If me beats the leader id at the same round, keep the round.
+        let got = Epoch::bigger_for(Epoch::new(3, 1), Epoch::new(2, 7), 5);
+        assert_eq!(got, Epoch::new(3, 5));
+        assert!(got > Epoch::new(3, 1) && got > Epoch::new(2, 7));
+        // Otherwise bump the round.
+        let got = Epoch::bigger_for(Epoch::new(3, 5), Epoch::new(3, 6), 2);
+        assert_eq!(got, Epoch::new(4, 2));
+        // Equal leader id must also bump (strictly bigger).
+        let got = Epoch::bigger_for(Epoch::new(3, 5), Epoch::ZERO, 5);
+        assert_eq!(got, Epoch::new(4, 5));
+    }
+
+    #[test]
+    fn diff_headers_have_count_zero() {
+        assert!(MsgHdr::new(Epoch::new(0, 3), 0).is_diff());
+        assert!(!MsgHdr::new(Epoch::new(0, 3), 1).is_diff());
+        assert_eq!(
+            MsgHdr::new(Epoch::new(0, 3), 1).next(),
+            MsgHdr::new(Epoch::new(0, 3), 2)
+        );
+    }
+
+    #[test]
+    fn codecs_roundtrip() {
+        let e = Epoch::new(7, 11);
+        let h = MsgHdr::new(e, 42);
+        let v = Vote::new(Epoch::new(8, 2), h);
+        let mut buf = [0u8; 20];
+        e.encode(&mut buf[..8]);
+        assert_eq!(Epoch::decode(&buf[..8]), e);
+        h.encode(&mut buf[..12]);
+        assert_eq!(MsgHdr::decode(&buf[..12]), h);
+        v.encode(&mut buf[..20]);
+        assert_eq!(Vote::decode(&buf[..20]), v);
+    }
+
+    #[test]
+    fn codec_order_matches_value_order_for_defaults() {
+        // Zero-initialised SST memory decodes to the ZERO sentinels.
+        let zeros = [0u8; 20];
+        assert_eq!(Epoch::decode(&zeros[..8]), Epoch::ZERO);
+        assert_eq!(MsgHdr::decode(&zeros[..12]), MsgHdr::ZERO);
+        assert_eq!(Vote::decode(&zeros[..20]), Vote::default());
+    }
+}

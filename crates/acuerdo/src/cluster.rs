@@ -1,0 +1,76 @@
+//! Harness helpers: build an Acuerdo cluster inside a simulation and inspect
+//! it afterwards.
+
+use crate::config::AcuerdoConfig;
+use crate::node::{AcWire, AcuerdoNode, Role};
+use abcast::{MsgHdr, Violation, WindowClient};
+use bytes::Bytes;
+use simnet::{NetParams, NodeId, Sim};
+use std::time::Duration;
+
+/// Build `cfg.n` replicas (they take simulation ids `0..n`, as the region
+/// plan requires) and return their ids.
+pub fn build_cluster(sim: &mut Sim<AcWire>, cfg: &AcuerdoConfig) -> Vec<NodeId> {
+    let mut ids = Vec::with_capacity(cfg.n);
+    for me in 0..cfg.n {
+        let id = sim.add_node(Box::new(AcuerdoNode::new(cfg.clone(), me)));
+        assert_eq!(id, me, "replicas must occupy ids 0..n");
+        ids.push(id);
+    }
+    ids
+}
+
+/// Create a simulation over the RDMA network preset with an Acuerdo cluster
+/// plus a closed-loop window client aimed at replica 0.
+///
+/// Returns `(sim, replica_ids, client_id)`. The cluster boots directly into
+/// epoch (1, 0) unless `cfg.initial_epoch` says otherwise.
+pub fn cluster_with_client(
+    seed: u64,
+    cfg: &AcuerdoConfig,
+    window: usize,
+    payload: usize,
+    warmup: Duration,
+) -> (Sim<AcWire>, Vec<NodeId>, NodeId) {
+    let mut sim = Sim::new(seed, NetParams::rdma());
+    let ids = build_cluster(&mut sim, cfg);
+    let leader = cfg.initial_epoch.map(|e| e.ldr as usize).unwrap_or(0);
+    let client = sim.add_node(Box::new(WindowClient::<AcWire>::new(
+        leader, window, payload, warmup,
+    )));
+    (sim, ids, client)
+}
+
+/// Delivery histories of every non-crashed replica (for the §2.2 checkers).
+pub fn histories(sim: &Sim<AcWire>, ids: &[NodeId]) -> Vec<Vec<(MsgHdr, Bytes)>> {
+    ids.iter()
+        .filter(|&&id| !sim.is_crashed(id))
+        .map(|&id| {
+            sim.node::<AcuerdoNode>(id)
+                .delivery_log()
+                .expect("DeliveryLog app")
+                .entries
+                .clone()
+        })
+        .collect()
+}
+
+/// Check the §2.2 properties across all live replicas.
+pub fn check_cluster(sim: &Sim<AcWire>, ids: &[NodeId]) -> Result<(), Violation> {
+    abcast::check_histories(&histories(sim, ids), None)
+}
+
+/// The id of the current leader, if exactly one live replica is leading.
+pub fn current_leader(sim: &Sim<AcWire>, ids: &[NodeId]) -> Option<NodeId> {
+    let leaders: Vec<NodeId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| {
+            !sim.is_crashed(id) && sim.node::<AcuerdoNode>(id).role() == Role::Leader
+        })
+        .collect();
+    match leaders.as_slice() {
+        [one] => Some(*one),
+        _ => None,
+    }
+}

@@ -1,0 +1,110 @@
+//! Protocol configuration and tuning knobs.
+
+use abcast::Epoch;
+use rdma_prims::RingMode;
+use rdma_sim::QpConfig;
+use std::time::Duration;
+
+/// Configuration of one Acuerdo instance.
+///
+/// Defaults reproduce the paper's configuration; the `slot_reuse_on_commit`,
+/// `per_message_acks` and `ring_mode` knobs exist so the ablation benchmarks
+/// can selectively disable the paper's design choices.
+#[derive(Clone, Debug)]
+pub struct AcuerdoConfig {
+    /// Number of replicas, n = 2f + 1.
+    pub n: usize,
+    /// Bytes per incoming ring buffer (one ring per remote sender).
+    pub ring_bytes: usize,
+    /// Busy-poll loop interval.
+    pub poll_interval: Duration,
+    /// How often Commit_SST (and the leader heartbeat it carries) is pushed.
+    pub commit_push_interval: Duration,
+    /// A follower suspects the leader after this much silence.
+    pub fail_timeout: Duration,
+    /// During an election, self-nominate if the best vote has not grown for
+    /// this long (the "best candidate has timed out" rule of Figure 7).
+    pub candidate_patience: Duration,
+    /// RDMA queue-pair configuration (selective signaling etc.).
+    pub qp: QpConfig,
+    /// Ring framing: coupled (Acuerdo, 1 write/msg) or split (Derecho-style,
+    /// 2 writes/msg) — an ablation axis.
+    pub ring_mode: RingMode,
+    /// Ablation: reuse ring slots only once a message committed at all nodes
+    /// (Derecho's rule) instead of on acceptance (Acuerdo's rule, §4.1).
+    pub slot_reuse_on_commit: bool,
+    /// Ablation: push an Accept_SST update per message instead of once per
+    /// receiver-side batch (Zab-style per-message acks).
+    pub per_message_acks: bool,
+    /// Skip the start-up election and boot every node directly into this
+    /// epoch (round, leader). Used by the stable-network benchmarks.
+    pub initial_epoch: Option<Epoch>,
+    /// Maximum payload bytes per recovery-diff frame; larger diffs are split
+    /// into parts.
+    pub max_diff_part: usize,
+    /// Maximum client requests queued at the leader beyond ring capacity.
+    pub max_client_backlog: usize,
+}
+
+impl Default for AcuerdoConfig {
+    fn default() -> Self {
+        AcuerdoConfig {
+            n: 3,
+            ring_bytes: 1 << 20,
+            poll_interval: simnet::params::cpu::POLL_INTERVAL,
+            commit_push_interval: Duration::from_micros(5),
+            fail_timeout: Duration::from_millis(1),
+            candidate_patience: Duration::from_micros(200),
+            qp: QpConfig::default(),
+            ring_mode: RingMode::Coupled,
+            slot_reuse_on_commit: false,
+            per_message_acks: false,
+            initial_epoch: None,
+            max_diff_part: 32 << 10,
+            max_client_backlog: 1 << 20,
+        }
+    }
+}
+
+impl AcuerdoConfig {
+    /// Convenience: default configuration for `n` replicas booted directly
+    /// into a stable epoch led by replica 0 (the benchmark setup).
+    pub fn stable(n: usize) -> Self {
+        AcuerdoConfig {
+            n,
+            initial_epoch: Some(Epoch::new(1, 0)),
+            ..AcuerdoConfig::default()
+        }
+    }
+
+    /// Quorum size: majority of n.
+    pub fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_is_majority() {
+        for (n, q) in [(1, 1), (2, 2), (3, 2), (5, 3), (7, 4), (9, 5)] {
+            let c = AcuerdoConfig {
+                n,
+                ..Default::default()
+            };
+            assert_eq!(c.quorum(), q, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stable_preset_sets_leader_zero() {
+        let c = AcuerdoConfig::stable(5);
+        assert_eq!(c.initial_epoch, Some(Epoch::new(1, 0)));
+        assert_eq!(c.n, 5);
+        assert!(!c.slot_reuse_on_commit);
+        assert!(!c.per_message_acks);
+        assert_eq!(c.ring_mode, RingMode::Coupled);
+    }
+}

@@ -1,0 +1,768 @@
+//! The Acuerdo protocol node: broadcast (Figures 4–6), election (Figure 7),
+//! and the transition-by-diff (§3.4).
+//!
+//! One `AcuerdoNode` is one replica. It is a sans-IO state machine driven by
+//! the `simnet` engine: client requests and RDMA packets arrive through
+//! `on_message`, and a busy-poll timer drives the accept / commit / election
+//! logic exactly as the paper's event loop does.
+//!
+//! ## Faithfulness notes
+//!
+//! * Variable names follow Figure 1 (`e_cur`, `e_new`, `accepted`,
+//!   `committed`, `next`, `count`, the three SSTs, the per-peer rings).
+//! * Acceptance batches: a poll drains whole receiver-side batches and pushes
+//!   only the **latest** accepted header to the leader's Accept_SST — the
+//!   FIFO implicit-acknowledgment trick of §3.2 (the `per_message_acks`
+//!   ablation disables it).
+//! * One deliberate deviation: after committing a diff we set `committed` to
+//!   the diff's own header `(e, 0)` rather than to the last delivered entry.
+//!   The paper's pseudocode leaves `committed` at the previous epoch, which
+//!   stalls followers' diff commits until the first *new* message commits;
+//!   marking the diff itself committed unblocks idle clusters and preserves
+//!   all ordering invariants (the diff carries no application payload).
+//! * Large recovery diffs are split into consecutive parts on the FIFO ring
+//!   and applied atomically once complete (see `msg`).
+
+use crate::config::AcuerdoConfig;
+use crate::msg::{self, Frame};
+use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
+use abcast::client::RESP_WIRE;
+use bytes::Bytes;
+use rdma_prims::{RingError, RingReceiver, RingSender, Sst};
+use rdma_sim::{Endpoint, RdmaPkt, RegionId};
+use simnet::params::cpu;
+use simnet::{Ctx, DeliveryClass, NodeId, Process, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::ops::Bound::{Excluded, Included};
+use std::time::Duration;
+
+/// Wire type of an Acuerdo simulation: RDMA packets plus client traffic.
+#[derive(Clone, Debug)]
+pub enum AcWire {
+    /// One-sided RDMA traffic (rings, SSTs, completions).
+    Rdma(RdmaPkt),
+    /// A client broadcast request.
+    Req(ClientReq),
+    /// A commit acknowledgment to a client.
+    Resp(ClientResp),
+}
+
+impl From<RdmaPkt> for AcWire {
+    fn from(p: RdmaPkt) -> Self {
+        AcWire::Rdma(p)
+    }
+}
+
+impl abcast::ClientPort for AcWire {
+    fn request(req: ClientReq) -> Self {
+        AcWire::Req(req)
+    }
+    fn response(&self) -> Option<ClientResp> {
+        match self {
+            AcWire::Resp(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// A node's role in the current epoch (Figure 1 line 17).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Participating in a leader election.
+    Electing,
+    /// Sole proposer of the current epoch.
+    Leader,
+    /// Accepting and committing the leader's messages.
+    Follower,
+}
+
+const TOK_POLL: u64 = 1;
+const TOK_PUSH: u64 = 2;
+
+/// CPU cost of delivering one committed message to the application.
+const DELIVER_COST: Duration = Duration::from_nanos(100);
+/// Followers push their Commit_SST (needed only for diff construction) every
+/// this many push ticks.
+const FOLLOWER_PUSH_PERIOD: u64 = 10;
+
+/// Commit_SST cell: the node's last committed header plus a push sequence
+/// number that doubles as the leader heartbeat.
+type CommitCell = (MsgHdr, u64);
+
+/// Per-peer outgoing bookkeeping at a (current or past) leader.
+struct PeerOut {
+    /// Encoded diff frames still to be pushed into this peer's ring.
+    diff_backlog: VecDeque<Bytes>,
+    /// Next normal message count (within `e_new`) to send to this peer.
+    next_cnt: u32,
+    /// `(hdr, ring seq)` of in-flight frames, for slot-reuse accounting.
+    sent: VecDeque<(MsgHdr, u64)>,
+}
+
+impl PeerOut {
+    fn new() -> Self {
+        PeerOut {
+            diff_backlog: VecDeque::new(),
+            next_cnt: 1,
+            sent: VecDeque::new(),
+        }
+    }
+}
+
+/// One Acuerdo replica.
+pub struct AcuerdoNode {
+    cfg: AcuerdoConfig,
+    me: usize,
+    peers: Vec<NodeId>,
+
+    ep: Endpoint,
+    out_ring: RingSender,
+    in_rings: Vec<RingReceiver>,
+    accept_sst: Sst<MsgHdr>,
+    vote_sst: Sst<Vote>,
+    commit_sst: Sst<CommitCell>,
+
+    // Figure 1 process variables.
+    e_cur: Epoch,
+    e_new: Epoch,
+    accepted: MsgHdr,
+    committed: MsgHdr,
+    next: MsgHdr,
+    count: u32,
+    role: Role,
+    log: BTreeMap<MsgHdr, Bytes>,
+
+    // Leader-side bookkeeping.
+    out: Vec<PeerOut>,
+    origin: HashMap<MsgHdr, (NodeId, u64)>,
+    commit_push_seq: u64,
+    push_ticks: u64,
+
+    // Failure detection / election.
+    last_leader_activity: SimTime,
+    last_hb_seen: u64,
+    last_mx: Vote,
+    last_mx_change: SimTime,
+    election_detected_at: SimTime,
+    awaiting_ready: bool,
+
+    // Diff reassembly: (epoch, parts collected so far).
+    diff_buf: Option<(MsgHdr, u16, Vec<(MsgHdr, Bytes)>)>,
+
+    /// The replicated application messages are delivered to.
+    pub app: Box<dyn App>,
+    /// Total messages delivered to the application.
+    pub delivered_count: u64,
+    /// Elections this node has won.
+    pub elections_won: u64,
+    /// `(suspected_at, ready_at)` for each election this node won:
+    /// `suspected_at` is when the old leader was declared failed,
+    /// `ready_at` when the diffs finished transferring into every follower's
+    /// ring and new messages could flow (the Table 1 metric).
+    pub election_spans: Vec<(SimTime, SimTime)>,
+    /// Client requests dropped because the node was not leader.
+    pub dropped_requests: u64,
+}
+
+impl AcuerdoNode {
+    /// Build a replica. `me` must equal the node's eventual `simnet` id, and
+    /// all replicas of a cluster must occupy ids `0..cfg.n`.
+    pub fn new(cfg: AcuerdoConfig, me: usize) -> Self {
+        let n = cfg.n;
+        assert!(me < n, "replica index out of range");
+        let mut ep = Endpoint::new(cfg.qp);
+        // Region plan (identical on every node):
+        //   regions 0..n   : incoming ring mirrored from sender j
+        //   region  n      : Accept_SST
+        //   region  n + 1  : Vote_SST
+        //   region  n + 2  : Commit_SST
+        let mut in_rings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = ep.register_region(cfg.ring_bytes);
+            in_rings.push(RingReceiver::new(r, cfg.ring_bytes, cfg.ring_mode));
+        }
+        let accept_sst = Sst::<MsgHdr>::register(&mut ep, n, me);
+        let vote_sst = Sst::<Vote>::register(&mut ep, n, me);
+        let commit_sst = Sst::<CommitCell>::register(&mut ep, n, me);
+        let peers: Vec<NodeId> = (0..n).collect();
+        for &p in &peers {
+            ep.connect(p);
+        }
+        let out_ring = RingSender::new(
+            RegionId(me as u32),
+            cfg.ring_bytes,
+            cfg.ring_mode,
+            &peers,
+        );
+
+        let (e_cur, role) = match cfg.initial_epoch {
+            Some(e) => (
+                e,
+                if e.ldr as usize == me {
+                    Role::Leader
+                } else {
+                    Role::Follower
+                },
+            ),
+            None => (Epoch::ZERO, Role::Electing),
+        };
+        let boot_hdr = MsgHdr::new(e_cur, 0);
+        AcuerdoNode {
+            out: (0..n).map(|_| PeerOut::new()).collect(),
+            cfg,
+            me,
+            peers,
+            ep,
+            out_ring,
+            in_rings,
+            accept_sst,
+            vote_sst,
+            commit_sst,
+            e_cur,
+            e_new: e_cur,
+            accepted: boot_hdr,
+            committed: boot_hdr,
+            next: if e_cur == Epoch::ZERO {
+                MsgHdr::ZERO
+            } else {
+                boot_hdr.next()
+            },
+            count: 0,
+            role,
+            log: BTreeMap::new(),
+            origin: HashMap::new(),
+            commit_push_seq: 0,
+            push_ticks: 0,
+            last_leader_activity: SimTime::ZERO,
+            last_hb_seen: 0,
+            last_mx: Vote::default(),
+            last_mx_change: SimTime::ZERO,
+            election_detected_at: SimTime::ZERO,
+            awaiting_ready: false,
+            diff_buf: None,
+            app: Box::<DeliveryLog>::default(),
+            delivered_count: 0,
+            elections_won: 0,
+            election_spans: Vec::new(),
+            dropped_requests: 0,
+        }
+    }
+
+    // ---- inspection -------------------------------------------------------
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.e_cur
+    }
+
+    /// Last committed header.
+    pub fn committed(&self) -> MsgHdr {
+        self.committed
+    }
+
+    /// Last accepted header.
+    pub fn accepted(&self) -> MsgHdr {
+        self.accepted
+    }
+
+    /// Log length (for GC tests).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total RDMA writes this node has posted (wire-efficiency tests).
+    pub fn ep_writes_posted(&self) -> u64 {
+        self.ep.writes_posted
+    }
+
+    /// The delivery log, when the default [`DeliveryLog`] app is installed.
+    pub fn delivery_log(&self) -> Option<&DeliveryLog> {
+        abcast::app::app_as::<DeliveryLog>(self.app.as_ref())
+    }
+
+    // ---- broadcasting (Figure 4) -------------------------------------------
+
+    fn on_client_request(&mut self, ctx: &mut Ctx<AcWire>, from: NodeId, req: ClientReq) {
+        if self.role != Role::Leader {
+            self.dropped_requests += 1;
+            return;
+        }
+        if self.log.len() >= self.cfg.max_client_backlog {
+            self.dropped_requests += 1;
+            return;
+        }
+        ctx.use_cpu(cpu::CLIENT_INGEST);
+        self.count += 1;
+        let hdr = MsgHdr::new(self.e_new, self.count);
+        self.log.insert(hdr, req.payload);
+        self.origin.insert(hdr, (from, req.id));
+        self.flush_all(ctx);
+    }
+
+    /// Push backlog (diff parts first, then log entries) into every peer's
+    /// ring, as far as flow control allows.
+    fn flush_all(&mut self, ctx: &mut Ctx<AcWire>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        for j in 0..self.cfg.n {
+            self.flush_peer(ctx, j);
+        }
+    }
+
+    fn flush_peer(&mut self, ctx: &mut Ctx<AcWire>, j: usize) {
+        // Diff parts first: they open the epoch on this peer's ring.
+        while let Some(frame) = self.out[j].diff_backlog.front() {
+            let hdr = MsgHdr::new(self.e_new, 0);
+            match self
+                .out_ring
+                .send_to(ctx, &mut self.ep, self.peers[j], frame)
+            {
+                Ok(seq) => {
+                    self.out[j].sent.push_back((hdr, seq));
+                    self.out[j].diff_backlog.pop_front();
+                }
+                Err(RingError::TooLarge) => {
+                    // Config error: diff part exceeds ring capacity. Drop it;
+                    // the peer will recover at the next election.
+                    debug_assert!(false, "diff part larger than ring");
+                    self.out[j].diff_backlog.pop_front();
+                }
+                Err(_) => return,
+            }
+        }
+        // Then any log entries of the current epoch this peer hasn't got.
+        while self.out[j].next_cnt <= self.count {
+            let hdr = MsgHdr::new(self.e_new, self.out[j].next_cnt);
+            let Some(payload) = self.log.get(&hdr) else {
+                // GC can only have pruned entries this peer already
+                // committed, so a miss means it is already past them.
+                self.out[j].next_cnt += 1;
+                continue;
+            };
+            let frame = msg::encode_normal(hdr, payload);
+            match self
+                .out_ring
+                .send_to(ctx, &mut self.ep, self.peers[j], &frame)
+            {
+                Ok(seq) => {
+                    self.out[j].sent.push_back((hdr, seq));
+                    self.out[j].next_cnt += 1;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    // ---- accepting (Figure 5) ----------------------------------------------
+
+    fn accept_frames(&mut self, ctx: &mut Ctx<AcWire>) {
+        let mut accepted_changed = false;
+        for j in 0..self.cfg.n {
+            let frames = self.in_rings[j].poll(&mut self.ep);
+            for (_seq, raw) in frames {
+                ctx.use_cpu(cpu::FRAME_PROC);
+                let Some(frame) = msg::decode(raw) else {
+                    debug_assert!(false, "malformed ring frame");
+                    continue;
+                };
+                match frame {
+                    Frame::Normal { hdr, payload } => {
+                        if hdr.epoch == self.e_new && hdr.epoch == self.e_cur {
+                            // Normal message acceptance (line 47).
+                            self.log.insert(hdr, payload);
+                            self.accepted = hdr;
+                            self.last_leader_activity = ctx.now();
+                            accepted_changed = true;
+                            if self.cfg.per_message_acks {
+                                self.push_accept(ctx);
+                                accepted_changed = false;
+                            }
+                        }
+                        // Stale epoch: ignore (the leader that sent this has
+                        // been deposed).
+                    }
+                    Frame::Diff {
+                        hdr,
+                        part,
+                        parts,
+                        entries,
+                    } => {
+                        if self.e_new <= hdr.epoch {
+                            debug_assert!(hdr.is_diff());
+                            if self.collect_diff(hdr, part, parts, entries) {
+                                self.apply_diff(ctx);
+                                accepted_changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if accepted_changed {
+            self.push_accept(ctx);
+        }
+    }
+
+    fn push_accept(&mut self, ctx: &mut Ctx<AcWire>) {
+        self.accept_sst.write_mine(&mut self.ep, &self.accepted);
+        let ldr = self.e_cur.ldr as usize;
+        if ldr != self.me {
+            let _ = self
+                .accept_sst
+                .push_mine_to(ctx, &mut self.ep, self.peers[ldr]);
+        }
+    }
+
+    fn collect_diff(
+        &mut self,
+        hdr: MsgHdr,
+        part: u16,
+        parts: u16,
+        entries: Vec<(MsgHdr, Bytes)>,
+    ) -> bool {
+        match &mut self.diff_buf {
+            Some((h, got, buf)) if *h == hdr => {
+                debug_assert_eq!(*got, part, "diff parts out of order");
+                buf.extend(entries);
+                *got += 1;
+                *got == parts
+            }
+            _ => {
+                debug_assert_eq!(part, 0, "diff must start at part 0");
+                self.diff_buf = Some((hdr, 1, entries));
+                parts == 1
+            }
+        }
+    }
+
+    /// Apply a fully-reassembled diff: the epoch-entry protocol of §3.4
+    /// (Figure 5 lines 54–66).
+    fn apply_diff(&mut self, ctx: &mut Ctx<AcWire>) {
+        let (hdr, _, entries) = self.diff_buf.take().expect("no diff buffered");
+        let e = hdr.epoch;
+        self.e_new = e;
+        self.e_cur = e;
+        if e.ldr as usize != self.me {
+            self.role = Role::Follower;
+        }
+        // Truncate uncommitted suffix, then splice in the leader's entries.
+        let cut = entries
+            .first()
+            .map(|(h, _)| *h)
+            .unwrap_or_else(|| self.committed.next());
+        let stale: Vec<MsgHdr> = self
+            .log
+            .range((Included(cut), Excluded(MsgHdr::new(e, 0))))
+            .map(|(h, _)| *h)
+            .collect();
+        for h in stale {
+            self.log.remove(&h);
+        }
+        for (h, p) in entries {
+            self.log.insert(h, p);
+        }
+        self.accepted = hdr;
+        self.next = MsgHdr::new(e, 0);
+        self.last_leader_activity = ctx.now();
+        self.last_hb_seen = self.commit_cell(e.ldr as usize).1;
+    }
+
+    // ---- committing (Figure 6) ----------------------------------------------
+
+    fn commit_cell(&self, j: usize) -> CommitCell {
+        self.commit_sst.read(&self.ep, j)
+    }
+
+    fn commit_ready(&self) -> bool {
+        match self.role {
+            Role::Leader => {
+                let mut cnt = 0;
+                for k in 0..self.cfg.n {
+                    let a = self.accept_sst.read(&self.ep, k);
+                    if a >= self.next && a.epoch == self.e_cur {
+                        cnt += 1;
+                    }
+                }
+                cnt >= self.cfg.quorum()
+            }
+            Role::Follower => {
+                let (c, _) = self.commit_cell(self.e_cur.ldr as usize);
+                c >= self.next && c.epoch == self.e_cur
+            }
+            Role::Electing => false,
+        }
+    }
+
+    fn commit_step(&mut self, ctx: &mut Ctx<AcWire>) {
+        while self.commit_ready() {
+            if !self.next.is_diff() {
+                // Normal message commit.
+                let Some(payload) = self.log.get(&self.next).cloned() else {
+                    // Commit notification outran this replica's ring backlog;
+                    // wait for the frame.
+                    break;
+                };
+                let hdr = self.next;
+                self.deliver(ctx, hdr, payload);
+                self.committed = hdr;
+            } else {
+                // Diff commit: deliver everything between the old committed
+                // point and the diff header (Figure 6 lines 83–89).
+                let pending: Vec<(MsgHdr, Bytes)> = self
+                    .log
+                    .range((Excluded(self.committed), Excluded(self.next)))
+                    .map(|(h, p)| (*h, p.clone()))
+                    .collect();
+                for (h, p) in pending {
+                    self.deliver(ctx, h, p);
+                    self.committed = h;
+                }
+                // Deviation (see module docs): mark the diff itself
+                // committed so idle followers can commit too.
+                self.committed = self.committed.max(self.next);
+            }
+            self.next = self.next.next();
+        }
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<AcWire>, hdr: MsgHdr, payload: Bytes) {
+        ctx.use_cpu(DELIVER_COST);
+        self.app.deliver(hdr, &payload);
+        self.delivered_count += 1;
+        if let Some((client, id)) = self.origin.remove(&hdr) {
+            ctx.send(
+                client,
+                DeliveryClass::Cpu,
+                RESP_WIRE,
+                AcWire::Resp(ClientResp { id }),
+            );
+        }
+    }
+
+    // ---- slot reuse / flow control -------------------------------------------
+
+    fn reuse_slots(&mut self) {
+        if self.cfg.slot_reuse_on_commit {
+            // Ablation: Derecho's rule — reuse only once committed at ALL
+            // nodes.
+            let mut min_commit = MsgHdr::new(Epoch::new(u32::MAX, u32::MAX), u32::MAX);
+            for k in 0..self.cfg.n {
+                min_commit = min_commit.min(self.commit_cell(k).0);
+            }
+            for j in 0..self.cfg.n {
+                self.ack_lane(j, min_commit);
+            }
+        } else {
+            // Acuerdo's rule: reuse once the receiver accepted (§4.1).
+            for j in 0..self.cfg.n {
+                let acc = self.accept_sst.read(&self.ep, j);
+                self.ack_lane(j, acc);
+            }
+        }
+    }
+
+    fn ack_lane(&mut self, j: usize, upto: MsgHdr) {
+        let mut max_seq = None;
+        while let Some(&(h, seq)) = self.out[j].sent.front() {
+            if h <= upto {
+                max_seq = Some(seq);
+                self.out[j].sent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(s) = max_seq {
+            self.out_ring.ack(self.peers[j], s);
+        }
+    }
+
+    // ---- log GC ----------------------------------------------------------------
+
+    fn gc(&mut self) {
+        let mut min_commit = self.committed;
+        for k in 0..self.cfg.n {
+            min_commit = min_commit.min(self.commit_cell(k).0);
+        }
+        if min_commit == MsgHdr::ZERO {
+            return;
+        }
+        // Keep the boundary entry itself: diffs include it (Figure 7 line
+        // 123 is an inclusive range).
+        let prune: Vec<MsgHdr> = self
+            .log
+            .range(..min_commit)
+            .map(|(h, _)| *h)
+            .collect();
+        for h in prune {
+            self.log.remove(&h);
+            self.origin.remove(&h);
+        }
+    }
+
+    // ---- failure detection / election (Figure 7) ---------------------------------
+
+    fn detect_failure(&mut self, ctx: &mut Ctx<AcWire>) {
+        if self.role != Role::Follower {
+            return;
+        }
+        let ldr = self.e_cur.ldr as usize;
+        let (_, hb) = self.commit_cell(ldr);
+        if hb != self.last_hb_seen {
+            self.last_hb_seen = hb;
+            self.last_leader_activity = ctx.now();
+        }
+        if ctx.now().saturating_since(self.last_leader_activity) > self.cfg.fail_timeout {
+            self.start_election(ctx.now());
+        }
+    }
+
+    fn start_election(&mut self, now: SimTime) {
+        self.role = Role::Electing;
+        self.election_detected_at = now;
+        self.last_mx = self.vote_sst.mine(&self.ep);
+        self.last_mx_change = now;
+    }
+
+    fn election_step(&mut self, ctx: &mut Ctx<AcWire>) {
+        if self.role != Role::Electing {
+            return;
+        }
+        let votes = self.vote_sst.snapshot(&self.ep);
+        let mx = *votes.iter().max().expect("nonempty SST");
+        if mx != self.last_mx {
+            self.last_mx = mx;
+            self.last_mx_change = ctx.now();
+        }
+        let no_candidate = mx == Vote::default();
+        let candidate_is_other = mx.e_new.ldr as usize != self.me;
+        let timed_out = !no_candidate
+            && candidate_is_other
+            && ctx.now().saturating_since(self.last_mx_change) > self.cfg.candidate_patience;
+        let mine = votes[self.me];
+
+        if no_candidate || timed_out || self.accepted > mx.acpt {
+            // Vote for self with a strictly larger epoch (lines 100–104).
+            self.e_new = Epoch::bigger_for(self.e_new, mx.e_new, self.me as u32);
+            let v = Vote::new(self.e_new, self.accepted);
+            self.vote_sst.write_mine(&mut self.ep, &v);
+            let peers = self.peers.clone();
+            let _ = self.vote_sst.push_mine(ctx, &mut self.ep, &peers);
+            ctx.use_cpu(cpu::FRAME_PROC);
+        } else if mx > mine && self.accepted <= mx.acpt {
+            // Join the best vote (lines 106–111).
+            self.e_new = mx.e_new;
+            self.vote_sst.write_mine(&mut self.ep, &mx);
+            let peers = self.peers.clone();
+            let _ = self.vote_sst.push_mine(ctx, &mut self.ep, &peers);
+            ctx.use_cpu(cpu::FRAME_PROC);
+        }
+
+        // Win check (lines 113–127).
+        let votes = self.vote_sst.snapshot(&self.ep);
+        let mine = votes[self.me];
+        if mine == Vote::default() || mine.e_new.ldr as usize != self.me {
+            return;
+        }
+        let supporters = votes.iter().filter(|v| **v == mine).count();
+        if supporters < self.cfg.quorum() {
+            return;
+        }
+        self.become_leader(ctx);
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<AcWire>) {
+        self.role = Role::Leader;
+        self.count = 0;
+        self.elections_won += 1;
+        self.awaiting_ready = true;
+        let comm: Vec<MsgHdr> = (0..self.cfg.n).map(|j| self.commit_cell(j).0).collect();
+        let hdr = MsgHdr::new(self.e_new, 0);
+        for j in 0..self.cfg.n {
+            let entries: Vec<(MsgHdr, Bytes)> = self
+                .log
+                .range((Included(comm[j]), Included(self.accepted)))
+                .map(|(h, p)| (*h, p.clone()))
+                .collect();
+            let parts = msg::encode_diff_parts(hdr, &entries, self.cfg.max_diff_part);
+            self.out[j].diff_backlog = parts.into();
+            self.out[j].next_cnt = 1;
+        }
+        self.flush_all(ctx);
+        self.check_ready(ctx);
+    }
+
+    fn check_ready(&mut self, ctx: &mut Ctx<AcWire>) {
+        if !self.awaiting_ready {
+            return;
+        }
+        if self.out.iter().all(|o| o.diff_backlog.is_empty()) {
+            self.awaiting_ready = false;
+            self.election_spans
+                .push((self.election_detected_at, ctx.now_cpu()));
+        }
+    }
+
+    // ---- periodic push (Figure 6 lines 93–95 + heartbeat) -------------------------
+
+    fn push_commit(&mut self, ctx: &mut Ctx<AcWire>) {
+        self.push_ticks += 1;
+        let is_leader = self.role == Role::Leader;
+        if !is_leader && self.push_ticks % FOLLOWER_PUSH_PERIOD != 0 {
+            return;
+        }
+        self.commit_push_seq += 1;
+        let cell: CommitCell = (self.committed, self.commit_push_seq);
+        self.commit_sst.write_mine(&mut self.ep, &cell);
+        let peers = self.peers.clone();
+        let _ = self.commit_sst.push_mine(ctx, &mut self.ep, &peers);
+    }
+}
+
+impl Process<AcWire> for AcuerdoNode {
+    fn on_start(&mut self, ctx: &mut Ctx<AcWire>) {
+        self.last_leader_activity = ctx.now();
+        if self.role == Role::Electing {
+            self.start_election(ctx.now());
+        }
+        ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+        ctx.set_timer(self.cfg.commit_push_interval, TOK_PUSH);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<AcWire>, from: NodeId, msg: AcWire) {
+        match msg {
+            AcWire::Rdma(pkt) => self.ep.on_packet(ctx, from, pkt),
+            AcWire::Req(req) => self.on_client_request(ctx, from, req),
+            AcWire::Resp(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<AcWire>, token: u64) {
+        match token {
+            TOK_POLL => {
+                ctx.use_cpu(cpu::POLL_IDLE);
+                self.accept_frames(ctx);
+                self.commit_step(ctx);
+                if self.role == Role::Leader {
+                    self.reuse_slots();
+                    self.flush_all(ctx);
+                    self.check_ready(ctx);
+                }
+                self.detect_failure(ctx);
+                self.election_step(ctx);
+                ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+            }
+            TOK_PUSH => {
+                self.push_commit(ctx);
+                self.gc();
+                ctx.set_timer(self.cfg.commit_push_interval, TOK_PUSH);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! # apus — the RDMA Paxos baseline
+//!
+//! A performance-faithful reimplementation of APUS (Wang et al., SoCC '17)
+//! over the simulated RDMA fabric. APUS is leader-based like Acuerdo, but
+//! its Paxos core (derived from "Paxos made practical") runs **one
+//! consensus instance per batch and allows only a single pending batch at a
+//! time** — the property §4.1 of the Acuerdo paper identifies as its
+//! bottleneck: any delay on any message of the in-flight batch stalls the
+//! entire system, and between batches the pipeline drains.
+//!
+//! Mechanics modeled here:
+//!
+//! * the leader writes each client message into the followers' logs with
+//!   one-sided writes (through a ring, one write per follower per message),
+//!   closes the batch with a small batch-end marker, and only then may open
+//!   the next batch once a **quorum** of followers acknowledged the batch;
+//! * followers acknowledge *batches*, not messages, through a one-slot SST
+//!   (APUS's "more effective acknowledgment implementation that avoids the
+//!   use of RDMA completion queues");
+//! * commits propagate to followers through a commit counter the leader
+//!   pushes off the critical path.
+//!
+//! Leader failure handling is Raft-style in real APUS; it is not modeled
+//! here because the Acuerdo paper's APUS experiments are stable-network only
+//! (see DESIGN.md).
+
+use abcast::client::RESP_WIRE;
+use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rdma_prims::{RingMode, RingReceiver, RingSender, Sst};
+use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
+use simnet::params::cpu;
+use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+/// Configuration of one APUS instance.
+#[derive(Clone, Debug)]
+pub struct ApusConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Bytes per ring buffer.
+    pub ring_bytes: usize,
+    /// Busy-poll interval.
+    pub poll_interval: Duration,
+    /// Maximum messages per batch (a batch holds at most one message per
+    /// logical client; the window acts as the client count).
+    pub max_batch: usize,
+    /// Followers acknowledge batches at most this often ("the remote
+    /// acceptor periodically acknowledges batches of messages", §5).
+    pub ack_interval: Duration,
+    /// Per-message CPU for the separate consensus instance APUS runs on
+    /// every message (§4.1 calls this its major bottleneck).
+    pub instance_cost: Duration,
+    /// Queue-pair settings.
+    pub qp: QpConfig,
+    /// Drop client requests beyond this backlog.
+    pub max_backlog: usize,
+}
+
+impl Default for ApusConfig {
+    fn default() -> Self {
+        ApusConfig {
+            n: 3,
+            ring_bytes: 1 << 20,
+            poll_interval: cpu::POLL_INTERVAL,
+            max_batch: 1024,
+            ack_interval: Duration::from_micros(5),
+            instance_cost: Duration::from_nanos(1200),
+            qp: QpConfig::default(),
+            max_backlog: 1 << 20,
+        }
+    }
+}
+
+/// Wire type of an APUS simulation.
+#[derive(Clone, Debug)]
+pub enum ApWire {
+    /// One-sided RDMA traffic.
+    Rdma(RdmaPkt),
+    /// Client request.
+    Req(ClientReq),
+    /// Client response.
+    Resp(ClientResp),
+}
+
+impl From<RdmaPkt> for ApWire {
+    fn from(p: RdmaPkt) -> Self {
+        ApWire::Rdma(p)
+    }
+}
+
+impl abcast::ClientPort for ApWire {
+    fn request(req: ClientReq) -> Self {
+        ApWire::Req(req)
+    }
+    fn response(&self) -> Option<ClientResp> {
+        match self {
+            ApWire::Resp(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+enum Frame {
+    Data {
+        idx: u64,
+        client: NodeId,
+        id: u64,
+        payload: Bytes,
+    },
+    BatchEnd {
+        batch: u64,
+        upto: u64,
+    },
+}
+
+fn encode_frame(f: &Frame) -> Bytes {
+    let mut buf = BytesMut::new();
+    match f {
+        Frame::Data {
+            idx,
+            client,
+            id,
+            payload,
+        } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*idx);
+            buf.put_u32_le(*client as u32);
+            buf.put_u64_le(*id);
+            buf.put_slice(payload);
+        }
+        Frame::BatchEnd { batch, upto } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*batch);
+            buf.put_u64_le(*upto);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_frame(mut raw: Bytes) -> Option<Frame> {
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.get_u8() {
+        1 => {
+            if raw.len() < 20 {
+                return None;
+            }
+            let idx = raw.get_u64_le();
+            let client = raw.get_u32_le() as NodeId;
+            let id = raw.get_u64_le();
+            Some(Frame::Data {
+                idx,
+                client,
+                id,
+                payload: raw,
+            })
+        }
+        2 => {
+            if raw.len() < 16 {
+                return None;
+            }
+            Some(Frame::BatchEnd {
+                batch: raw.get_u64_le(),
+                upto: raw.get_u64_le(),
+            })
+        }
+        _ => None,
+    }
+}
+
+const TOK_POLL: u64 = 1;
+const DELIVER_COST: Duration = Duration::from_nanos(100);
+
+/// One APUS replica. Replica 0 is the fixed leader.
+pub struct ApusNode {
+    cfg: ApusConfig,
+    me: usize,
+
+    ep: Endpoint,
+    out_ring: RingSender,
+    in_rings: Vec<RingReceiver>,
+    /// Follower's highest acknowledged batch id.
+    ack_sst: Sst<u64>,
+    /// Leader's committed message count.
+    commit_sst: Sst<u64>,
+
+    // Leader state.
+    pending: VecDeque<(NodeId, u64, Bytes)>,
+    next_idx: u64,
+    next_batch: u64,
+    /// `(batch id, last message idx)` currently awaiting quorum.
+    in_flight: Option<(u64, u64)>,
+    /// Per-follower (batch id, ring lane seq of the batch-end frame) for
+    /// slot reuse.
+    lane_marks: Vec<VecDeque<(u64, u64)>>,
+    origin: HashMap<u64, (NodeId, u64)>,
+
+    // Replica state.
+    log: BTreeMap<u64, (NodeId, u64, Bytes)>,
+    delivered: u64,
+    committed_count: u64,
+
+    /// The replicated application.
+    pub app: Box<dyn App>,
+    /// Messages delivered to the application.
+    pub delivered_count: u64,
+    /// Batches the leader has closed.
+    pub batches_sent: u64,
+    /// Follower-side: pending ack and when the last ack went out.
+    pending_ack: Option<u64>,
+    last_ack_at: simnet::SimTime,
+    /// Client requests dropped.
+    pub dropped_requests: u64,
+}
+
+impl ApusNode {
+    /// Build replica `me` (simulation ids `0..n`; replica 0 leads).
+    pub fn new(cfg: ApusConfig, me: usize) -> Self {
+        let n = cfg.n;
+        assert!(me < n);
+        let mut ep = Endpoint::new(cfg.qp);
+        let mut in_rings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = ep.register_region(cfg.ring_bytes);
+            in_rings.push(RingReceiver::new(r, cfg.ring_bytes, RingMode::Coupled));
+        }
+        let ack_sst = Sst::<u64>::register(&mut ep, n, me);
+        let commit_sst = Sst::<u64>::register(&mut ep, n, me);
+        for p in 0..n {
+            ep.connect(p);
+        }
+        let peers: Vec<NodeId> = (0..n).collect();
+        let out_ring = RingSender::new(
+            RegionId(me as u32),
+            cfg.ring_bytes,
+            RingMode::Coupled,
+            &peers,
+        );
+        ApusNode {
+            me,
+            ep,
+            out_ring,
+            in_rings,
+            ack_sst,
+            commit_sst,
+            pending: VecDeque::new(),
+            next_idx: 0,
+            next_batch: 1,
+            in_flight: None,
+            lane_marks: (0..n).map(|_| VecDeque::new()).collect(),
+            origin: HashMap::new(),
+            log: BTreeMap::new(),
+            delivered: 0,
+            committed_count: 0,
+            app: Box::<DeliveryLog>::default(),
+            delivered_count: 0,
+            batches_sent: 0,
+            pending_ack: None,
+            last_ack_at: simnet::SimTime::ZERO,
+            dropped_requests: 0,
+            cfg,
+        }
+    }
+
+    fn is_leader(&self) -> bool {
+        self.me == 0
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.n / 2 + 1
+    }
+
+    /// The delivery log, when the default app is installed.
+    pub fn delivery_log(&self) -> Option<&DeliveryLog> {
+        abcast::app::app_as::<DeliveryLog>(self.app.as_ref())
+    }
+
+    // ---- leader ---------------------------------------------------------------
+
+    fn on_client_request(&mut self, ctx: &mut Ctx<ApWire>, from: NodeId, req: ClientReq) {
+        if !self.is_leader() || self.pending.len() >= self.cfg.max_backlog {
+            self.dropped_requests += 1;
+            return;
+        }
+        ctx.use_cpu(cpu::CLIENT_INGEST);
+        self.pending.push_back((from, req.id, req.payload));
+    }
+
+    fn try_open_batch(&mut self, ctx: &mut Ctx<ApWire>) {
+        if !self.is_leader() || self.in_flight.is_some() || self.pending.is_empty() {
+            return;
+        }
+        let batch = self.next_batch;
+        let take = self.pending.len().min(self.cfg.max_batch);
+        let mut last_idx = 0;
+        for _ in 0..take {
+            let (client, id, payload) = self.pending.pop_front().expect("nonempty");
+            // One consensus instance per message (APUS's Paxos core).
+            ctx.use_cpu(self.cfg.instance_cost);
+            let idx = self.next_idx;
+            self.next_idx += 1;
+            last_idx = idx;
+            self.origin.insert(idx, (client, id));
+            self.log.insert(idx, (client, id, payload.clone()));
+            let frame = encode_frame(&Frame::Data {
+                idx,
+                client,
+                id,
+                payload,
+            });
+            for j in 1..self.cfg.n {
+                // A full ring here means the follower fell behind a whole
+                // ring of unacknowledged batches; APUS stalls (single
+                // pending batch keeps this from happening in practice).
+                let _ = self.out_ring.send_to(ctx, &mut self.ep, j, &frame);
+            }
+        }
+        let end = encode_frame(&Frame::BatchEnd {
+            batch,
+            upto: last_idx,
+        });
+        for j in 1..self.cfg.n {
+            if let Ok(seq) = self.out_ring.send_to(ctx, &mut self.ep, j, &end) {
+                self.lane_marks[j].push_back((batch, seq));
+            }
+        }
+        self.next_batch += 1;
+        self.batches_sent += 1;
+        self.in_flight = Some((batch, last_idx));
+    }
+
+    fn leader_commit(&mut self, ctx: &mut Ctx<ApWire>) {
+        let Some((batch, last_idx)) = self.in_flight else {
+            return;
+        };
+        // Quorum: leader itself plus followers whose ack passed the batch.
+        let mut acks = 1;
+        for j in 1..self.cfg.n {
+            if self.ack_sst.read(&self.ep, j) >= batch {
+                acks += 1;
+                // Ring slots for acknowledged batches are reusable.
+                while let Some(&(b, seq)) = self.lane_marks[j].front() {
+                    if b <= self.ack_sst.read(&self.ep, j) {
+                        self.out_ring.ack(j, seq);
+                        self.lane_marks[j].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if acks < self.quorum() {
+            return;
+        }
+        // Deliver the batch, answer clients, publish the commit counter.
+        while self.delivered <= last_idx {
+            let idx = self.delivered;
+            let (_, _, payload) = self.log.get(&idx).expect("own log entry").clone();
+            self.deliver(ctx, idx, &payload);
+            self.delivered += 1;
+        }
+        self.committed_count = self.delivered;
+        self.commit_sst.write_mine(&mut self.ep, &self.committed_count);
+        for j in 1..self.cfg.n {
+            let _ = self.commit_sst.push_mine_to(ctx, &mut self.ep, j);
+        }
+        self.in_flight = None;
+    }
+
+    // ---- follower ---------------------------------------------------------------
+
+    fn drain_rings(&mut self, ctx: &mut Ctx<ApWire>) {
+        let mut new_ack = None;
+        for s in 0..self.cfg.n {
+            for (_seq, raw) in self.in_rings[s].poll(&mut self.ep) {
+                ctx.use_cpu(cpu::FRAME_PROC);
+                match decode_frame(raw) {
+                    Some(Frame::Data {
+                        idx,
+                        client,
+                        id,
+                        payload,
+                    }) => {
+                        self.log.insert(idx, (client, id, payload));
+                    }
+                    Some(Frame::BatchEnd { batch, .. }) => {
+                        new_ack = Some(batch);
+                    }
+                    None => debug_assert!(false, "malformed APUS frame"),
+                }
+            }
+        }
+        if let Some(batch) = new_ack {
+            self.pending_ack = Some(batch.max(self.pending_ack.unwrap_or(0)));
+        }
+        // Batch-wise, *periodic* acknowledgment: one SST write per ack
+        // interval, not per message.
+        if let Some(batch) = self.pending_ack {
+            if ctx.now().saturating_since(self.last_ack_at) >= self.cfg.ack_interval {
+                self.ack_sst.write_mine(&mut self.ep, &batch);
+                let _ = self.ack_sst.push_mine_to(ctx, &mut self.ep, 0);
+                self.pending_ack = None;
+                self.last_ack_at = ctx.now();
+            }
+        }
+    }
+
+    fn follower_commit(&mut self, ctx: &mut Ctx<ApWire>) {
+        let committed = self.commit_sst.read(&self.ep, 0);
+        while self.delivered < committed {
+            let idx = self.delivered;
+            let Some((_, _, payload)) = self.log.get(&idx).cloned() else {
+                break; // commit counter outran our ring; wait
+            };
+            self.deliver(ctx, idx, &payload);
+            self.delivered += 1;
+        }
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<ApWire>, idx: u64, payload: &Bytes) {
+        ctx.use_cpu(DELIVER_COST);
+        let hdr = MsgHdr::new(Epoch::new(1, 0), idx as u32 + 1);
+        self.app.deliver(hdr, payload);
+        self.delivered_count += 1;
+        if self.is_leader() {
+            if let Some((client, id)) = self.origin.remove(&idx) {
+                ctx.send(
+                    client,
+                    DeliveryClass::Cpu,
+                    RESP_WIRE,
+                    ApWire::Resp(ClientResp { id }),
+                );
+            }
+        }
+    }
+}
+
+impl Process<ApWire> for ApusNode {
+    fn on_start(&mut self, ctx: &mut Ctx<ApWire>) {
+        ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<ApWire>, from: NodeId, msg: ApWire) {
+        match msg {
+            ApWire::Rdma(pkt) => self.ep.on_packet(ctx, from, pkt),
+            ApWire::Req(req) => self.on_client_request(ctx, from, req),
+            ApWire::Resp(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<ApWire>, token: u64) {
+        if token != TOK_POLL {
+            return;
+        }
+        ctx.use_cpu(cpu::POLL_IDLE);
+        self.drain_rings(ctx);
+        if self.is_leader() {
+            self.leader_commit(ctx);
+            self.try_open_batch(ctx);
+        } else {
+            self.follower_commit(ctx);
+        }
+        ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+    }
+}
+
+/// Build `cfg.n` replicas occupying simulation ids `0..n`.
+pub fn build_cluster(sim: &mut Sim<ApWire>, cfg: &ApusConfig) -> Vec<NodeId> {
+    let mut ids = Vec::with_capacity(cfg.n);
+    for me in 0..cfg.n {
+        let id = sim.add_node(Box::new(ApusNode::new(cfg.clone(), me)));
+        assert_eq!(id, me);
+        ids.push(id);
+    }
+    ids
+}
+
+/// Cluster plus a window client aimed at the leader (replica 0).
+pub fn cluster_with_client(
+    seed: u64,
+    cfg: &ApusConfig,
+    window: usize,
+    payload: usize,
+    warmup: Duration,
+) -> (Sim<ApWire>, Vec<NodeId>, NodeId) {
+    let mut sim = Sim::new(seed, NetParams::rdma());
+    let ids = build_cluster(&mut sim, cfg);
+    let client = sim.add_node(Box::new(WindowClient::<ApWire>::new(
+        0, window, payload, warmup,
+    )));
+    (sim, ids, client)
+}
+
+/// Check the §2.2 properties across live replicas.
+pub fn check_cluster(sim: &Sim<ApWire>, ids: &[NodeId]) -> Result<(), Violation> {
+    let hs: Vec<_> = ids
+        .iter()
+        .filter(|&&id| !sim.is_crashed(id))
+        .map(|&id| {
+            sim.node::<ApusNode>(id)
+                .delivery_log()
+                .expect("DeliveryLog app")
+                .entries
+                .clone()
+        })
+        .collect();
+    abcast::check_histories(&hs, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn run(window: usize, ms: u64) -> (Sim<ApWire>, Vec<NodeId>, NodeId) {
+        let cfg = ApusConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(13, &cfg, window, 10, Duration::from_millis(2));
+        sim.run_until(SimTime::from_millis(ms));
+        (sim, ids, client)
+    }
+
+    #[test]
+    fn commits_and_totally_orders() {
+        let (sim, ids, client) = run(8, 10);
+        check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<ApWire>>(client).result();
+        assert!(r.completed > 100);
+        for &id in &ids {
+            assert!(sim.node::<ApusNode>(id).delivered_count > 0);
+        }
+    }
+
+    #[test]
+    fn single_pending_batch_shapes_throughput() {
+        // With window 1 every message is its own batch: throughput is gated
+        // by a full round trip per message.
+        let (sim, ids, client) = run(1, 10);
+        check_cluster(&sim, &ids).unwrap();
+        let n0 = sim.node::<ApusNode>(ids[0]);
+        let r = sim.node::<WindowClient<ApWire>>(client).result();
+        assert!(
+            n0.batches_sent as f64 >= r.completed as f64,
+            "every message needs its own batch at window 1"
+        );
+        // Larger windows amortise the round trip into bigger batches.
+        let (sim2, _, client2) = run(64, 10);
+        let r2 = sim2.node::<WindowClient<ApWire>>(client2).result();
+        assert!(r2.msgs_per_sec() > r.msgs_per_sec() * 3.0);
+    }
+
+    #[test]
+    fn latency_is_worse_than_acuerdo_shape() {
+        let (sim, ids, client) = run(1, 10);
+        check_cluster(&sim, &ids).unwrap();
+        let lat = sim
+            .node::<WindowClient<ApWire>>(client)
+            .result()
+            .latency
+            .mean_us();
+        println!("apus window-1 latency: {lat:.2} us");
+        // Must commit in the tens of microseconds (RDMA), but not beat the
+        // ~10us Acuerdo path: the batch round trip plus polling dominates.
+        assert!(lat > 8.0 && lat < 100.0, "apus latency {lat}");
+    }
+
+    #[test]
+    fn delayed_follower_in_quorum_stalls_batches() {
+        // 3 nodes, quorum 2: delaying BOTH followers stalls the instance
+        // (total system stall on one delayed message, §4.1).
+        let cfg = ApusConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(14, &cfg, 16, 10, Duration::from_millis(1));
+        sim.run_until(SimTime::from_millis(4));
+        let before = sim.node::<WindowClient<ApWire>>(client).result().completed;
+        assert!(before > 0);
+        // Pause both followers for 3 ms: nothing can commit.
+        sim.pause_at(ids[1], SimTime::from_millis(4), Duration::from_millis(3));
+        sim.pause_at(ids[2], SimTime::from_millis(4), Duration::from_millis(3));
+        sim.run_until(SimTime::from_millis(6));
+        let during = sim.node::<WindowClient<ApWire>>(client).result().completed;
+        assert!(
+            during - before <= 64,
+            "commits continued during stall: {}",
+            during - before
+        );
+        sim.run_until(SimTime::from_millis(12));
+        let after = sim.node::<WindowClient<ApWire>>(client).result().completed;
+        assert!(after > during + 100, "no recovery after stall");
+        check_cluster(&sim, &ids).unwrap();
+    }
+
+    #[test]
+    fn five_node_quorum_commits_without_slowest() {
+        let cfg = ApusConfig {
+            n: 5,
+            ..ApusConfig::default()
+        };
+        let (mut sim, ids, client) =
+            cluster_with_client(15, &cfg, 8, 10, Duration::from_millis(1));
+        // One permanently slow follower: quorum 3 of 5 still commits.
+        sim.pause_at(ids[4], SimTime::ZERO, Duration::from_secs(10));
+        sim.run_until(SimTime::from_millis(10));
+        check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<ApWire>>(client).result();
+        assert!(r.completed > 100, "quorum should commit: {}", r.completed);
+    }
+}

@@ -1,0 +1,103 @@
+//! Component microbenchmarks: the building blocks whose costs shape every
+//! figure — the event engine, the frame codecs, the workload generator, the
+//! histogram, and the correctness checker.
+
+use abcast::workload::{payload, Zipfian};
+use abcast::{check_histories, Epoch, LatencyHist, MsgHdr};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Engine throughput: a two-node ping-pong measures events per wall second.
+fn bench_engine(c: &mut Criterion) {
+    struct Pong;
+    impl Process<u32> for Pong {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if ctx.id() == 0 {
+                ctx.send(1, DeliveryClass::Dma, 64, 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: NodeId, msg: u32) {
+            ctx.send(from, DeliveryClass::Dma, 64, msg + 1);
+        }
+    }
+    c.bench_function("simnet_pingpong_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u32> = Sim::new(1, NetParams::rdma());
+            sim.add_node(Box::new(Pong));
+            sim.add_node(Box::new(Pong));
+            // ~5000 round trips at ~3.1us each.
+            sim.run_until(SimTime::from_micros(15_000));
+            black_box(sim.stats().dma_msgs)
+        })
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let hdr = MsgHdr::new(Epoch::new(3, 1), 77);
+    let body = Bytes::from(vec![7u8; 1000]);
+    c.bench_function("acuerdo_frame_encode_decode_1000B", |b| {
+        b.iter(|| {
+            let f = acuerdo::msg::encode_normal(black_box(hdr), black_box(&body));
+            black_box(acuerdo::msg::decode(f))
+        })
+    });
+    let entries: Vec<(MsgHdr, Bytes)> = (1..=100)
+        .map(|i| (MsgHdr::new(Epoch::new(2, 1), i), Bytes::from(vec![1u8; 64])))
+        .collect();
+    c.bench_function("acuerdo_diff_encode_100_entries", |b| {
+        b.iter(|| {
+            black_box(acuerdo::msg::encode_diff_parts(
+                hdr,
+                black_box(&entries),
+                32 << 10,
+            ))
+        })
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let z = Zipfian::new(100_000, 0.99);
+    let mut rng = SmallRng::seed_from_u64(5);
+    c.bench_function("zipfian_sample", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    c.bench_function("payload_1000B", |b| {
+        b.iter(|| black_box(payload(black_box(12345), 1000)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("latency_hist_record", |b| {
+        let mut h = LatencyHist::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.record(Duration::from_nanos(1_000 + (i % 100_000)));
+        })
+    });
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let history: Vec<(MsgHdr, Bytes)> = (1..=10_000)
+        .map(|i| (MsgHdr::new(Epoch::new(1, 0), i), payload(u64::from(i), 10)))
+        .collect();
+    let histories = vec![history.clone(), history.clone(), history];
+    c.bench_function("check_histories_3x10k", |b| {
+        b.iter(|| black_box(check_histories(black_box(&histories), None)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_codecs,
+    bench_workload,
+    bench_stats,
+    bench_checker
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion smoke version of Figure 9: one YCSB-load point per system on 3
+//! nodes. The full node-count series lives in the `fig9` binary.
+
+use bench::{ycsb_point, RunSpec, System};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_ycsb");
+    g.sample_size(10);
+    g.bench_function("acuerdo_3_nodes", |b| {
+        b.iter(|| {
+            black_box(ycsb_point(
+                System::Acuerdo,
+                3,
+                42,
+                RunSpec::quick(System::Acuerdo),
+            ))
+        })
+    });
+    let tcp_spec = RunSpec {
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(150),
+    };
+    g.bench_function("zookeeper_3_nodes", |b| {
+        b.iter(|| black_box(ycsb_point(System::Zookeeper, 3, 42, tcp_spec)))
+    });
+    g.bench_function("etcd_3_nodes", |b| {
+        b.iter(|| black_box(ycsb_point(System::Etcd, 3, 42, tcp_spec)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ycsb);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablations of Acuerdo's design choices (DESIGN.md §3): disable one choice
+//! at a time and measure the scenario it degrades.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablations
+//! cargo run --release -p bench --bin ablations -- --nodes 3 --size 10 --full
+//! ```
+//!
+//! Three scenarios per configuration:
+//! * low-load latency (window 1);
+//! * saturated throughput (window 1024) with cluster-wide wire packets per
+//!   message (where the 1-vs-2-writes framing and the per-message-ack
+//!   choices show up);
+//! * throughput with one periodically descheduled follower and small rings
+//!   (where the slot-reuse rule binds — §4.1's Derecho comparison).
+
+use bench::{ablation_point, Ablation, RunSpec, System};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 3usize;
+    let mut size = 10usize;
+    let mut full = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--nodes" => {
+                i += 1;
+                n = argv[i].parse().expect("--nodes N");
+            }
+            "--size" => {
+                i += 1;
+                size = argv[i].parse().expect("--size BYTES");
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let spec = if full {
+        RunSpec::for_system(System::Acuerdo)
+    } else {
+        RunSpec::quick(System::Acuerdo)
+    };
+
+    println!("Acuerdo design-choice ablations ({n} nodes, {size}-byte messages)");
+    println!();
+    println!(
+        "{:<28} {:>11} {:>12} {:>10} {:>14}",
+        "configuration", "lat_us(w=1)", "sat msg/s", "pkts/msg", "slow-flwr msg/s"
+    );
+    for ab in Ablation::all() {
+        let low = ablation_point(ab, n, size, 1, 42, spec, false);
+        let sat = ablation_point(ab, n, size, 256, 42, spec, false);
+        let slow_spec = RunSpec {
+            warmup: std::time::Duration::from_millis(2),
+            measure: std::time::Duration::from_millis(25),
+        };
+        let slow = ablation_point(ab, n, size, 512, 42, slow_spec, true);
+        println!(
+            "{:<28} {:>11.2} {:>12.0} {:>10.2} {:>14.0}",
+            ab.name(),
+            low.point.mean_us,
+            sat.point.msgs_per_sec,
+            sat.packets_per_msg,
+            slow.point.msgs_per_sec
+        );
+    }
+    println!();
+    println!("baseline = the paper's configuration; each row disables one design choice.");
+}

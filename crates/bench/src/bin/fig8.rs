@@ -1,0 +1,101 @@
+//! Regenerates Figure 8 (a–d): broadcast latency vs throughput under a
+//! swept client window, for all seven systems.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig8                   # all four panels, quick
+//! cargo run --release -p bench --bin fig8 -- --nodes 3 --size 10
+//! cargo run --release -p bench --bin fig8 -- --full         # paper-scale sweeps
+//! cargo run --release -p bench --bin fig8 -- --csv          # machine-readable
+//! ```
+
+use bench::{sweep, RunSpec, System};
+
+struct Args {
+    nodes: Vec<usize>,
+    sizes: Vec<usize>,
+    full: bool,
+    csv: bool,
+    seed: u64,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        nodes: vec![3, 7],
+        sizes: vec![10, 1000],
+        full: false,
+        csv: false,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--nodes" => {
+                i += 1;
+                a.nodes = vec![argv[i].parse().expect("--nodes N")];
+            }
+            "--size" => {
+                i += 1;
+                a.sizes = vec![argv[i].parse().expect("--size BYTES")];
+            }
+            "--seed" => {
+                i += 1;
+                a.seed = argv[i].parse().expect("--seed N");
+            }
+            "--full" => a.full = true,
+            "--csv" => a.csv = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse();
+    let max_log2 = if args.full { 14 } else { 12 };
+    if args.csv {
+        println!("panel,system,window,throughput_mbps,msgs_per_sec,mean_us,p50_us,p99_us");
+    }
+    for &n in &args.nodes {
+        for &size in &args.sizes {
+            let panel = format!("{n}nodes_{size}B");
+            if !args.csv {
+                println!("\n=== Figure 8 panel: {n} nodes, {size}-byte messages ===");
+            }
+            for system in System::all() {
+                let spec = if args.full {
+                    RunSpec::for_system(system)
+                } else {
+                    RunSpec::quick(system)
+                };
+                let pts = sweep(system, n, size, max_log2, args.seed, spec);
+                if args.csv {
+                    for p in &pts {
+                        println!(
+                            "{panel},{},{},{:.4},{:.0},{:.2},{:.2},{:.2}",
+                            system.name(),
+                            p.window,
+                            p.mbps,
+                            p.msgs_per_sec,
+                            p.mean_us,
+                            p.p50_us,
+                            p.p99_us
+                        );
+                    }
+                } else {
+                    println!("\n  {:<16} window  MB/s      msg/s      mean_us   p99_us", system.name());
+                    for p in &pts {
+                        println!(
+                            "  {:<16} {:>6}  {:>8.3}  {:>9.0}  {:>8.2}  {:>8.2}",
+                            "", p.window, p.mbps, p.msgs_per_sec, p.mean_us, p.p99_us
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

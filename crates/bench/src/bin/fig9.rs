@@ -1,0 +1,51 @@
+//! Regenerates Figure 9: YCSB-load throughput (ops/sec) on the replicated
+//! hash table as a function of node count, for acuerdo / zookeeper / etcd.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig9
+//! cargo run --release -p bench --bin fig9 -- --full
+//! ```
+
+use bench::{ycsb_point, RunSpec, System};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let seed = 42;
+    let systems = [System::Acuerdo, System::Etcd, System::Zookeeper];
+    println!("Figure 9: YCSB-load throughput (ops/sec) vs node count");
+    println!("paper shape: acuerdo ~10x zookeeper, ~50x etcd, log-scale axis\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "nodes", "acuerdo", "zookeeper", "etcd", "acuerdo/zk", "acuerdo/etcd"
+    );
+    for n in [3usize, 5, 7, 9] {
+        let mut vals = Vec::new();
+        for s in systems {
+            let spec = if s.is_rdma() {
+                if full {
+                    RunSpec::for_system(s)
+                } else {
+                    RunSpec::quick(s)
+                }
+            } else {
+                // TCP systems need hundreds of committed ops to measure;
+                // etcd commits a few thousand per second.
+                RunSpec {
+                    warmup: std::time::Duration::from_millis(30),
+                    measure: std::time::Duration::from_millis(if full { 1_500 } else { 400 }),
+                }
+            };
+            vals.push(ycsb_point(s, n, seed, spec));
+        }
+        let (ac, et, zk) = (vals[0], vals[1], vals[2]);
+        println!(
+            "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>13.1}x {:>13.1}x",
+            n,
+            ac,
+            zk,
+            et,
+            ac / zk,
+            ac / et
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Renders the paper's figures as SVG files under `figures/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures            # quick sweeps
+//! cargo run --release -p bench --bin figures -- --full  # paper-scale
+//! ```
+//!
+//! Produces `fig8a.svg` … `fig8d.svg` (latency vs throughput, log-y, the
+//! paper's axes) and `fig9.svg` (YCSB ops/s vs node count, log-y).
+
+use bench::plot::{line_chart, Scale, Series};
+use bench::{sweep, ycsb_point, RunSpec, System};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let out = PathBuf::from("figures");
+    let max_log2 = if full { 14 } else { 12 };
+
+    for (panel, n, size) in [
+        ("fig8a", 3usize, 10usize),
+        ("fig8b", 3, 1000),
+        ("fig8c", 7, 10),
+        ("fig8d", 7, 1000),
+    ] {
+        let mut series = Vec::new();
+        for system in System::all() {
+            let spec = if full {
+                RunSpec::for_system(system)
+            } else {
+                RunSpec::quick(system)
+            };
+            let pts = sweep(system, n, size, max_log2, 42, spec);
+            series.push(Series {
+                name: system.name().to_string(),
+                points: pts.iter().map(|p| (p.mbps, p.mean_us)).collect(),
+            });
+            eprintln!("{panel}: {} done ({} points)", system.name(), series.last().unwrap().points.len());
+        }
+        let path = out.join(format!("{panel}.svg"));
+        line_chart(
+            &path,
+            &format!("Figure 8{}: {n} nodes, {size}-byte messages", &panel[4..]),
+            "Throughput (MB/sec)",
+            "Latency (uSeconds)",
+            Scale::Linear,
+            Scale::Log,
+            &series,
+        )
+        .expect("write svg");
+        println!("wrote {}", path.display());
+    }
+
+    // Figure 9.
+    let mut series = vec![
+        Series { name: "acuerdo".into(), points: vec![] },
+        Series { name: "etcd".into(), points: vec![] },
+        Series { name: "zookeeper".into(), points: vec![] },
+    ];
+    for n in [3usize, 5, 7, 9] {
+        for (i, sys) in [System::Acuerdo, System::Etcd, System::Zookeeper].iter().enumerate() {
+            let spec = if sys.is_rdma() {
+                RunSpec::quick(*sys)
+            } else {
+                RunSpec {
+                    warmup: Duration::from_millis(30),
+                    measure: Duration::from_millis(if full { 1_500 } else { 400 }),
+                }
+            };
+            let ops = ycsb_point(*sys, n, 42, spec);
+            series[i].points.push((n as f64, ops));
+        }
+        eprintln!("fig9: {n} nodes done");
+    }
+    let path = out.join("fig9.svg");
+    line_chart(
+        &path,
+        "Figure 9: YCSB-load throughput vs node count",
+        "Node Count",
+        "Throughput (ops/sec)",
+        Scale::Linear,
+        Scale::Log,
+        &series,
+    )
+    .expect("write svg");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Related-work comparison (§5 of the paper): the RDMA consensus systems the
+//! paper discusses qualitatively, measured on the common fabric.
+//!
+//! ```text
+//! cargo run --release -p bench --bin related
+//! ```
+
+use bench::{run_broadcast, run_dare, RunSpec, System};
+
+fn main() {
+    let spec = RunSpec::quick(System::Acuerdo);
+    println!("RDMA consensus lineage on 3 nodes, 10-byte messages (§5)\n");
+    println!(
+        "{:<16} {:>12} {:>14}   notes",
+        "system", "lat_us(w=1)", "sat msg/s"
+    );
+    let rows: Vec<(&str, bench::Point, bench::Point, &str)> = vec![
+        (
+            "dare",
+            run_dare(3, 10, 1, 42, spec),
+            run_dare(3, 10, 512, 42, spec),
+            "per-write completions; vote-once elections",
+        ),
+        (
+            "apus",
+            run_broadcast(System::Apus, 3, 10, 1, 42, spec),
+            run_broadcast(System::Apus, 3, 10, 512, 42, spec),
+            "batch acks; single pending batch",
+        ),
+        (
+            "derecho-leader",
+            run_broadcast(System::DerechoLeader, 3, 10, 1, 42, spec),
+            run_broadcast(System::DerechoLeader, 3, 10, 512, 42, spec),
+            "virtual synchrony; 2 writes/msg",
+        ),
+        (
+            "acuerdo",
+            run_broadcast(System::Acuerdo, 3, 10, 1, 42, spec),
+            run_broadcast(System::Acuerdo, 3, 10, 512, 42, spec),
+            "implicit cumulative acks; quorum speed",
+        ),
+    ];
+    for (name, low, sat, note) in rows {
+        println!(
+            "{:<16} {:>12.2} {:>14.0}   {}",
+            name, low.mean_us, sat.msgs_per_sec, note
+        );
+    }
+    println!("\n(Mu is discussed in §5 but could not run on the paper's RoCE cluster either.)");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table 1: average Acuerdo election duration (including the
+//! diff transfer, excluding failure detection) as a function of replica
+//! count, with the old leader repeatedly descheduled and a share of
+//! long-latency replicas in the cluster (§4.2).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1
+//! cargo run --release -p bench --bin table1 -- --elections 12 --seed 7
+//! ```
+
+use bench::{election_experiment, long_latency_count};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut elections = 8usize;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--elections" => {
+                i += 1;
+                elections = argv[i].parse().expect("--elections N");
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv[i].parse().expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("Table 1: average Acuerdo election duration (ms), incl. diff transfer");
+    println!("paper:    3 nodes: .3    5 nodes: 6.8    7 nodes: 12.1    9 nodes: 12.6");
+    println!();
+    println!("{:>7} {:>12} {:>10} {:>10} {:>10} {:>12}", "nodes", "long-latency", "elections", "mean_ms", "min_ms", "max_ms");
+    for n in [3usize, 5, 7, 9] {
+        let st = election_experiment(n, elections, seed);
+        println!(
+            "{:>7} {:>12} {:>10} {:>10.2} {:>10.2} {:>12.2}",
+            n,
+            long_latency_count(n),
+            st.count,
+            st.mean_ms,
+            st.min_ms,
+            st.max_ms
+        );
+    }
+}

@@ -1,0 +1,735 @@
+//! # bench — harness regenerating every table and figure of the paper
+//!
+//! One runner per experiment:
+//!
+//! * [`run_broadcast`] / [`sweep`] — Figure 8 (a–d): latency vs throughput
+//!   under a swept client window for all seven systems;
+//! * [`election_experiment`] — Table 1: mean Acuerdo election duration
+//!   (detection → new leader's diffs transferred) vs replica count, with
+//!   "long-latency" nodes injected as §4.2 describes;
+//! * [`ycsb_point`] — Figure 9: YCSB-load ops/s on the replicated hash table
+//!   for acuerdo / zookeeper / etcd;
+//! * [`ablation_point`] — the design-choice ablations DESIGN.md calls out
+//!   (ring framing, slot-reuse rule, ack granularity, signaling period).
+//!
+//! Binaries `fig8`, `table1`, `fig9`, `ablations` print the paper's
+//! rows/series; Criterion benches run scaled-down smoke points.
+
+pub mod plot;
+
+use abcast::{RunResult, WindowClient};
+use dare::{DareConfig, DareWire};
+use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
+use apus::{ApWire, ApusConfig};
+use derecho::{DcWire, DerechoConfig, Mode};
+use kvstore::{ReplicatedMap, YcsbLoad};
+use paxos::{PaxosConfig, PxWire};
+use raft::{RaftConfig, RfWire, RaftNode};
+use simnet::{NetParams, Sim, SimTime};
+use std::time::Duration;
+use zab::{ZabConfig, ZabNode, ZkWire};
+
+/// The seven systems of Figure 8.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum System {
+    /// The paper's contribution.
+    Acuerdo,
+    /// Derecho, single-sender mode.
+    DerechoLeader,
+    /// Derecho, all-sender round-robin mode.
+    DerechoAll,
+    /// APUS (RDMA Paxos, single pending batch).
+    Apus,
+    /// libpaxos over TCP.
+    Libpaxos,
+    /// ZooKeeper (Zab) over TCP.
+    Zookeeper,
+    /// etcd (Raft) over TCP.
+    Etcd,
+}
+
+impl System {
+    /// All systems, in the paper's legend order.
+    pub fn all() -> [System; 7] {
+        [
+            System::Acuerdo,
+            System::DerechoAll,
+            System::DerechoLeader,
+            System::Etcd,
+            System::Libpaxos,
+            System::Zookeeper,
+            System::Apus,
+        ]
+    }
+
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Acuerdo => "acuerdo",
+            System::DerechoLeader => "derecho-leader",
+            System::DerechoAll => "derecho-all",
+            System::Apus => "apus",
+            System::Libpaxos => "libpaxos",
+            System::Zookeeper => "zookeeper",
+            System::Etcd => "etcd",
+        }
+    }
+
+    /// Whether the system runs over the RDMA fabric (vs kernel TCP).
+    pub fn is_rdma(&self) -> bool {
+        matches!(
+            self,
+            System::Acuerdo | System::DerechoLeader | System::DerechoAll | System::Apus
+        )
+    }
+}
+
+/// One measured point of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Client window (outstanding messages).
+    pub window: usize,
+    /// Payload throughput (Figure 8's x-axis).
+    pub mbps: f64,
+    /// Message rate.
+    pub msgs_per_sec: f64,
+    /// Mean latency (Figure 8's y-axis).
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// Tail latency.
+    pub p99_us: f64,
+}
+
+impl Point {
+    fn from_result(window: usize, r: &RunResult) -> Point {
+        Point {
+            window,
+            mbps: r.mb_per_sec(),
+            msgs_per_sec: r.msgs_per_sec(),
+            mean_us: r.latency.mean_us(),
+            p50_us: r.latency.p50_us(),
+            p99_us: r.latency.p99_us(),
+        }
+    }
+}
+
+/// Measurement durations for one run (RDMA systems settle fast; TCP systems
+/// need longer windows to accumulate samples).
+#[derive(Copy, Clone, Debug)]
+pub struct RunSpec {
+    /// Warmup discarded from the measurement.
+    pub warmup: Duration,
+    /// Measured interval after warmup.
+    pub measure: Duration,
+}
+
+impl RunSpec {
+    /// Default spec for a system class.
+    pub fn for_system(s: System) -> RunSpec {
+        if s.is_rdma() {
+            RunSpec {
+                warmup: Duration::from_millis(3),
+                measure: Duration::from_millis(25),
+            }
+        } else {
+            RunSpec {
+                warmup: Duration::from_millis(20),
+                measure: Duration::from_millis(200),
+            }
+        }
+    }
+
+    /// Reduced spec for smoke benches.
+    pub fn quick(s: System) -> RunSpec {
+        if s.is_rdma() {
+            RunSpec {
+                warmup: Duration::from_millis(1),
+                measure: Duration::from_millis(6),
+            }
+        } else {
+            RunSpec {
+                warmup: Duration::from_millis(10),
+                measure: Duration::from_millis(60),
+            }
+        }
+    }
+}
+
+fn finish<M: 'static>(sim: &mut Sim<M>, spec: RunSpec) {
+    sim.run_until(SimTime::ZERO + spec.warmup + spec.measure);
+}
+
+/// Run one Figure 8 point: `system` on `n` replicas, fixed `payload` bytes,
+/// closed-loop `window`.
+pub fn run_broadcast(
+    system: System,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> Point {
+    match system {
+        System::Acuerdo => {
+            let cfg = AcuerdoConfig::stable(n);
+            let (mut sim, ids, client) =
+                acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            acuerdo::check_cluster(&sim, &ids).expect("acuerdo correctness");
+            Point::from_result(window, &sim.node::<WindowClient<AcWire>>(client).result())
+        }
+        System::DerechoLeader | System::DerechoAll => {
+            let cfg = DerechoConfig {
+                n,
+                mode: if system == System::DerechoLeader {
+                    Mode::Leader
+                } else {
+                    Mode::AllSender
+                },
+                ..DerechoConfig::default()
+            };
+            let (mut sim, ids, client) =
+                derecho::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            derecho::check_cluster(&sim, &ids).expect("derecho correctness");
+            Point::from_result(window, &sim.node::<WindowClient<DcWire>>(client).result())
+        }
+        System::Apus => {
+            let cfg = ApusConfig {
+                n,
+                ..ApusConfig::default()
+            };
+            let (mut sim, ids, client) =
+                apus::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            apus::check_cluster(&sim, &ids).expect("apus correctness");
+            Point::from_result(window, &sim.node::<WindowClient<ApWire>>(client).result())
+        }
+        System::Libpaxos => {
+            let cfg = PaxosConfig {
+                n,
+                ..PaxosConfig::default()
+            };
+            let (mut sim, ids, client) =
+                paxos::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            paxos::check_cluster(&sim, &ids).expect("paxos correctness");
+            Point::from_result(window, &sim.node::<WindowClient<PxWire>>(client).result())
+        }
+        System::Zookeeper => {
+            let cfg = ZabConfig {
+                n,
+                ..ZabConfig::default()
+            };
+            let (mut sim, ids, client) =
+                zab::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            zab::check_cluster(&sim, &ids).expect("zab correctness");
+            Point::from_result(window, &sim.node::<WindowClient<ZkWire>>(client).result())
+        }
+        System::Etcd => {
+            let cfg = RaftConfig {
+                n,
+                ..RaftConfig::default()
+            };
+            let (mut sim, ids, client) =
+                raft::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            finish(&mut sim, spec);
+            raft::check_cluster(&sim, &ids).expect("raft correctness");
+            Point::from_result(window, &sim.node::<WindowClient<RfWire>>(client).result())
+        }
+    }
+}
+
+/// One point for DARE (related work, §5 — not part of Figure 8, but useful
+/// for the qualitative comparison the paper makes: fine-grained completions
+/// put DARE below APUS, which sits below Acuerdo).
+pub fn run_dare(n: usize, payload: usize, window: usize, seed: u64, spec: RunSpec) -> Point {
+    let cfg = DareConfig {
+        n,
+        ..DareConfig::default()
+    };
+    let (mut sim, ids, client) = dare::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+    finish(&mut sim, spec);
+    dare::check_cluster(&sim, &ids).expect("dare correctness");
+    Point::from_result(window, &sim.node::<WindowClient<DareWire>>(client).result())
+}
+
+/// Sweep the window by powers of two "until reaching the saturation of the
+/// system" (§4.1): stop once throughput stops improving meaningfully.
+pub fn sweep(
+    system: System,
+    n: usize,
+    payload: usize,
+    max_window_log2: u32,
+    seed: u64,
+    spec: RunSpec,
+) -> Vec<Point> {
+    let mut out: Vec<Point> = Vec::new();
+    let mut flat = 0;
+    for w in (0..=max_window_log2).map(|e| 1usize << e) {
+        let p = run_broadcast(system, n, payload, w, seed, spec);
+        if p.msgs_per_sec < 1.0 {
+            // Deep windows can spend the whole (finite) measurement interval
+            // filling the pipeline; past saturation that is an artifact, not
+            // a data point.
+            break;
+        }
+        let prev = out.last().map(|q: &Point| q.mbps).unwrap_or(0.0);
+        if p.mbps < prev * 1.03 {
+            flat += 1;
+        } else {
+            flat = 0;
+        }
+        out.push(p);
+        if flat >= 2 {
+            break; // saturated: two windows without >3% gain
+        }
+    }
+    out
+}
+
+/// Table 1: mean Acuerdo election duration vs replica count.
+///
+/// Setup per §4.2: an open-loop client keeps the leader proposing 10-byte
+/// messages; the current leader is repeatedly descheduled (the paper sleeps
+/// it for 5 s; we sleep 50 ms, which equally forces a failover — the old
+/// leader plays no part in the election either way); a share of the replicas
+/// are "long-latency" nodes that suffer multi-millisecond scheduler pauses.
+/// The reported duration runs from the moment the eventual winner suspects
+/// the old leader to the moment its recovery diffs finished transferring
+/// (detection time excluded, diff transfer included — the paper's metric).
+pub fn election_experiment(n: usize, elections: usize, seed: u64) -> ElectionStats {
+    use abcast::OpenLoopClient;
+    let cfg = AcuerdoConfig {
+        n,
+        initial_epoch: Some(abcast::Epoch::new(1, 0)),
+        fail_timeout: Duration::from_micros(400),
+        // Must exceed the long-latency nodes' response time, or impatient
+        // fast nodes keep self-nominating and restarting the election (the
+        // "slack timeout" requirement the paper discusses for DARE).
+        candidate_patience: Duration::from_millis(100),
+        ..AcuerdoConfig::default()
+    };
+    let mut sim: Sim<AcWire> = Sim::new(seed, NetParams::rdma());
+    let ids = acuerdo::build_cluster(&mut sim, &cfg);
+    let client = sim.add_node(Box::new(OpenLoopClient::<AcWire>::new(
+        0,
+        Duration::from_micros(20),
+        10,
+    )));
+    // Long-latency nodes (§4.2): enough that, once the leader is
+    // descheduled, the election quorum must include progressively more of
+    // them as the cluster grows (two fast replicas always remain). Their
+    // scheduler delay scales with the cluster, as the paper's own
+    // measurements suggest ("far more sensitive to the proportion of
+    // long-latency nodes than to the overall number of replicas").
+    let long = long_latency_count(n);
+    let jitter = Duration::from_millis(2 * n as u64);
+    for i in 0..long {
+        let node = n - 1 - i; // the highest-numbered replicas
+        sim.set_timer_jitter(node, jitter);
+    }
+    // Mild scheduler noise on the fast replicas.
+    for &id in &ids[..n - long] {
+        sim.set_timer_jitter(id, Duration::from_micros(150));
+    }
+
+    let mut completed = 0usize;
+    let mut guard = 0;
+    while completed < elections && guard < elections * 40 {
+        guard += 1;
+        // Let the cluster settle, find the leader, deschedule it.
+        sim.run_for(Duration::from_millis(4));
+        let Some(leader) = acuerdo::current_leader(&sim, &ids) else {
+            continue;
+        };
+        sim.node_mut::<OpenLoopClient<AcWire>>(client).target = leader;
+        sim.pause_at(leader, sim.now(), Duration::from_millis(50));
+        // Wait for a new leader to emerge (someone other than the paused one).
+        let deadline = sim.now() + Duration::from_millis(45);
+        loop {
+            sim.run_for(Duration::from_millis(1));
+            match acuerdo::current_leader(&sim, &ids) {
+                Some(l) if l != leader => break,
+                _ if sim.now() >= deadline => break,
+                _ => {}
+            }
+        }
+        completed += 1;
+        // Let the old leader wake and rejoin before the next round.
+        sim.run_for(Duration::from_millis(55));
+    }
+    acuerdo::check_cluster(&sim, &ids).expect("acuerdo correctness across elections");
+
+    let mut durations: Vec<f64> = Vec::new();
+    for &id in &ids {
+        let node = sim.node::<AcuerdoNode>(id);
+        for (start, ready) in &node.election_spans {
+            durations.push(ready.saturating_since(*start).as_secs_f64() * 1e3);
+        }
+    }
+    ElectionStats::from_durations(n, durations)
+}
+
+/// How many "long-latency" replicas the Table 1 setup injects.
+pub fn long_latency_count(n: usize) -> usize {
+    n.saturating_sub(3)
+}
+
+/// Election-duration summary (milliseconds).
+#[derive(Clone, Debug)]
+pub struct ElectionStats {
+    /// Replica count.
+    pub n: usize,
+    /// Number of elections measured.
+    pub count: usize,
+    /// Mean duration, ms.
+    pub mean_ms: f64,
+    /// Min duration, ms.
+    pub min_ms: f64,
+    /// Max duration, ms.
+    pub max_ms: f64,
+}
+
+impl ElectionStats {
+    fn from_durations(n: usize, d: Vec<f64>) -> ElectionStats {
+        let count = d.len();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            d.iter().sum::<f64>() / count as f64
+        };
+        ElectionStats {
+            n,
+            count,
+            mean_ms: mean,
+            min_ms: d.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ms: d.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Figure 9: YCSB-load ops/s on the replicated hash table.
+///
+/// Update commands flow through the broadcast instance and are applied to
+/// every replica's table copy; the client is acknowledged at commit. Only
+/// the three systems of Figure 9 are supported.
+pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
+    // etcd serialises a WAL fsync per entry; a 256-deep window would spend
+    // tens of milliseconds just filling the pipe, so cap its concurrency the
+    // way etcd clients do.
+    let window = if system == System::Etcd { 64 } else { 256 };
+    match system {
+        System::Acuerdo => {
+            let cfg = AcuerdoConfig::stable(n);
+            let (mut sim, ids, client) =
+                acuerdo::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            for &id in &ids {
+                sim.node_mut::<AcuerdoNode>(id).app = Box::<ReplicatedMap>::default();
+            }
+            sim.node_mut::<WindowClient<AcWire>>(client).payload_fn =
+                Some(YcsbLoad::new(seed).into_payload_fn());
+            finish(&mut sim, spec);
+            let applied: Vec<u64> = ids
+                .iter()
+                .map(|&id| {
+                    abcast::app::app_as::<ReplicatedMap>(
+                        sim.node::<AcuerdoNode>(id).app.as_ref(),
+                    )
+                    .unwrap()
+                    .applied
+                })
+                .collect();
+            assert!(applied.iter().all(|&a| a > 0), "table not replicated");
+            sim.node::<WindowClient<AcWire>>(client)
+                .result()
+                .msgs_per_sec()
+        }
+        System::Zookeeper => {
+            let cfg = ZabConfig {
+                n,
+                ..ZabConfig::default()
+            };
+            let (mut sim, ids, client) =
+                zab::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            for &id in &ids {
+                sim.node_mut::<ZabNode>(id).app = Box::<ReplicatedMap>::default();
+            }
+            sim.node_mut::<WindowClient<ZkWire>>(client).payload_fn =
+                Some(YcsbLoad::new(seed).into_payload_fn());
+            finish(&mut sim, spec);
+            sim.node::<WindowClient<ZkWire>>(client)
+                .result()
+                .msgs_per_sec()
+        }
+        System::Etcd => {
+            let cfg = RaftConfig {
+                n,
+                ..RaftConfig::default()
+            };
+            let (mut sim, ids, client) =
+                raft::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            for &id in &ids {
+                sim.node_mut::<RaftNode>(id).app = Box::<ReplicatedMap>::default();
+            }
+            sim.node_mut::<WindowClient<RfWire>>(client).payload_fn =
+                Some(YcsbLoad::new(seed).into_payload_fn());
+            finish(&mut sim, spec);
+            sim.node::<WindowClient<RfWire>>(client)
+                .result()
+                .msgs_per_sec()
+        }
+        other => panic!("figure 9 does not include {other:?}"),
+    }
+}
+
+/// Which design choice an ablation disables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Ablation {
+    /// The paper's configuration.
+    Baseline,
+    /// Split ring framing: 2 RDMA writes per message (Derecho's framing).
+    SplitRing,
+    /// Reuse ring slots only at commit-at-all (Derecho's rule).
+    SlotReuseOnCommit,
+    /// Per-message Accept_SST pushes instead of per-batch (Zab-style acks).
+    PerMessageAcks,
+    /// Signal every write instead of every 1000 (no selective signaling).
+    SignalEveryWrite,
+}
+
+impl Ablation {
+    /// All ablations, baseline first.
+    pub fn all() -> [Ablation; 5] {
+        [
+            Ablation::Baseline,
+            Ablation::SplitRing,
+            Ablation::SlotReuseOnCommit,
+            Ablation::PerMessageAcks,
+            Ablation::SignalEveryWrite,
+        ]
+    }
+
+    /// Table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ablation::Baseline => "baseline",
+            Ablation::SplitRing => "split-ring (2 writes/msg)",
+            Ablation::SlotReuseOnCommit => "slot-reuse-on-commit-all",
+            Ablation::PerMessageAcks => "per-message acks",
+            Ablation::SignalEveryWrite => "signal every write",
+        }
+    }
+
+    /// Apply to a config.
+    pub fn apply(&self, mut cfg: AcuerdoConfig) -> AcuerdoConfig {
+        match self {
+            Ablation::Baseline => {}
+            Ablation::SplitRing => cfg.ring_mode = rdma_prims::RingMode::Split,
+            Ablation::SlotReuseOnCommit => cfg.slot_reuse_on_commit = true,
+            Ablation::PerMessageAcks => cfg.per_message_acks = true,
+            Ablation::SignalEveryWrite => cfg.qp.signal_interval = 1,
+        }
+        cfg
+    }
+}
+
+/// One ablation measurement: the client-visible point plus cluster-wide
+/// wire efficiency (where the framing and acking choices show up even when
+/// the leader CPU, not the follower, is the bottleneck).
+#[derive(Clone, Debug)]
+pub struct AblationOutcome {
+    /// Client-visible latency/throughput.
+    pub point: Point,
+    /// RDMA packets on the wire per completed message, cluster-wide.
+    pub packets_per_msg: f64,
+    /// Wire bytes (after the 80-byte minimum clamp) per completed message.
+    pub wire_bytes_per_msg: f64,
+}
+
+/// Run one Acuerdo point with an ablated design choice.
+///
+/// `slow_follower` deschedules one follower periodically and shrinks the
+/// rings — the §4.1 scenario where the slot-reuse rule binds (Acuerdo's
+/// reuse-on-accept sails through; Derecho's reuse-on-commit-at-all stalls
+/// the sender behind the slow node).
+pub fn ablation_point(
+    ab: Ablation,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+    slow_follower: bool,
+) -> AblationOutcome {
+    let mut cfg = ab.apply(AcuerdoConfig::stable(n));
+    if slow_follower {
+        // Small rings + pauses longer than the ring's drain time: the
+        // scenario where reuse-on-accept and reuse-on-commit-at-all differ.
+        cfg.ring_bytes = 4 << 10;
+    }
+    let (mut sim, ids, client) =
+        acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+    if slow_follower {
+        sim.set_desched(
+            n - 1,
+            simnet::DeschedProfile {
+                mean_interval: Duration::from_millis(10),
+                min_pause: Duration::from_millis(4),
+                max_pause: Duration::from_millis(6),
+            },
+        );
+    }
+    finish(&mut sim, spec);
+    acuerdo::check_cluster(&sim, &ids).expect("ablated acuerdo correctness");
+    let r = sim.node::<WindowClient<AcWire>>(client).result();
+    let stats = sim.stats();
+    let denom = (r.completed as f64).max(1.0);
+    AblationOutcome {
+        point: Point::from_result(window, &r),
+        packets_per_msg: stats.packets as f64 / denom,
+        wire_bytes_per_msg: stats.wire_bytes as f64 / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_system_produces_a_sane_point() {
+        for s in System::all() {
+            let spec = RunSpec::quick(s);
+            let p = run_broadcast(s, 3, 10, 4, 99, spec);
+            assert!(
+                p.msgs_per_sec > 100.0,
+                "{}: {} msgs/s",
+                s.name(),
+                p.msgs_per_sec
+            );
+            assert!(p.mean_us > 1.0, "{}: {}us", s.name(), p.mean_us);
+        }
+    }
+
+    #[test]
+    fn acuerdo_beats_everyone_on_latency() {
+        let mut lat = Vec::new();
+        for s in System::all() {
+            let p = run_broadcast(s, 3, 10, 1, 7, RunSpec::quick(s));
+            lat.push((s, p.mean_us));
+        }
+        let acuerdo = lat
+            .iter()
+            .find(|(s, _)| *s == System::Acuerdo)
+            .unwrap()
+            .1;
+        for (s, l) in &lat {
+            if *s != System::Acuerdo {
+                assert!(
+                    acuerdo < *l,
+                    "{} ({l:.1}us) beat acuerdo ({acuerdo:.1}us)",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rdma_systems_beat_tcp_systems_by_10x() {
+        let ac = run_broadcast(System::Acuerdo, 3, 10, 1, 7, RunSpec::quick(System::Acuerdo));
+        let zk = run_broadcast(
+            System::Zookeeper,
+            3,
+            10,
+            1,
+            7,
+            RunSpec::quick(System::Zookeeper),
+        );
+        assert!(
+            zk.mean_us > ac.mean_us * 10.0,
+            "zk {} vs acuerdo {}",
+            zk.mean_us,
+            ac.mean_us
+        );
+    }
+
+    #[test]
+    fn sweep_stops_at_saturation() {
+        let pts = sweep(System::Acuerdo, 3, 10, 13, 5, RunSpec::quick(System::Acuerdo));
+        assert!(pts.len() >= 4, "sweep too short: {}", pts.len());
+        let peak = pts.iter().map(|p| p.mbps).fold(0.0, f64::max);
+        let last = pts.last().unwrap();
+        assert!(last.mbps > peak * 0.7, "sweep ended far below saturation");
+    }
+
+    #[test]
+    fn election_experiment_small_cluster_is_sub_ms() {
+        let st = election_experiment(3, 3, 11);
+        assert!(st.count >= 3, "only {} elections measured", st.count);
+        assert!(st.mean_ms < 1.5, "3-node elections took {} ms", st.mean_ms);
+    }
+
+    #[test]
+    fn ycsb_orders_match_figure9() {
+        let spec = RunSpec::quick(System::Acuerdo);
+        let tcp_spec = RunSpec::quick(System::Zookeeper);
+        let ac = ycsb_point(System::Acuerdo, 3, 3, spec);
+        let zk = ycsb_point(System::Zookeeper, 3, 3, tcp_spec);
+        let et = ycsb_point(System::Etcd, 3, 3, tcp_spec);
+        println!("ycsb 3n: acuerdo {ac:.0} zk {zk:.0} etcd {et:.0}");
+        assert!(ac > zk * 4.0, "acuerdo {ac} vs zk {zk}");
+        assert!(zk > et * 2.0, "zk {zk} vs etcd {et}");
+    }
+
+    #[test]
+    fn ablations_hurt_where_the_paper_says() {
+        let spec = RunSpec::quick(System::Acuerdo);
+        // Window 256: deep enough to saturate, shallow enough that the
+        // client's initial burst fits the quick measurement window.
+        let base = ablation_point(Ablation::Baseline, 3, 10, 256, 5, spec, false);
+        let split = ablation_point(Ablation::SplitRing, 3, 10, 256, 5, spec, false);
+        // Two writes per message: throughput drops and the wire carries ~2x
+        // the packets per message.
+        assert!(
+            split.point.msgs_per_sec < base.point.msgs_per_sec * 0.8,
+            "split ring should cut throughput: {} vs {}",
+            split.point.msgs_per_sec,
+            base.point.msgs_per_sec
+        );
+        // Data writes double (3 destinations x 1 -> 2 writes); total wire
+        // packets (data + SST pushes + client traffic) grow ~1.4x.
+        assert!(
+            split.packets_per_msg > base.packets_per_msg * 1.3,
+            "split ring should add ~3 wire packets/msg: {} vs {}",
+            split.packets_per_msg,
+            base.packets_per_msg
+        );
+        // Per-message acks never push fewer SST updates than batched acks
+        // (at this load the busy-poll loop already drains batches of ~1, so
+        // the difference only opens up during catch-up).
+        let per_msg = ablation_point(Ablation::PerMessageAcks, 3, 10, 256, 5, spec, false);
+        assert!(
+            per_msg.packets_per_msg >= base.packets_per_msg * 0.99,
+            "per-message acks cannot save packets: {} vs {}",
+            per_msg.packets_per_msg,
+            base.packets_per_msg
+        );
+        // The Derecho slot-reuse rule binds once a follower is slow and the
+        // ring is small: throughput collapses toward the slow node's pace.
+        let slow_spec = RunSpec {
+            warmup: Duration::from_millis(2),
+            measure: Duration::from_millis(25),
+        };
+        let reuse_base = ablation_point(Ablation::Baseline, 3, 10, 512, 5, slow_spec, true);
+        let reuse_all =
+            ablation_point(Ablation::SlotReuseOnCommit, 3, 10, 512, 5, slow_spec, true);
+        assert!(
+            reuse_all.point.msgs_per_sec < reuse_base.point.msgs_per_sec * 0.75,
+            "commit-at-all slot reuse should stall behind the slow node: {} vs {}",
+            reuse_all.point.msgs_per_sec,
+            reuse_base.point.msgs_per_sec
+        );
+    }
+}

@@ -1,0 +1,778 @@
+//! # raft — the etcd baseline
+//!
+//! A complete Raft implementation (Ongaro & Ousterhout, ATC '14): terms,
+//! randomized election timeouts, RequestVote with the up-to-date-log check,
+//! AppendEntries with the prev-index consistency check and conflict
+//! back-off, quorum commit with the current-term rule, and state-machine
+//! application in log order.
+//!
+//! The cost model reproduces etcd 3.4 as the Acuerdo paper measured it
+//! (§4): every hop crosses the kernel TCP stack, each proposal pays gRPC
+//! marshalling and Raft bookkeeping (`ETCD_ENTRY`), and every appended entry
+//! is fsynced to the WAL on both the leader and follower paths
+//! (`ETCD_FSYNC`). That WAL discipline is what puts etcd near a millisecond
+//! of commit latency in Figure 8 and ~50x below Acuerdo's YCSB throughput in
+//! Figure 9.
+
+use abcast::client::RESP_WIRE;
+use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use bytes::Bytes;
+use rand::Rng;
+use simnet::params::cpu;
+use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Configuration of one Raft group.
+#[derive(Clone, Debug)]
+pub struct RaftConfig {
+    /// Group size.
+    pub n: usize,
+    /// Leader heartbeat (empty AppendEntries) interval.
+    pub heartbeat: Duration,
+    /// Election timeout is drawn uniformly from this range.
+    pub election_timeout: (Duration, Duration),
+    /// Max entries per AppendEntries RPC.
+    pub max_batch: usize,
+    /// Drop client requests beyond this backlog.
+    pub max_backlog: usize,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            n: 3,
+            // etcd defaults are 100 ms heartbeats and a 1 s election
+            // timeout; scaled to a tenth so failover tests stay fast while
+            // keeping the same margin over commit latency.
+            heartbeat: Duration::from_millis(10),
+            election_timeout: (Duration::from_millis(100), Duration::from_millis(200)),
+            max_batch: 64,
+            max_backlog: 1 << 20,
+        }
+    }
+}
+
+/// One replicated log entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Term in which the entry was created.
+    pub term: u32,
+    /// Originating client.
+    pub client: u32,
+    /// Client request id.
+    pub id: u64,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// Wire type of a Raft simulation (all kernel-TCP).
+#[derive(Clone, Debug)]
+pub enum RfWire {
+    /// Client request.
+    Req(ClientReq),
+    /// Client response.
+    Resp(ClientResp),
+    /// Candidate soliciting a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u32,
+        /// Candidate's last log index.
+        last_idx: u64,
+        /// Candidate's last log term.
+        last_term: u32,
+    },
+    /// Vote response.
+    VoteReply {
+        /// Voter's term.
+        term: u32,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Log replication / heartbeat.
+    AppendEntries {
+        /// Leader's term.
+        term: u32,
+        /// Index preceding the shipped entries.
+        prev_idx: u64,
+        /// Term at `prev_idx`.
+        prev_term: u32,
+        /// Entries to append (empty = heartbeat).
+        entries: Vec<Entry>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// AppendEntries response.
+    AppendReply {
+        /// Follower's term.
+        term: u32,
+        /// Whether the append matched.
+        success: bool,
+        /// On success, the follower's new match index; on failure, a back-off
+        /// hint (the follower's last log index).
+        match_idx: u64,
+    },
+}
+
+impl abcast::ClientPort for RfWire {
+    fn request(req: ClientReq) -> Self {
+        RfWire::Req(req)
+    }
+    fn response(&self) -> Option<ClientResp> {
+        match self {
+            RfWire::Resp(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Raft role.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RaftRole {
+    /// Passive replica.
+    Follower,
+    /// Soliciting votes.
+    Candidate,
+    /// The term leader.
+    Leader,
+}
+
+const TOK_ELECTION: u64 = 1;
+const TOK_HEARTBEAT: u64 = 2;
+const DELIVER_COST: Duration = Duration::from_micros(1);
+
+/// One Raft group member.
+pub struct RaftNode {
+    cfg: RaftConfig,
+    me: usize,
+
+    role: RaftRole,
+    term: u32,
+    voted_for: Option<usize>,
+    /// 1-indexed log (index 0 is a sentinel).
+    log: Vec<Entry>,
+    commit_index: u64,
+    last_applied: u64,
+    leader_hint: usize,
+
+    // Leader state.
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    in_flight: Vec<bool>,
+    origin: HashMap<u64, (NodeId, u64)>,
+
+    // Candidate state.
+    votes: usize,
+
+    // Timer staleness.
+    election_gen: u64,
+    last_heard: SimTime,
+
+    /// The replicated application.
+    pub app: Box<dyn App>,
+    /// Messages applied to the application.
+    pub delivered_count: u64,
+    /// Elections won.
+    pub elections_won: u64,
+    /// Requests dropped.
+    pub dropped_requests: u64,
+}
+
+impl RaftNode {
+    /// Build member `me`. With `preset_leader`, node 0 boots as the term-1
+    /// leader (benchmark setup).
+    pub fn new(cfg: RaftConfig, me: usize, preset_leader: bool) -> Self {
+        let n = cfg.n;
+        assert!(me < n);
+        let (role, term) = if preset_leader {
+            (
+                if me == 0 {
+                    RaftRole::Leader
+                } else {
+                    RaftRole::Follower
+                },
+                1,
+            )
+        } else {
+            (RaftRole::Follower, 0)
+        };
+        RaftNode {
+            cfg,
+            me,
+            role,
+            term,
+            voted_for: if preset_leader { Some(0) } else { None },
+            log: Vec::new(),
+            commit_index: 0,
+            last_applied: 0,
+            leader_hint: 0,
+            next_index: vec![1; n],
+            match_index: vec![0; n],
+            in_flight: vec![false; n],
+            origin: HashMap::new(),
+            votes: 0,
+            election_gen: 0,
+            last_heard: SimTime::ZERO,
+            app: Box::<DeliveryLog>::default(),
+            delivered_count: 0,
+            elections_won: 0,
+            dropped_requests: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.n / 2 + 1
+    }
+
+    /// Current role.
+    pub fn role(&self) -> RaftRole {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u32 {
+        self.term
+    }
+
+    /// The delivery log, when the default app is installed.
+    pub fn delivery_log(&self) -> Option<&DeliveryLog> {
+        abcast::app::app_as::<DeliveryLog>(self.app.as_ref())
+    }
+
+    fn last_idx(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn term_at(&self, idx: u64) -> u32 {
+        if idx == 0 {
+            0
+        } else {
+            self.log[idx as usize - 1].term
+        }
+    }
+
+    fn send(&self, ctx: &mut Ctx<RfWire>, dst: NodeId, wire: u32, msg: RfWire) {
+        ctx.use_cpu(cpu::TCP_SEND);
+        ctx.send(dst, DeliveryClass::Cpu, wire, msg);
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut Ctx<RfWire>) {
+        self.election_gen += 1;
+        let (lo, hi) = self.cfg.election_timeout;
+        let span = (hi - lo).as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            ctx.rng().random_range(0..=span)
+        };
+        ctx.set_timer(lo + Duration::from_nanos(jitter), TOK_ELECTION << 32 | self.election_gen);
+    }
+
+    fn step_down(&mut self, ctx: &mut Ctx<RfWire>, term: u32) {
+        self.term = term;
+        self.role = RaftRole::Follower;
+        self.voted_for = None;
+        self.last_heard = ctx.now();
+        self.arm_election_timer(ctx);
+    }
+
+    // ---- client path -------------------------------------------------------
+
+    fn on_request(&mut self, ctx: &mut Ctx<RfWire>, from: NodeId, req: ClientReq) {
+        if self.role != RaftRole::Leader || self.log.len() >= self.cfg.max_backlog {
+            self.dropped_requests += 1;
+            return;
+        }
+        // gRPC + Raft bookkeeping + WAL fsync for the new entry.
+        ctx.use_cpu(cpu::ETCD_ENTRY);
+        ctx.use_cpu(cpu::ETCD_FSYNC);
+        self.log.push(Entry {
+            term: self.term,
+            client: from as u32,
+            id: req.id,
+            payload: req.payload,
+        });
+        let idx = self.last_idx();
+        self.origin.insert(idx, (from, req.id));
+        self.match_index[self.me] = idx;
+        for j in 0..self.cfg.n {
+            if j != self.me {
+                self.replicate(ctx, j);
+            }
+        }
+        self.advance_commit(ctx);
+    }
+
+    fn replicate(&mut self, ctx: &mut Ctx<RfWire>, j: usize) {
+        if self.role != RaftRole::Leader || self.in_flight[j] {
+            return;
+        }
+        if self.next_index[j] > self.last_idx() {
+            return;
+        }
+        let from = self.next_index[j];
+        let to = (from + self.cfg.max_batch as u64 - 1).min(self.last_idx());
+        let entries: Vec<Entry> = self.log[from as usize - 1..to as usize].to_vec();
+        let wire = 64 + entries.iter().map(|e| 24 + e.payload.len() as u32).sum::<u32>();
+        self.in_flight[j] = true;
+        let msg = RfWire::AppendEntries {
+            term: self.term,
+            prev_idx: from - 1,
+            prev_term: self.term_at(from - 1),
+            entries,
+            leader_commit: self.commit_index,
+        };
+        self.send(ctx, j, wire, msg);
+    }
+
+    fn advance_commit(&mut self, ctx: &mut Ctx<RfWire>) {
+        // Largest N replicated on a majority with log[N].term == currentTerm.
+        let mut n = self.last_idx();
+        while n > self.commit_index {
+            let reps = self.match_index.iter().filter(|&&m| m >= n).count();
+            if reps >= self.quorum() && self.term_at(n) == self.term {
+                break;
+            }
+            n -= 1;
+        }
+        if n > self.commit_index {
+            self.commit_index = n;
+            self.apply(ctx);
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<RfWire>) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let idx = self.last_applied;
+            let e = self.log[idx as usize - 1].clone();
+            ctx.use_cpu(DELIVER_COST);
+            let hdr = MsgHdr::new(Epoch::new(e.term, 0), idx as u32);
+            self.app.deliver(hdr, &e.payload);
+            self.delivered_count += 1;
+            if self.role == RaftRole::Leader {
+                if let Some((client, id)) = self.origin.remove(&idx) {
+                    self.send(ctx, client, RESP_WIRE, RfWire::Resp(ClientResp { id }));
+                }
+            }
+        }
+    }
+
+    // ---- elections ----------------------------------------------------------
+
+    fn start_election(&mut self, ctx: &mut Ctx<RfWire>) {
+        self.role = RaftRole::Candidate;
+        self.term += 1;
+        self.voted_for = Some(self.me);
+        self.votes = 1;
+        self.last_heard = ctx.now();
+        self.arm_election_timer(ctx);
+        let (last_idx, last_term) = (self.last_idx(), self.term_at(self.last_idx()));
+        for p in 0..self.cfg.n {
+            if p != self.me {
+                self.send(
+                    ctx,
+                    p,
+                    64,
+                    RfWire::RequestVote {
+                        term: self.term,
+                        last_idx,
+                        last_term,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_request_vote(
+        &mut self,
+        ctx: &mut Ctx<RfWire>,
+        from: NodeId,
+        term: u32,
+        last_idx: u64,
+        last_term: u32,
+    ) {
+        if term > self.term {
+            self.step_down(ctx, term);
+        }
+        let up_to_date = (last_term, last_idx) >= (self.term_at(self.last_idx()), self.last_idx());
+        let grant = term == self.term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if grant {
+            self.voted_for = Some(from);
+            self.last_heard = ctx.now();
+            self.arm_election_timer(ctx);
+        }
+        self.send(
+            ctx,
+            from,
+            48,
+            RfWire::VoteReply {
+                term: self.term,
+                granted: grant,
+            },
+        );
+    }
+
+    fn on_vote_reply(&mut self, ctx: &mut Ctx<RfWire>, term: u32, granted: bool) {
+        if term > self.term {
+            self.step_down(ctx, term);
+            return;
+        }
+        if self.role != RaftRole::Candidate || term != self.term || !granted {
+            return;
+        }
+        self.votes += 1;
+        if self.votes >= self.quorum() {
+            self.become_leader(ctx);
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<RfWire>) {
+        self.role = RaftRole::Leader;
+        self.elections_won += 1;
+        let next = self.last_idx() + 1;
+        for j in 0..self.cfg.n {
+            self.next_index[j] = next;
+            self.match_index[j] = 0;
+            self.in_flight[j] = false;
+        }
+        self.match_index[self.me] = self.last_idx();
+        self.heartbeat(ctx);
+        ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<RfWire>) {
+        for j in 0..self.cfg.n {
+            if j == self.me {
+                continue;
+            }
+            if self.next_index[j] <= self.last_idx() {
+                self.replicate(ctx, j);
+            } else if !self.in_flight[j] {
+                let prev = self.next_index[j] - 1;
+                let msg = RfWire::AppendEntries {
+                    term: self.term,
+                    prev_idx: prev,
+                    prev_term: self.term_at(prev),
+                    entries: Vec::new(),
+                    leader_commit: self.commit_index,
+                };
+                self.send(ctx, j, 64, msg);
+            }
+        }
+    }
+
+    // ---- replication --------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append(
+        &mut self,
+        ctx: &mut Ctx<RfWire>,
+        from: NodeId,
+        term: u32,
+        prev_idx: u64,
+        prev_term: u32,
+        entries: Vec<Entry>,
+        leader_commit: u64,
+    ) {
+        if term > self.term || (term == self.term && self.role == RaftRole::Candidate) {
+            self.step_down(ctx, term);
+        }
+        if term < self.term {
+            self.send(
+                ctx,
+                from,
+                48,
+                RfWire::AppendReply {
+                    term: self.term,
+                    success: false,
+                    match_idx: self.last_idx(),
+                },
+            );
+            return;
+        }
+        self.leader_hint = from;
+        self.last_heard = ctx.now();
+        self.arm_election_timer(ctx);
+        // Consistency check.
+        if prev_idx > self.last_idx() || self.term_at(prev_idx) != prev_term {
+            let hint = self.last_idx().min(prev_idx.saturating_sub(1));
+            self.send(
+                ctx,
+                from,
+                48,
+                RfWire::AppendReply {
+                    term: self.term,
+                    success: false,
+                    match_idx: hint,
+                },
+            );
+            return;
+        }
+        // Append: delete conflicts, append new entries, fsync once per RPC.
+        let appended = entries.len() as u64;
+        if !entries.is_empty() {
+            ctx.use_cpu(cpu::ETCD_FSYNC);
+            let mut idx = prev_idx;
+            for e in entries {
+                idx += 1;
+                if idx <= self.last_idx() {
+                    if self.term_at(idx) != e.term {
+                        self.log.truncate(idx as usize - 1);
+                        self.log.push(e);
+                    }
+                } else {
+                    self.log.push(e);
+                }
+            }
+        }
+        // Only the prefix through the shipped entries is known to match the
+        // leader; any older suffix beyond it is unvalidated.
+        let match_idx = prev_idx + appended;
+        if leader_commit > self.commit_index {
+            self.commit_index = leader_commit.min(match_idx);
+            self.apply(ctx);
+        }
+        self.send(
+            ctx,
+            from,
+            48,
+            RfWire::AppendReply {
+                term: self.term,
+                success: true,
+                match_idx,
+            },
+        );
+    }
+
+    fn on_append_reply(
+        &mut self,
+        ctx: &mut Ctx<RfWire>,
+        from: NodeId,
+        term: u32,
+        success: bool,
+        match_idx: u64,
+    ) {
+        if term > self.term {
+            self.step_down(ctx, term);
+            return;
+        }
+        if self.role != RaftRole::Leader || term != self.term {
+            return;
+        }
+        self.in_flight[from] = false;
+        if success {
+            self.match_index[from] = self.match_index[from].max(match_idx);
+            self.next_index[from] = self.match_index[from] + 1;
+            self.advance_commit(ctx);
+        } else {
+            self.next_index[from] = match_idx.max(self.match_index[from]) + 1;
+        }
+        self.replicate(ctx, from);
+    }
+}
+
+impl Process<RfWire> for RaftNode {
+    fn on_start(&mut self, ctx: &mut Ctx<RfWire>) {
+        self.last_heard = ctx.now();
+        if self.role == RaftRole::Leader {
+            ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
+        } else {
+            self.arm_election_timer(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<RfWire>, from: NodeId, msg: RfWire) {
+        ctx.use_cpu(cpu::TCP_MSG);
+        match msg {
+            RfWire::Req(req) => self.on_request(ctx, from, req),
+            RfWire::RequestVote {
+                term,
+                last_idx,
+                last_term,
+            } => self.on_request_vote(ctx, from, term, last_idx, last_term),
+            RfWire::VoteReply { term, granted } => self.on_vote_reply(ctx, term, granted),
+            RfWire::AppendEntries {
+                term,
+                prev_idx,
+                prev_term,
+                entries,
+                leader_commit,
+            } => self.on_append(ctx, from, term, prev_idx, prev_term, entries, leader_commit),
+            RfWire::AppendReply {
+                term,
+                success,
+                match_idx,
+            } => self.on_append_reply(ctx, from, term, success, match_idx),
+            RfWire::Resp(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<RfWire>, token: u64) {
+        match token >> 32 {
+            0 if token == TOK_HEARTBEAT => {
+                if self.role == RaftRole::Leader {
+                    self.heartbeat(ctx);
+                    ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
+                }
+            }
+            g if g == TOK_ELECTION => {
+                if token & 0xFFFF_FFFF != self.election_gen {
+                    return; // stale timer
+                }
+                if self.role != RaftRole::Leader {
+                    self.start_election(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build a group occupying ids `0..n`.
+pub fn build_cluster(sim: &mut Sim<RfWire>, cfg: &RaftConfig, preset_leader: bool) -> Vec<NodeId> {
+    let mut ids = Vec::with_capacity(cfg.n);
+    for me in 0..cfg.n {
+        let id = sim.add_node(Box::new(RaftNode::new(cfg.clone(), me, preset_leader)));
+        assert_eq!(id, me);
+        ids.push(id);
+    }
+    ids
+}
+
+/// Cluster over the TCP preset plus a window client at node 0.
+pub fn cluster_with_client(
+    seed: u64,
+    cfg: &RaftConfig,
+    window: usize,
+    payload: usize,
+    warmup: Duration,
+) -> (Sim<RfWire>, Vec<NodeId>, NodeId) {
+    let mut sim = Sim::new(seed, NetParams::tcp());
+    let ids = build_cluster(&mut sim, cfg, true);
+    let client = sim.add_node(Box::new(WindowClient::<RfWire>::new(
+        0, window, payload, warmup,
+    )));
+    (sim, ids, client)
+}
+
+/// Check the §2.2 properties across live replicas.
+pub fn check_cluster(sim: &Sim<RfWire>, ids: &[NodeId]) -> Result<(), Violation> {
+    let hs: Vec<_> = ids
+        .iter()
+        .filter(|&&id| !sim.is_crashed(id))
+        .map(|&id| {
+            sim.node::<RaftNode>(id)
+                .delivery_log()
+                .expect("DeliveryLog app")
+                .entries
+                .clone()
+        })
+        .collect();
+    abcast::check_histories(&hs, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_and_totally_orders() {
+        let cfg = RaftConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(31, &cfg, 8, 10, Duration::from_millis(20));
+        sim.run_until(SimTime::from_millis(200));
+        check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<RfWire>>(client).result();
+        assert!(r.completed > 50, "completed {}", r.completed);
+        for &id in &ids {
+            assert!(sim.node::<RaftNode>(id).delivered_count > 0);
+        }
+    }
+
+    #[test]
+    fn latency_reflects_wal_fsync() {
+        let cfg = RaftConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(32, &cfg, 1, 10, Duration::from_millis(20));
+        sim.run_until(SimTime::from_millis(300));
+        check_cluster(&sim, &ids).unwrap();
+        let lat = sim
+            .node::<WindowClient<RfWire>>(client)
+            .result()
+            .latency
+            .mean_us();
+        println!("etcd window-1 latency: {lat:.0} us");
+        // Figure 8a puts etcd near 10^3 us.
+        assert!(lat > 500.0 && lat < 3_000.0, "latency {lat}");
+    }
+
+    #[test]
+    fn startup_election_without_preset_leader() {
+        let cfg = RaftConfig::default();
+        let mut sim: Sim<RfWire> = Sim::new(33, NetParams::tcp());
+        let ids = build_cluster(&mut sim, &cfg, false);
+        sim.run_until(SimTime::from_millis(800));
+        let leaders: Vec<_> = ids
+            .iter()
+            .filter(|&&id| sim.node::<RaftNode>(id).role() == RaftRole::Leader)
+            .collect();
+        assert_eq!(leaders.len(), 1);
+    }
+
+    #[test]
+    fn leader_crash_elects_replacement_and_preserves_log() {
+        let cfg = RaftConfig::default();
+        let (mut sim, ids, client) = cluster_with_client(34, &cfg, 4, 10, Duration::ZERO);
+        sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
+            Some(Duration::from_millis(100));
+        sim.run_until(SimTime::from_millis(50));
+        let before = sim.node::<RaftNode>(1).delivered_count;
+        assert!(before > 0);
+        sim.crash(0);
+        sim.run_until(SimTime::from_millis(800));
+        let new_leader = ids
+            .iter()
+            .find(|&&id| !sim.is_crashed(id) && sim.node::<RaftNode>(id).role() == RaftRole::Leader)
+            .copied()
+            .expect("new leader");
+        sim.node_mut::<WindowClient<RfWire>>(client).targets = vec![new_leader];
+        sim.run_until(SimTime::from_millis(1_500));
+        assert!(sim.node::<RaftNode>(new_leader).delivered_count > before);
+        check_cluster(&sim, &ids).unwrap();
+    }
+
+    #[test]
+    fn split_vote_resolves_via_randomized_timeouts() {
+        // Crash the preset leader immediately: both followers race.
+        let cfg = RaftConfig::default();
+        let (mut sim, ids, _client) = cluster_with_client(35, &cfg, 1, 10, Duration::ZERO);
+        sim.crash(0);
+        sim.run_until(SimTime::from_millis(1_000));
+        let leaders: Vec<_> = ids
+            .iter()
+            .filter(|&&id| !sim.is_crashed(id) && sim.node::<RaftNode>(id).role() == RaftRole::Leader)
+            .collect();
+        assert_eq!(leaders.len(), 1, "randomized timeouts must break ties");
+    }
+
+    #[test]
+    fn five_nodes_tolerate_two_crashes() {
+        let cfg = RaftConfig {
+            n: 5,
+            ..RaftConfig::default()
+        };
+        let (mut sim, ids, client) = cluster_with_client(36, &cfg, 4, 10, Duration::ZERO);
+        sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
+            Some(Duration::from_millis(100));
+        sim.run_until(SimTime::from_millis(40));
+        sim.crash(3);
+        sim.crash(4);
+        sim.run_until(SimTime::from_millis(1_200));
+        let r = sim.node::<WindowClient<RfWire>>(client).result();
+        assert!(r.completed > 50, "3-of-5 quorum must keep committing");
+        check_cluster(&sim, &ids).unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! The effect context handed to [`Process`](crate::Process) handlers.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use std::time::Duration;
+
+/// How a message is handed to its destination.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// One-sided RDMA semantics: the payload is handed to the destination's
+    /// handler at the instant it clears the destination NIC, even if the
+    /// destination process is busy or descheduled — the NIC DMAs into
+    /// registered memory without waking the CPU. Handlers for `Dma`
+    /// deliveries must only deposit state (e.g. apply bytes into a memory
+    /// region) and must not charge CPU.
+    Dma,
+    /// Kernel message semantics (TCP baselines): delivery waits until the
+    /// destination process is neither busy nor descheduled, and the handler
+    /// is expected to charge per-message CPU.
+    Cpu,
+}
+
+pub(crate) enum Effect<M> {
+    Send {
+        dst: NodeId,
+        class: DeliveryClass,
+        wire_bytes: u32,
+        /// CPU accrued in this handler at the moment of the send; the packet
+        /// is posted at `dispatch_time + at_cpu`.
+        at_cpu: Duration,
+        msg: M,
+    },
+    Timer {
+        /// Delay from `dispatch_time + at_cpu`.
+        delay: Duration,
+        at_cpu: Duration,
+        token: u64,
+    },
+}
+
+/// Handler context: the only channel through which a [`Process`](crate::Process)
+/// may affect the world.
+///
+/// All effects are buffered and applied by the engine after the handler
+/// returns, which keeps protocol state machines pure and deterministic.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    cpu: Duration,
+    cpu_scale: f64,
+    rng: &'a mut SmallRng,
+    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) halt: bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(now: SimTime, self_id: NodeId, cpu_scale: f64, rng: &'a mut SmallRng) -> Self {
+        Ctx {
+            now,
+            self_id,
+            cpu: Duration::ZERO,
+            cpu_scale,
+            rng,
+            effects: Vec::new(),
+            halt: false,
+        }
+    }
+
+    /// The virtual instant at which this handler was dispatched.
+    ///
+    /// CPU charged so far in this handler is *not* included; use
+    /// [`Ctx::now_cpu`] for the node's instantaneous clock.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Dispatch time plus CPU charged so far: "what time is it for this CPU".
+    #[inline]
+    pub fn now_cpu(&self) -> SimTime {
+        self.now + self.cpu
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Charge `d` of CPU time to this node. Subsequent effects are
+    /// timestamped after the charge; CPU-class deliveries and timers for this
+    /// node are deferred while it is busy.
+    #[inline]
+    pub fn use_cpu(&mut self, d: Duration) {
+        self.cpu += Duration::from_nanos((d.as_nanos() as f64 * self.cpu_scale) as u64);
+    }
+
+    /// Total CPU charged so far in this handler invocation.
+    #[inline]
+    pub fn cpu_used(&self) -> Duration {
+        self.cpu
+    }
+
+    /// Send `msg` to `dst`. `wire_bytes` is the logical size on the wire
+    /// (clamped up to the NIC minimum by the network model).
+    pub fn send(&mut self, dst: NodeId, class: DeliveryClass, wire_bytes: u32, msg: M) {
+        self.effects.push(Effect::Send {
+            dst,
+            class,
+            wire_bytes,
+            at_cpu: self.cpu,
+            msg,
+        });
+    }
+
+    /// Arrange for `on_timer(token)` to run `delay` from now (plus any CPU
+    /// already charged). Timers are one-shot; re-arm from the handler for
+    /// periodic behaviour. There is no cancellation — protocols ignore stale
+    /// tokens via generation counters.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.effects.push(Effect::Timer {
+            delay,
+            at_cpu: self.cpu,
+            token,
+        });
+    }
+
+    /// Stop the whole simulation after this handler returns (used by harness
+    /// clients once they have collected enough samples).
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Deterministic per-simulation randomness.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cpu_accrues_and_scales() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::from_micros(10), 3, 2.0, &mut rng);
+        assert_eq!(ctx.id(), 3);
+        assert_eq!(ctx.now(), SimTime::from_micros(10));
+        ctx.use_cpu(Duration::from_nanos(100));
+        assert_eq!(ctx.cpu_used(), Duration::from_nanos(200));
+        assert_eq!(ctx.now_cpu(), SimTime::from_nanos(10_200));
+    }
+
+    #[test]
+    fn effects_capture_cpu_offset() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx: Ctx<'_, u32> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng);
+        ctx.send(1, DeliveryClass::Dma, 64, 42);
+        ctx.use_cpu(Duration::from_nanos(500));
+        ctx.send(1, DeliveryClass::Dma, 64, 43);
+        match (&ctx.effects[0], &ctx.effects[1]) {
+            (
+                Effect::Send { at_cpu: a, msg: 42, .. },
+                Effect::Send { at_cpu: b, msg: 43, .. },
+            ) => {
+                assert_eq!(*a, Duration::ZERO);
+                assert_eq!(*b, Duration::from_nanos(500));
+            }
+            _ => panic!("unexpected effects"),
+        }
+    }
+
+    #[test]
+    fn halt_flag() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng);
+        assert!(!ctx.halt);
+        ctx.halt();
+        assert!(ctx.halt);
+    }
+}

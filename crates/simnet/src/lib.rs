@@ -1,0 +1,45 @@
+//! # simnet — deterministic discrete-event network simulator
+//!
+//! This crate is the substrate substitution for the CloudLab RDMA testbed used
+//! by the Acuerdo paper (ICPP '22). It provides:
+//!
+//! * a **virtual clock** with nanosecond resolution and a stable event queue
+//!   (ties broken by insertion order, so runs are fully deterministic);
+//! * **per-node CPU accounting**: handlers charge [`Ctx::use_cpu`], and further
+//!   CPU-class events for a busy node are deferred until the node frees up;
+//! * a **NIC/link model**: per-node egress and ingress serialization at line
+//!   rate, per-link propagation latency plus bounded uniform jitter, a minimum
+//!   wire size (RDMA messages are never smaller than 80 bytes on the wire),
+//!   and forced per-(src, dst) FIFO delivery — the reliable-connection
+//!   property Acuerdo leans on;
+//! * two **delivery classes**: [`DeliveryClass::Dma`] messages are handed to
+//!   the destination at delivery time even if its process is busy or
+//!   descheduled (this is how one-sided RDMA writes land in registered memory
+//!   without waking the remote CPU), while [`DeliveryClass::Cpu`] messages
+//!   queue behind the destination's busy time (kernel TCP);
+//! * **fault injection**: crash, pause (the election experiment puts a leader
+//!   to sleep for five seconds), descheduling profiles for "long-latency"
+//!   nodes, and per-link extra latency for transient network hiccups.
+//!
+//! Protocol nodes are sans-IO state machines implementing [`Process`]; all
+//! effects flow through [`Ctx`], so protocol logic contains no wall-clock
+//! time, no real I/O, and no hidden nondeterminism.
+
+mod ctx;
+mod engine;
+mod net;
+pub mod params;
+pub mod threaded;
+mod time;
+
+pub use ctx::{Ctx, DeliveryClass};
+pub use engine::{DeschedProfile, EngineStats, Process, Sim};
+pub use net::{LinkParams, NicParams};
+pub use params::NetParams;
+pub use threaded::ThreadedRunner;
+pub use time::SimTime;
+
+/// Identifier of a node (process) inside one simulation.
+///
+/// Node ids are dense indices assigned by [`Sim::add_node`] in spawn order.
+pub type NodeId = usize;

@@ -1,0 +1,180 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is totally ordered and supports arithmetic with
+/// [`std::time::Duration`]; durations larger than `u64::MAX` nanoseconds
+/// saturate (a simulation never runs that long).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start, as a float (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Milliseconds since start, as a float (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds since start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Elapsed duration since `earlier`, or zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+#[inline]
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(dur_ns(rhs)))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self >= rhs, "SimTime subtraction underflow");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_micros(5) + Duration::from_nanos(250);
+        assert_eq!(t.as_nanos(), 5_250);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let t = SimTime::MAX + Duration::from_secs(10);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn subtraction_gives_duration() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a - b, Duration::from_micros(6));
+    }
+
+    #[test]
+    fn saturating_since_is_zero_backwards() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(b.saturating_since(a), Duration::ZERO);
+        assert_eq!(a.saturating_since(b), Duration::from_micros(6));
+    }
+
+    #[test]
+    fn float_views() {
+        let t = SimTime::from_nanos(1_500);
+        assert!((t.as_micros_f64() - 1.5).abs() < 1e-9);
+        let t = SimTime::from_millis(2);
+        assert!((t.as_secs_f64() - 0.002).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(
+            SimTime::from_micros(1).max(SimTime::from_micros(2)),
+            SimTime::from_micros(2)
+        );
+    }
+}

@@ -1,0 +1,721 @@
+//! # zab — the ZooKeeper baseline
+//!
+//! A Zab implementation (Junqueira et al., DSN '11) over simulated kernel
+//! TCP, modeling the ZooKeeper deployment the Acuerdo paper benchmarks
+//! (§4, ZooKeeper 3.4.14 with in-memory storage). Performance-relevant
+//! properties:
+//!
+//! * leader-based broadcast over FIFO TCP links with a **per-message
+//!   acknowledgment** from every follower (contrast: Acuerdo's cumulative
+//!   last-write-wins SST ack);
+//! * ZooKeeper's request pipeline charges tens of microseconds of CPU per
+//!   proposal (`ZK_ENTRY`), and every hop crosses the kernel;
+//! * a ZooKeeper-style fast leader election: nodes gossip votes for the
+//!   highest `(last zxid, id)` candidate, and the winner synchronises
+//!   followers by shipping its log (`NewLeader`) before the new epoch opens —
+//!   the post-election state transfer Acuerdo's up-to-date election avoids
+//!   (§3.3, §5).
+//!
+//! Zxids are `(epoch, counter)` pairs; commits are cumulative ("commit
+//! everything up to zxid").
+
+use abcast::client::RESP_WIRE;
+use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use bytes::Bytes;
+use simnet::params::cpu;
+use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// A ZooKeeper transaction id: `(epoch, counter)`, totally ordered.
+pub type Zxid = (u32, u32);
+
+/// Configuration of one Zab ensemble.
+#[derive(Clone, Debug)]
+pub struct ZabConfig {
+    /// Ensemble size.
+    pub n: usize,
+    /// Leader heartbeat interval.
+    pub hb_interval: Duration,
+    /// Follower suspects the leader after this much silence.
+    pub fail_timeout: Duration,
+    /// Looking nodes rebroadcast votes at this interval.
+    pub election_tick: Duration,
+    /// Restart a stuck election after this long without progress.
+    pub election_patience: Duration,
+    /// Drop client requests beyond this backlog.
+    pub max_backlog: usize,
+}
+
+impl Default for ZabConfig {
+    fn default() -> Self {
+        ZabConfig {
+            n: 3,
+            hb_interval: Duration::from_micros(500),
+            fail_timeout: Duration::from_millis(3),
+            election_tick: Duration::from_micros(200),
+            election_patience: Duration::from_millis(2),
+            max_backlog: 1 << 20,
+        }
+    }
+}
+
+/// Wire type of a Zab simulation (all kernel-TCP).
+#[derive(Clone, Debug)]
+pub enum ZkWire {
+    /// Client request.
+    Req(ClientReq),
+    /// Client response.
+    Resp(ClientResp),
+    /// Leader → follower proposal.
+    Propose {
+        /// Transaction id.
+        zxid: Zxid,
+        /// Originating client.
+        client: u32,
+        /// Request id.
+        id: u64,
+        /// Payload.
+        value: Bytes,
+    },
+    /// Follower → leader acknowledgment (one per proposal).
+    Ack {
+        /// Acknowledged transaction.
+        zxid: Zxid,
+    },
+    /// Cumulative commit: everything `<= zxid` is committed.
+    Commit {
+        /// Watermark.
+        zxid: Zxid,
+    },
+    /// Leader heartbeat.
+    Ping {
+        /// Leader's epoch.
+        epoch: u32,
+    },
+    /// Fast-leader-election gossip.
+    Vote {
+        /// Proposed leader.
+        candidate: u32,
+        /// Candidate's last zxid (the election criterion).
+        cand_zxid: Zxid,
+    },
+    /// New leader synchronising followers with its log.
+    NewLeader {
+        /// The new epoch.
+        epoch: u32,
+        /// Full log snapshot `(zxid, client, id, value)` (the state transfer
+        /// Acuerdo avoids).
+        log: Vec<(Zxid, u32, u64, Bytes)>,
+        /// Commit watermark at the new leader.
+        committed: Zxid,
+    },
+    /// Follower acknowledges the new epoch.
+    AckNewLeader {
+        /// Echoed epoch.
+        epoch: u32,
+    },
+}
+
+impl abcast::ClientPort for ZkWire {
+    fn request(req: ClientReq) -> Self {
+        ZkWire::Req(req)
+    }
+    fn response(&self) -> Option<ClientResp> {
+        match self {
+            ZkWire::Resp(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Role of a Zab node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ZabRole {
+    /// Electing.
+    Looking,
+    /// The epoch leader.
+    Leading,
+    /// Following the epoch leader.
+    Following,
+}
+
+const TOK_TICK: u64 = 1;
+const DELIVER_COST: Duration = Duration::from_micros(1);
+
+/// One Zab ensemble member.
+pub struct ZabNode {
+    cfg: ZabConfig,
+    me: usize,
+
+    role: ZabRole,
+    epoch: u32,
+    leader: usize,
+    /// `(zxid → (client, id, value))`, ordered.
+    log: BTreeMap<Zxid, (u32, u64, Bytes)>,
+    counter: u32,
+    committed: Zxid,
+    delivered: Zxid,
+
+    // Leader bookkeeping.
+    acks: HashMap<Zxid, usize>,
+    origin: HashMap<Zxid, (NodeId, u64)>,
+    epoch_acks: usize,
+    epoch_ready: bool,
+
+    // Election.
+    my_vote: (Zxid, u32),
+    tally: HashMap<usize, (Zxid, u32)>,
+    looking_since: SimTime,
+
+    // Failure detection.
+    last_leader_seen: SimTime,
+
+    /// The replicated application.
+    pub app: Box<dyn App>,
+    /// Messages delivered to the application.
+    pub delivered_count: u64,
+    /// Elections won by this node.
+    pub elections_won: u64,
+    /// Requests dropped.
+    pub dropped_requests: u64,
+}
+
+impl ZabNode {
+    /// Build member `me`. The ensemble boots with node 0 leading epoch 1
+    /// when `preset_leader`, else everyone starts Looking.
+    pub fn new(cfg: ZabConfig, me: usize, preset_leader: bool) -> Self {
+        let n = cfg.n;
+        assert!(me < n);
+        let (role, epoch, leader) = if preset_leader {
+            (
+                if me == 0 {
+                    ZabRole::Leading
+                } else {
+                    ZabRole::Following
+                },
+                1,
+                0,
+            )
+        } else {
+            (ZabRole::Looking, 0, 0)
+        };
+        ZabNode {
+            cfg,
+            me,
+            role,
+            epoch,
+            leader,
+            log: BTreeMap::new(),
+            counter: 0,
+            committed: (0, 0),
+            delivered: (0, 0),
+            acks: HashMap::new(),
+            origin: HashMap::new(),
+            epoch_acks: 0,
+            epoch_ready: preset_leader,
+            my_vote: ((0, 0), me as u32),
+            tally: HashMap::new(),
+            looking_since: SimTime::ZERO,
+            last_leader_seen: SimTime::ZERO,
+            app: Box::<DeliveryLog>::default(),
+            delivered_count: 0,
+            elections_won: 0,
+            dropped_requests: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.n / 2 + 1
+    }
+
+    /// Current role.
+    pub fn role(&self) -> ZabRole {
+        self.role
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The delivery log, when the default app is installed.
+    pub fn delivery_log(&self) -> Option<&DeliveryLog> {
+        abcast::app::app_as::<DeliveryLog>(self.app.as_ref())
+    }
+
+    fn last_zxid(&self) -> Zxid {
+        self.log.keys().next_back().copied().unwrap_or((0, 0))
+    }
+
+    fn send(&self, ctx: &mut Ctx<ZkWire>, dst: NodeId, wire: u32, msg: ZkWire) {
+        ctx.use_cpu(cpu::TCP_SEND);
+        ctx.send(dst, DeliveryClass::Cpu, wire, msg);
+    }
+
+    // ---- broadcast ------------------------------------------------------------
+
+    fn on_request(&mut self, ctx: &mut Ctx<ZkWire>, from: NodeId, req: ClientReq) {
+        if self.role != ZabRole::Leading || !self.epoch_ready {
+            self.dropped_requests += 1;
+            return;
+        }
+        if self.log.len() >= self.cfg.max_backlog {
+            self.dropped_requests += 1;
+            return;
+        }
+        // ZooKeeper's request pipeline (serialization, txn processing).
+        ctx.use_cpu(cpu::ZK_ENTRY);
+        self.counter += 1;
+        let zxid = (self.epoch, self.counter);
+        self.log
+            .insert(zxid, (from as u32, req.id, req.payload.clone()));
+        self.origin.insert(zxid, (from, req.id));
+        self.acks.insert(zxid, 1); // self
+        let wire = req.payload.len() as u32 + 48;
+        for f in 0..self.cfg.n {
+            if f != self.me {
+                self.send(
+                    ctx,
+                    f,
+                    wire,
+                    ZkWire::Propose {
+                        zxid,
+                        client: from as u32,
+                        id: req.id,
+                        value: req.payload.clone(),
+                    },
+                );
+            }
+        }
+        self.maybe_commit(ctx, zxid);
+    }
+
+    fn on_propose(
+        &mut self,
+        ctx: &mut Ctx<ZkWire>,
+        from: NodeId,
+        zxid: Zxid,
+        client: u32,
+        id: u64,
+        value: Bytes,
+    ) {
+        if self.role != ZabRole::Following || zxid.0 != self.epoch || from != self.leader {
+            return;
+        }
+        self.last_leader_seen = ctx.now();
+        self.log.insert(zxid, (client, id, value));
+        // Per-message acknowledgment — the cost Acuerdo's SST design avoids.
+        self.send(ctx, from, 48, ZkWire::Ack { zxid });
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<ZkWire>, zxid: Zxid) {
+        if self.role != ZabRole::Leading {
+            return;
+        }
+        if let Some(c) = self.acks.get_mut(&zxid) {
+            *c += 1;
+        }
+        self.maybe_commit(ctx, zxid);
+    }
+
+    fn maybe_commit(&mut self, ctx: &mut Ctx<ZkWire>, _hint: Zxid) {
+        // Advance the cumulative commit watermark over the acked prefix.
+        let quorum = self.quorum();
+        let mut new_committed = self.committed;
+        for (&z, _) in self.log.range((
+            std::ops::Bound::Excluded(self.committed),
+            std::ops::Bound::Unbounded,
+        )) {
+            if self.acks.get(&z).copied().unwrap_or(0) >= quorum {
+                new_committed = z;
+            } else {
+                break;
+            }
+        }
+        if new_committed > self.committed {
+            self.committed = new_committed;
+            for f in 0..self.cfg.n {
+                if f != self.me {
+                    self.send(ctx, f, 48, ZkWire::Commit { zxid: new_committed });
+                }
+            }
+            self.deliver_upto(ctx, new_committed);
+        }
+    }
+
+    fn on_commit(&mut self, ctx: &mut Ctx<ZkWire>, from: NodeId, zxid: Zxid) {
+        if self.role != ZabRole::Following || from != self.leader {
+            return;
+        }
+        self.last_leader_seen = ctx.now();
+        self.committed = self.committed.max(zxid);
+        self.deliver_upto(ctx, zxid);
+    }
+
+    fn deliver_upto(&mut self, ctx: &mut Ctx<ZkWire>, upto: Zxid) {
+        let pending: Vec<(Zxid, (u32, u64, Bytes))> = self
+            .log
+            .range((
+                std::ops::Bound::Excluded(self.delivered),
+                std::ops::Bound::Included(upto),
+            ))
+            .map(|(z, v)| (*z, v.clone()))
+            .collect();
+        for (z, (client, id, value)) in pending {
+            ctx.use_cpu(DELIVER_COST);
+            let hdr = MsgHdr::new(Epoch::new(z.0, self.leader_of_epoch(z.0)), z.1);
+            self.app.deliver(hdr, &value);
+            self.delivered_count += 1;
+            self.delivered = z;
+            if self.role == ZabRole::Leading && self.origin.remove(&z).is_some() {
+                self.send(
+                    ctx,
+                    client as NodeId,
+                    RESP_WIRE,
+                    ZkWire::Resp(ClientResp { id }),
+                );
+            }
+        }
+    }
+
+    fn leader_of_epoch(&self, e: u32) -> u32 {
+        // For header synthesis only: the current epoch's leader, or 0 for
+        // historical epochs (the zxid alone already identifies the entry).
+        if e == self.epoch {
+            self.leader as u32
+        } else {
+            0
+        }
+    }
+
+    // ---- election ----------------------------------------------------------------
+
+    fn go_looking(&mut self, ctx: &mut Ctx<ZkWire>) {
+        self.role = ZabRole::Looking;
+        self.epoch_ready = false;
+        self.tally.clear();
+        self.my_vote = (self.last_zxid(), self.me as u32);
+        self.looking_since = ctx.now();
+        self.tally.insert(self.me, self.my_vote);
+        self.broadcast_vote(ctx);
+    }
+
+    fn broadcast_vote(&mut self, ctx: &mut Ctx<ZkWire>) {
+        let (cand_zxid, candidate) = self.my_vote;
+        for p in 0..self.cfg.n {
+            if p != self.me {
+                self.send(
+                    ctx,
+                    p,
+                    64,
+                    ZkWire::Vote {
+                        candidate,
+                        cand_zxid,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_vote(&mut self, ctx: &mut Ctx<ZkWire>, from: NodeId, candidate: u32, cand_zxid: Zxid) {
+        if self.role != ZabRole::Looking {
+            // A stable node reminds the lost sheep who leads.
+            if self.role == ZabRole::Leading {
+                self.send_new_leader(ctx, from);
+            }
+            return;
+        }
+        self.tally.insert(from, (cand_zxid, candidate));
+        if (cand_zxid, candidate) > self.my_vote {
+            self.my_vote = (cand_zxid, candidate);
+            self.tally.insert(self.me, self.my_vote);
+            self.broadcast_vote(ctx);
+        }
+        // Quorum of identical votes for me → lead.
+        let votes_for_me = self
+            .tally
+            .values()
+            .filter(|(_, c)| *c as usize == self.me)
+            .count();
+        if self.my_vote.1 as usize == self.me && votes_for_me >= self.quorum() {
+            self.become_leader(ctx);
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<ZkWire>) {
+        self.role = ZabRole::Leading;
+        self.leader = self.me;
+        self.epoch = self.max_known_epoch() + 1;
+        self.counter = 0;
+        self.epoch_acks = 1;
+        self.epoch_ready = false;
+        self.elections_won += 1;
+        self.acks.clear();
+        for p in 0..self.cfg.n {
+            if p != self.me {
+                self.send_new_leader(ctx, p);
+            }
+        }
+    }
+
+    fn max_known_epoch(&self) -> u32 {
+        self.epoch.max(self.last_zxid().0)
+    }
+
+    fn send_new_leader(&mut self, ctx: &mut Ctx<ZkWire>, dst: NodeId) {
+        // The state transfer Acuerdo's election avoids: ship the whole log.
+        let log: Vec<(Zxid, u32, u64, Bytes)> = self
+            .log
+            .iter()
+            .map(|(z, (c, i, v))| (*z, *c, *i, v.clone()))
+            .collect();
+        let wire = 64 + log.iter().map(|e| 24 + e.3.len()).sum::<usize>();
+        ctx.use_cpu(cpu::ZK_ENTRY);
+        self.send(
+            ctx,
+            dst,
+            wire as u32,
+            ZkWire::NewLeader {
+                epoch: self.epoch,
+                log,
+                committed: self.committed,
+            },
+        );
+    }
+
+    fn on_new_leader(
+        &mut self,
+        ctx: &mut Ctx<ZkWire>,
+        from: NodeId,
+        epoch: u32,
+        log: Vec<(Zxid, u32, u64, Bytes)>,
+        committed: Zxid,
+    ) {
+        if epoch <= self.epoch && !(epoch == self.epoch && from == self.leader) {
+            return;
+        }
+        self.epoch = epoch;
+        self.leader = from;
+        self.role = ZabRole::Following;
+        self.last_leader_seen = ctx.now();
+        // Adopt the leader's history wholesale (truncate-and-copy sync).
+        self.log = log
+            .into_iter()
+            .map(|(z, c, i, v)| (z, (c, i, v)))
+            .collect();
+        self.send(ctx, from, 48, ZkWire::AckNewLeader { epoch });
+        self.committed = self.committed.max(committed);
+        let upto = self.committed;
+        self.deliver_upto(ctx, upto);
+    }
+
+    fn on_ack_new_leader(&mut self, ctx: &mut Ctx<ZkWire>, epoch: u32) {
+        if self.role == ZabRole::Leading && epoch == self.epoch {
+            self.epoch_acks += 1;
+            if self.epoch_acks >= self.quorum() && !self.epoch_ready {
+                self.epoch_ready = true;
+                // A quorum persisted the synced log: the whole history we
+                // shipped in NewLeader is now committed (Zab's UPTODATE).
+                let upto = self.last_zxid();
+                if upto > self.committed {
+                    self.committed = upto;
+                    for f in 0..self.cfg.n {
+                        if f != self.me {
+                            self.send(ctx, f, 48, ZkWire::Commit { zxid: upto });
+                        }
+                    }
+                }
+                self.deliver_upto(ctx, upto);
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<ZkWire>) {
+        match self.role {
+            ZabRole::Leading => {
+                for p in 0..self.cfg.n {
+                    if p != self.me {
+                        self.send(ctx, p, 48, ZkWire::Ping { epoch: self.epoch });
+                    }
+                }
+            }
+            ZabRole::Following => {
+                if ctx.now().saturating_since(self.last_leader_seen) > self.cfg.fail_timeout {
+                    self.go_looking(ctx);
+                }
+            }
+            ZabRole::Looking => {
+                if ctx.now().saturating_since(self.looking_since) > self.cfg.election_patience {
+                    // Restart the round (e.g. the candidate died mid-election).
+                    self.go_looking(ctx);
+                } else {
+                    self.broadcast_vote(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Process<ZkWire> for ZabNode {
+    fn on_start(&mut self, ctx: &mut Ctx<ZkWire>) {
+        self.last_leader_seen = ctx.now();
+        if self.role == ZabRole::Looking {
+            self.go_looking(ctx);
+        }
+        ctx.set_timer(self.cfg.hb_interval, TOK_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<ZkWire>, from: NodeId, msg: ZkWire) {
+        ctx.use_cpu(cpu::TCP_MSG);
+        match msg {
+            ZkWire::Req(req) => self.on_request(ctx, from, req),
+            ZkWire::Propose {
+                zxid,
+                client,
+                id,
+                value,
+            } => self.on_propose(ctx, from, zxid, client, id, value),
+            ZkWire::Ack { zxid } => self.on_ack(ctx, zxid),
+            ZkWire::Commit { zxid } => self.on_commit(ctx, from, zxid),
+            ZkWire::Ping { epoch } => {
+                if self.role == ZabRole::Following && epoch == self.epoch && from == self.leader {
+                    self.last_leader_seen = ctx.now();
+                }
+            }
+            ZkWire::Vote {
+                candidate,
+                cand_zxid,
+            } => self.on_vote(ctx, from, candidate, cand_zxid),
+            ZkWire::NewLeader {
+                epoch,
+                log,
+                committed,
+            } => self.on_new_leader(ctx, from, epoch, log, committed),
+            ZkWire::AckNewLeader { epoch } => self.on_ack_new_leader(ctx, epoch),
+            ZkWire::Resp(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<ZkWire>, _token: u64) {
+        self.tick(ctx);
+        ctx.set_timer(self.cfg.hb_interval, TOK_TICK);
+    }
+}
+
+/// Build an ensemble occupying ids `0..n`. `preset_leader` boots node 0 as
+/// the epoch-1 leader (benchmark setup); otherwise a startup election runs.
+pub fn build_cluster(sim: &mut Sim<ZkWire>, cfg: &ZabConfig, preset_leader: bool) -> Vec<NodeId> {
+    let mut ids = Vec::with_capacity(cfg.n);
+    for me in 0..cfg.n {
+        let id = sim.add_node(Box::new(ZabNode::new(cfg.clone(), me, preset_leader)));
+        assert_eq!(id, me);
+        ids.push(id);
+    }
+    ids
+}
+
+/// Cluster over the TCP preset plus a window client at node 0.
+pub fn cluster_with_client(
+    seed: u64,
+    cfg: &ZabConfig,
+    window: usize,
+    payload: usize,
+    warmup: Duration,
+) -> (Sim<ZkWire>, Vec<NodeId>, NodeId) {
+    let mut sim = Sim::new(seed, NetParams::tcp());
+    let ids = build_cluster(&mut sim, cfg, true);
+    let client = sim.add_node(Box::new(WindowClient::<ZkWire>::new(
+        0, window, payload, warmup,
+    )));
+    (sim, ids, client)
+}
+
+/// Check the §2.2 properties across live replicas.
+pub fn check_cluster(sim: &Sim<ZkWire>, ids: &[NodeId]) -> Result<(), Violation> {
+    let hs: Vec<_> = ids
+        .iter()
+        .filter(|&&id| !sim.is_crashed(id))
+        .map(|&id| {
+            sim.node::<ZabNode>(id)
+                .delivery_log()
+                .expect("DeliveryLog app")
+                .entries
+                .clone()
+        })
+        .collect();
+    abcast::check_histories(&hs, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_and_totally_orders() {
+        let cfg = ZabConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(23, &cfg, 8, 10, Duration::from_millis(5));
+        sim.run_until(SimTime::from_millis(60));
+        check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<ZkWire>>(client).result();
+        assert!(r.completed > 100, "completed {}", r.completed);
+        for &id in &ids {
+            assert!(sim.node::<ZabNode>(id).delivered_count > 0);
+        }
+    }
+
+    #[test]
+    fn latency_reflects_kernel_stack_and_pipeline() {
+        let cfg = ZabConfig::default();
+        let (mut sim, ids, client) =
+            cluster_with_client(24, &cfg, 1, 10, Duration::from_millis(5));
+        sim.run_until(SimTime::from_millis(60));
+        check_cluster(&sim, &ids).unwrap();
+        let lat = sim
+            .node::<WindowClient<ZkWire>>(client)
+            .result()
+            .latency
+            .mean_us();
+        println!("zookeeper window-1 latency: {lat:.1} us");
+        // Figure 8a: ZooKeeper sits in the 10^2..10^3 us band.
+        assert!(lat > 120.0 && lat < 1_000.0, "latency {lat}");
+    }
+
+    #[test]
+    fn startup_election_converges() {
+        let cfg = ZabConfig::default();
+        let mut sim: Sim<ZkWire> = Sim::new(25, NetParams::tcp());
+        let ids = build_cluster(&mut sim, &cfg, false);
+        sim.run_until(SimTime::from_millis(50));
+        let leaders: Vec<_> = ids
+            .iter()
+            .filter(|&&id| sim.node::<ZabNode>(id).role() == ZabRole::Leading)
+            .collect();
+        assert_eq!(leaders.len(), 1, "expected one leader: {leaders:?}");
+        check_cluster(&sim, &ids).unwrap();
+    }
+
+    #[test]
+    fn leader_crash_elects_replacement_and_preserves_commits() {
+        let cfg = ZabConfig::default();
+        let (mut sim, ids, client) = cluster_with_client(26, &cfg, 8, 10, Duration::ZERO);
+        sim.node_mut::<WindowClient<ZkWire>>(client).retransmit =
+            Some(Duration::from_millis(20));
+        sim.run_until(SimTime::from_millis(20));
+        let committed_before = sim.node::<ZabNode>(1).delivered_count;
+        assert!(committed_before > 0);
+        sim.crash(0);
+        sim.run_until(SimTime::from_millis(60));
+        let new_leader = ids
+            .iter()
+            .find(|&&id| !sim.is_crashed(id) && sim.node::<ZabNode>(id).role() == ZabRole::Leading)
+            .copied()
+            .expect("new leader");
+        sim.node_mut::<WindowClient<ZkWire>>(client).targets = vec![new_leader];
+        sim.run_until(SimTime::from_millis(120));
+        let after = sim.node::<ZabNode>(new_leader).delivered_count;
+        assert!(after > committed_before, "no post-failover progress");
+        check_cluster(&sim, &ids).unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! # acuerdo-repro
+//!
+//! Top-level facade crate for the reproduction of *Acuerdo: Fast Atomic
+//! Broadcast over RDMA* (Izraelevitz et al., ICPP '22). It re-exports every
+//! subsystem so the examples and integration tests can use one import path.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison.
+
+pub use abcast;
+pub use acuerdo;
+pub use apus;
+pub use dare;
+pub use derecho;
+pub use kvstore;
+pub use paxos;
+pub use raft;
+pub use rdma_prims;
+pub use rdma_sim;
+pub use simnet;
+pub use zab;

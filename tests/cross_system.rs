@@ -1,0 +1,186 @@
+//! Cross-system integration: every protocol in the evaluation commits,
+//! totally orders, and sits where the paper's Figure 8 puts it relative to
+//! the others.
+
+use acuerdo_repro::abcast::WindowClient;
+use acuerdo_repro::simnet::SimTime;
+use std::time::Duration;
+
+struct Measured {
+    name: &'static str,
+    mean_us: f64,
+    msgs_per_sec: f64,
+}
+
+fn measure_all(seed: u64, window: usize) -> Vec<Measured> {
+    let mut out = Vec::new();
+    let rdma_warm = Duration::from_millis(1);
+    let rdma_end = SimTime::from_millis(8);
+    let tcp_warm = Duration::from_millis(10);
+    let tcp_end = SimTime::from_millis(80);
+
+    {
+        use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
+        let (mut sim, ids, c) =
+            acuerdo::cluster_with_client(seed, &AcuerdoConfig::stable(3), window, 10, rdma_warm);
+        sim.run_until(rdma_end);
+        acuerdo::check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<AcWire>>(c).result();
+        out.push(Measured {
+            name: "acuerdo",
+            mean_us: r.latency.mean_us(),
+            msgs_per_sec: r.msgs_per_sec(),
+        });
+    }
+    {
+        use acuerdo_repro::derecho::{self, DcWire, DerechoConfig, Mode};
+        for (name, mode) in [("derecho-leader", Mode::Leader), ("derecho-all", Mode::AllSender)] {
+            let cfg = DerechoConfig {
+                n: 3,
+                mode,
+                ..DerechoConfig::default()
+            };
+            let (mut sim, ids, c) = derecho::cluster_with_client(seed, &cfg, window, 10, rdma_warm);
+            sim.run_until(rdma_end);
+            derecho::check_cluster(&sim, &ids).unwrap();
+            let r = sim.node::<WindowClient<DcWire>>(c).result();
+            out.push(Measured {
+                name,
+                mean_us: r.latency.mean_us(),
+                msgs_per_sec: r.msgs_per_sec(),
+            });
+        }
+    }
+    {
+        use acuerdo_repro::apus::{self, ApWire, ApusConfig};
+        let (mut sim, ids, c) =
+            apus::cluster_with_client(seed, &ApusConfig::default(), window, 10, rdma_warm);
+        sim.run_until(rdma_end);
+        apus::check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<ApWire>>(c).result();
+        out.push(Measured {
+            name: "apus",
+            mean_us: r.latency.mean_us(),
+            msgs_per_sec: r.msgs_per_sec(),
+        });
+    }
+    {
+        use acuerdo_repro::paxos::{self, PaxosConfig, PxWire};
+        let (mut sim, ids, c) =
+            paxos::cluster_with_client(seed, &PaxosConfig::default(), window, 10, tcp_warm);
+        sim.run_until(tcp_end);
+        paxos::check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<PxWire>>(c).result();
+        out.push(Measured {
+            name: "libpaxos",
+            mean_us: r.latency.mean_us(),
+            msgs_per_sec: r.msgs_per_sec(),
+        });
+    }
+    {
+        use acuerdo_repro::zab::{self, ZabConfig, ZkWire};
+        let (mut sim, ids, c) =
+            zab::cluster_with_client(seed, &ZabConfig::default(), window, 10, tcp_warm);
+        sim.run_until(tcp_end);
+        zab::check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<ZkWire>>(c).result();
+        out.push(Measured {
+            name: "zookeeper",
+            mean_us: r.latency.mean_us(),
+            msgs_per_sec: r.msgs_per_sec(),
+        });
+    }
+    {
+        use acuerdo_repro::raft::{self, RaftConfig, RfWire};
+        let (mut sim, ids, c) =
+            raft::cluster_with_client(seed, &RaftConfig::default(), window, 10, tcp_warm);
+        sim.run_until(SimTime::from_millis(200));
+        raft::check_cluster(&sim, &ids).unwrap();
+        let r = sim.node::<WindowClient<RfWire>>(c).result();
+        out.push(Measured {
+            name: "etcd",
+            mean_us: r.latency.mean_us(),
+            msgs_per_sec: r.msgs_per_sec(),
+        });
+    }
+    out
+}
+
+fn get<'a>(ms: &'a [Measured], name: &str) -> &'a Measured {
+    ms.iter().find(|m| m.name == name).unwrap()
+}
+
+#[test]
+fn all_seven_systems_commit_under_identical_load() {
+    let ms = measure_all(42, 4);
+    for m in &ms {
+        assert!(
+            m.msgs_per_sec > 500.0,
+            "{} barely committed: {} msg/s",
+            m.name,
+            m.msgs_per_sec
+        );
+    }
+}
+
+#[test]
+fn figure8_latency_ordering_holds_at_low_load() {
+    // The paper's headline: Acuerdo improves latency ~2x over the next-best
+    // RDMA system and ~10x over the TCP systems.
+    let ms = measure_all(42, 1);
+    let acuerdo = get(&ms, "acuerdo").mean_us;
+    let derecho = get(&ms, "derecho-leader").mean_us;
+    let apus = get(&ms, "apus").mean_us;
+    let zk = get(&ms, "zookeeper").mean_us;
+    let etcd = get(&ms, "etcd").mean_us;
+    let libpaxos = get(&ms, "libpaxos").mean_us;
+
+    assert!(acuerdo < 16.0, "acuerdo latency {acuerdo}");
+    assert!(
+        derecho > acuerdo * 1.5 && derecho < acuerdo * 3.0,
+        "derecho-leader {derecho} vs acuerdo {acuerdo} (paper: ~2x)"
+    );
+    assert!(apus > acuerdo, "apus {apus} vs acuerdo {acuerdo}");
+    assert!(
+        libpaxos > acuerdo * 8.0,
+        "libpaxos {libpaxos} vs acuerdo {acuerdo} (paper: >=10x)"
+    );
+    assert!(zk > libpaxos, "zookeeper {zk} vs libpaxos {libpaxos}");
+    assert!(etcd > zk, "etcd {etcd} vs zookeeper {zk}");
+}
+
+#[test]
+fn figure8_throughput_ordering_holds_at_saturation() {
+    let ms = measure_all(43, 1024);
+    let acuerdo = get(&ms, "acuerdo").msgs_per_sec;
+    let derecho = get(&ms, "derecho-leader").msgs_per_sec;
+    let tcp_best = get(&ms, "libpaxos")
+        .msgs_per_sec
+        .max(get(&ms, "zookeeper").msgs_per_sec)
+        .max(get(&ms, "etcd").msgs_per_sec);
+
+    // The 2x bandwidth-efficiency claim (1 write vs 2 per small message).
+    assert!(
+        acuerdo > derecho * 1.5,
+        "acuerdo {acuerdo} vs derecho-leader {derecho} (paper: ~2x)"
+    );
+    // RDMA systems clear the kernel-TCP systems by a wide margin.
+    assert!(
+        acuerdo > tcp_best * 3.0,
+        "acuerdo {acuerdo} vs best TCP {tcp_best}"
+    );
+}
+
+#[test]
+fn derecho_all_trades_latency_for_bandwidth() {
+    let low = measure_all(44, 1);
+    let high = measure_all(44, 256);
+    assert!(
+        get(&low, "derecho-all").mean_us > get(&low, "derecho-leader").mean_us,
+        "all-sender should have worse small-message latency"
+    );
+    assert!(
+        get(&high, "derecho-all").msgs_per_sec > get(&high, "derecho-leader").msgs_per_sec * 1.5,
+        "all-sender should have better aggregate bandwidth"
+    );
+}

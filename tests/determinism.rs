@@ -1,0 +1,71 @@
+//! Determinism: identical seeds reproduce identical executions bit-for-bit
+//! (delivery histories, stats, epochs), across every system. This is what
+//! makes the reproduced figures stable.
+
+use acuerdo_repro::abcast::{MsgHdr, WindowClient};
+use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
+use acuerdo_repro::simnet::SimTime;
+use bytes::Bytes;
+use std::time::Duration;
+
+fn acuerdo_history(seed: u64, crash: bool) -> (Vec<Vec<(MsgHdr, Bytes)>>, u64) {
+    let cfg = AcuerdoConfig {
+        fail_timeout: Duration::from_micros(400),
+        ..AcuerdoConfig::stable(3)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(seed, &cfg, 8, 10, Duration::ZERO);
+    sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(2));
+    if crash {
+        sim.crash_at(0, SimTime::from_millis(2));
+    }
+    sim.run_until(SimTime::from_millis(10));
+    let completed = sim.node::<WindowClient<AcWire>>(client).total_completed;
+    (acuerdo::histories(&sim, &ids), completed)
+}
+
+#[test]
+fn same_seed_same_execution() {
+    let (h1, c1) = acuerdo_history(1234, false);
+    let (h2, c2) = acuerdo_history(1234, false);
+    assert_eq!(c1, c2);
+    assert_eq!(h1, h2);
+}
+
+#[test]
+fn same_seed_same_execution_with_failover() {
+    let (h1, c1) = acuerdo_history(555, true);
+    let (h2, c2) = acuerdo_history(555, true);
+    assert_eq!(c1, c2);
+    assert_eq!(h1, h2);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Jitter differs across seeds, so timing-sensitive counts should differ
+    // (not a safety property — just evidence the seed is actually used).
+    let (_, c1) = acuerdo_history(1, false);
+    let (_, c2) = acuerdo_history(2, false);
+    let (_, c3) = acuerdo_history(3, false);
+    assert!(
+        c1 != c2 || c2 != c3,
+        "three seeds produced identical completions: {c1}"
+    );
+}
+
+#[test]
+fn tcp_systems_are_deterministic_too() {
+    use acuerdo_repro::raft::{self, RaftConfig, RfWire};
+    let run = |seed| {
+        let cfg = RaftConfig::default();
+        let (mut sim, ids, client) =
+            raft::cluster_with_client(seed, &cfg, 4, 10, Duration::from_millis(5));
+        sim.run_until(SimTime::from_millis(80));
+        let c = sim.node::<WindowClient<RfWire>>(client).total_completed;
+        let d: Vec<u64> = ids
+            .iter()
+            .map(|&id| sim.node::<raft::RaftNode>(id).delivered_count)
+            .collect();
+        (c, d)
+    };
+    assert_eq!(run(9), run(9));
+}
