@@ -11,7 +11,7 @@
 use crate::stats::{LatencyHist, RunResult};
 use crate::workload::payload;
 use bytes::Bytes;
-use simnet::{Ctx, DeliveryClass, NodeId, Process, SimTime};
+use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::time::Duration;
@@ -197,6 +197,8 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
                     .collect();
                 for (id, body) in stale {
                     let dst = self.targets[(id % self.targets.len() as u64) as usize];
+                    ctx.count(Counter::Retransmits, 1);
+                    ctx.trace(Event::new("retransmit").a(id));
                     ctx.use_cpu(CLIENT_SEND_CPU);
                     ctx.send(
                         dst,
@@ -365,8 +367,7 @@ mod tests {
             served: 0,
             drop_until: 0,
         }));
-        let mut wc =
-            WindowClient::<EchoWire>::new(server, 4, 10, Duration::from_micros(100));
+        let mut wc = WindowClient::<EchoWire>::new(server, 4, 10, Duration::from_micros(100));
         wc.halt_after = Some(50);
         let client = sim.add_node(Box::new(wc));
         sim.run_until(SimTime::from_secs(10));

@@ -78,6 +78,11 @@ impl LatencyHist {
     }
 
     /// Approximate quantile (`q` in [0, 1]) in microseconds.
+    ///
+    /// Reports the *upper* edge of the bucket holding the target sample:
+    /// bucket `b` holds samples in `[value(b), value(b+1))`, so the lower
+    /// edge would systematically understate every quantile by up to one
+    /// bucket width (~5%).
     pub fn quantile_us(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -87,7 +92,9 @@ impl LatencyHist {
         for (b, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(b) / 1_000.0;
+                let upper = Self::bucket_value(b) * GROWTH / 1_000.0;
+                // Never report beyond the largest recorded sample.
+                return upper.min(self.max_ns as f64 / 1_000.0);
             }
         }
         self.max_ns as f64 / 1_000.0

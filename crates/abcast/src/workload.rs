@@ -162,9 +162,8 @@ mod tests {
         let skewed = Zipfian::new(1000, 0.99);
         let flat = Zipfian::new(1000, 0.01);
         let mut rng = SmallRng::seed_from_u64(5);
-        let count_hot = |z: &Zipfian, rng: &mut SmallRng| {
-            (0..50_000).filter(|_| z.sample(rng) == 0).count()
-        };
+        let count_hot =
+            |z: &Zipfian, rng: &mut SmallRng| (0..50_000).filter(|_| z.sample(rng) == 0).count();
         let hs = count_hot(&skewed, &mut rng);
         let hf = count_hot(&flat, &mut rng);
         assert!(hs > hf * 5, "skewed {hs} flat {hf}");

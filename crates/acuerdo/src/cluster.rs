@@ -65,9 +65,7 @@ pub fn current_leader(sim: &Sim<AcWire>, ids: &[NodeId]) -> Option<NodeId> {
     let leaders: Vec<NodeId> = ids
         .iter()
         .copied()
-        .filter(|&id| {
-            !sim.is_crashed(id) && sim.node::<AcuerdoNode>(id).role() == Role::Leader
-        })
+        .filter(|&id| !sim.is_crashed(id) && sim.node::<AcuerdoNode>(id).role() == Role::Leader)
         .collect();
     match leaders.as_slice() {
         [one] => Some(*one),

@@ -28,9 +28,7 @@ mod config;
 pub mod msg;
 mod node;
 
-pub use cluster::{
-    build_cluster, check_cluster, cluster_with_client, current_leader, histories,
-};
+pub use cluster::{build_cluster, check_cluster, cluster_with_client, current_leader, histories};
 pub use config::AcuerdoConfig;
 pub use node::{AcWire, AcuerdoNode, Role};
 

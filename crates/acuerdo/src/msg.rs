@@ -84,11 +84,7 @@ pub fn encode_diff(hdr: MsgHdr, part: u16, parts: u16, entries: &[(MsgHdr, Bytes
 /// Split `entries` into diff parts of at most `max_part` encoded bytes each
 /// and encode them all. Always returns at least one part (an empty diff is a
 /// valid epoch-entry message).
-pub fn encode_diff_parts(
-    hdr: MsgHdr,
-    entries: &[(MsgHdr, Bytes)],
-    max_part: usize,
-) -> Vec<Bytes> {
+pub fn encode_diff_parts(hdr: MsgHdr, entries: &[(MsgHdr, Bytes)], max_part: usize) -> Vec<Bytes> {
     let mut chunks: Vec<&[(MsgHdr, Bytes)]> = Vec::new();
     let mut start = 0;
     let mut size = 0usize;
@@ -166,13 +162,7 @@ mod tests {
         let h = hdr(0, 1, 7);
         let p = Bytes::from_static(b"hello world");
         let f = decode(encode_normal(h, &p)).unwrap();
-        assert_eq!(
-            f,
-            Frame::Normal {
-                hdr: h,
-                payload: p
-            }
-        );
+        assert_eq!(f, Frame::Normal { hdr: h, payload: p });
     }
 
     #[test]
@@ -211,7 +201,10 @@ mod tests {
         assert_eq!(parts.len(), 1);
         match decode(parts[0].clone()).unwrap() {
             Frame::Diff {
-                part, parts, entries, ..
+                part,
+                parts,
+                entries,
+                ..
             } => {
                 assert_eq!((part, parts), (0, 1));
                 assert!(entries.is_empty());

@@ -25,13 +25,13 @@
 
 use crate::config::AcuerdoConfig;
 use crate::msg::{self, Frame};
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
 use abcast::client::RESP_WIRE;
+use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
 use bytes::Bytes;
 use rdma_prims::{RingError, RingReceiver, RingSender, Sst};
 use rdma_sim::{Endpoint, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NodeId, Process, SimTime};
+use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound::{Excluded, Included};
 use std::time::Duration;
@@ -109,6 +109,9 @@ impl PeerOut {
     }
 }
 
+/// A diff being reassembled: header, expected part count, entries so far.
+type PendingDiff = (MsgHdr, u16, Vec<(MsgHdr, Bytes)>);
+
 /// One Acuerdo replica.
 pub struct AcuerdoNode {
     cfg: AcuerdoConfig,
@@ -147,7 +150,7 @@ pub struct AcuerdoNode {
     awaiting_ready: bool,
 
     // Diff reassembly: (epoch, parts collected so far).
-    diff_buf: Option<(MsgHdr, u16, Vec<(MsgHdr, Bytes)>)>,
+    diff_buf: Option<PendingDiff>,
 
     /// The replicated application messages are delivered to.
     pub app: Box<dyn App>,
@@ -188,12 +191,7 @@ impl AcuerdoNode {
         for &p in &peers {
             ep.connect(p);
         }
-        let out_ring = RingSender::new(
-            RegionId(me as u32),
-            cfg.ring_bytes,
-            cfg.ring_mode,
-            &peers,
-        );
+        let out_ring = RingSender::new(RegionId(me as u32), cfg.ring_bytes, cfg.ring_mode, &peers);
 
         let (e_cur, role) = match cfg.initial_epoch {
             Some(e) => (
@@ -378,6 +376,12 @@ impl AcuerdoNode {
                             self.log.insert(hdr, payload);
                             self.accepted = hdr;
                             self.last_leader_activity = ctx.now();
+                            ctx.count(Counter::Accepts, 1);
+                            ctx.trace(
+                                Event::new("accept")
+                                    .a(u64::from(hdr.epoch.round))
+                                    .b(u64::from(hdr.cnt)),
+                            );
                             accepted_changed = true;
                             if self.cfg.per_message_acks {
                                 self.push_accept(ctx);
@@ -446,6 +450,12 @@ impl AcuerdoNode {
     fn apply_diff(&mut self, ctx: &mut Ctx<AcWire>) {
         let (hdr, _, entries) = self.diff_buf.take().expect("no diff buffered");
         let e = hdr.epoch;
+        ctx.count(Counter::DiffApplies, 1);
+        ctx.trace(
+            Event::new("diff_apply")
+                .a(u64::from(e.round))
+                .b(entries.len() as u64),
+        );
         self.e_new = e;
         self.e_cur = e;
         if e.ldr as usize != self.me {
@@ -535,6 +545,12 @@ impl AcuerdoNode {
         ctx.use_cpu(DELIVER_COST);
         self.app.deliver(hdr, &payload);
         self.delivered_count += 1;
+        ctx.count(Counter::Commits, 1);
+        ctx.trace(
+            Event::new("commit")
+                .a(u64::from(hdr.epoch.round))
+                .b(u64::from(hdr.cnt)),
+        );
         if let Some((client, id)) = self.origin.remove(&hdr) {
             ctx.send(
                 client,
@@ -594,11 +610,7 @@ impl AcuerdoNode {
         }
         // Keep the boundary entry itself: diffs include it (Figure 7 line
         // 123 is an inclusive range).
-        let prune: Vec<MsgHdr> = self
-            .log
-            .range(..min_commit)
-            .map(|(h, _)| *h)
-            .collect();
+        let prune: Vec<MsgHdr> = self.log.range(..min_commit).map(|(h, _)| *h).collect();
         for h in prune {
             self.log.remove(&h);
             self.origin.remove(&h);
@@ -618,6 +630,10 @@ impl AcuerdoNode {
             self.last_leader_activity = ctx.now();
         }
         if ctx.now().saturating_since(self.last_leader_activity) > self.cfg.fail_timeout {
+            ctx.count(Counter::HeartbeatMisses, 1);
+            ctx.trace(Event::new("heartbeat_miss").a(u64::from(self.e_cur.round)));
+            ctx.count(Counter::Elections, 1);
+            ctx.trace(Event::new("election_start").a(u64::from(self.e_cur.round)));
             self.start_election(ctx.now());
         }
     }
@@ -649,6 +665,7 @@ impl AcuerdoNode {
         if no_candidate || timed_out || self.accepted > mx.acpt {
             // Vote for self with a strictly larger epoch (lines 100–104).
             self.e_new = Epoch::bigger_for(self.e_new, mx.e_new, self.me as u32);
+            ctx.trace(Event::new("vote_self").a(u64::from(self.e_new.round)));
             let v = Vote::new(self.e_new, self.accepted);
             self.vote_sst.write_mine(&mut self.ep, &v);
             let peers = self.peers.clone();
@@ -657,6 +674,11 @@ impl AcuerdoNode {
         } else if mx > mine && self.accepted <= mx.acpt {
             // Join the best vote (lines 106–111).
             self.e_new = mx.e_new;
+            ctx.trace(
+                Event::new("vote_join")
+                    .a(u64::from(mx.e_new.round))
+                    .b(u64::from(mx.e_new.ldr)),
+            );
             self.vote_sst.write_mine(&mut self.ep, &mx);
             let peers = self.peers.clone();
             let _ = self.vote_sst.push_mine(ctx, &mut self.ep, &peers);
@@ -680,13 +702,15 @@ impl AcuerdoNode {
         self.role = Role::Leader;
         self.count = 0;
         self.elections_won += 1;
+        ctx.count(Counter::ElectionsWon, 1);
+        ctx.trace(Event::new("leader_elected").a(u64::from(self.e_new.round)));
         self.awaiting_ready = true;
         let comm: Vec<MsgHdr> = (0..self.cfg.n).map(|j| self.commit_cell(j).0).collect();
         let hdr = MsgHdr::new(self.e_new, 0);
-        for j in 0..self.cfg.n {
+        for (j, &low) in comm.iter().enumerate() {
             let entries: Vec<(MsgHdr, Bytes)> = self
                 .log
-                .range((Included(comm[j]), Included(self.accepted)))
+                .range((Included(low), Included(self.accepted)))
                 .map(|(h, p)| (*h, p.clone()))
                 .collect();
             let parts = msg::encode_diff_parts(hdr, &entries, self.cfg.max_diff_part);
@@ -703,6 +727,7 @@ impl AcuerdoNode {
         }
         if self.out.iter().all(|o| o.diff_backlog.is_empty()) {
             self.awaiting_ready = false;
+            ctx.trace(Event::new("epoch_ready").a(u64::from(self.e_new.round)));
             self.election_spans
                 .push((self.election_detected_at, ctx.now_cpu()));
         }
@@ -713,7 +738,7 @@ impl AcuerdoNode {
     fn push_commit(&mut self, ctx: &mut Ctx<AcWire>) {
         self.push_ticks += 1;
         let is_leader = self.role == Role::Leader;
-        if !is_leader && self.push_ticks % FOLLOWER_PUSH_PERIOD != 0 {
+        if !is_leader && !self.push_ticks.is_multiple_of(FOLLOWER_PUSH_PERIOD) {
             return;
         }
         self.commit_push_seq += 1;
@@ -728,6 +753,8 @@ impl Process<AcWire> for AcuerdoNode {
     fn on_start(&mut self, ctx: &mut Ctx<AcWire>) {
         self.last_leader_activity = ctx.now();
         if self.role == Role::Electing {
+            ctx.count(Counter::Elections, 1);
+            ctx.trace(Event::new("election_start"));
             self.start_election(ctx.now());
         }
         ctx.set_timer(self.cfg.poll_interval, TOK_POLL);

@@ -150,7 +150,11 @@ fn commit_push_heartbeat_prevents_idle_elections() {
     sim.run_until(SimTime::from_millis(50)); // 100x the fail timeout
     for &id in &ids {
         let n = sim.node::<AcuerdoNode>(id);
-        assert_eq!(n.epoch(), abcast::Epoch::new(1, 0), "node {id} left epoch 1");
+        assert_eq!(
+            n.epoch(),
+            abcast::Epoch::new(1, 0),
+            "node {id} left epoch 1"
+        );
         assert_eq!(n.elections_won, 0);
     }
 }

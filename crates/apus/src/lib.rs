@@ -363,7 +363,8 @@ impl ApusNode {
             self.delivered += 1;
         }
         self.committed_count = self.delivered;
-        self.commit_sst.write_mine(&mut self.ep, &self.committed_count);
+        self.commit_sst
+            .write_mine(&mut self.ep, &self.committed_count);
         for j in 1..self.cfg.n {
             let _ = self.commit_sst.push_mine_to(ctx, &mut self.ep, j);
         }
@@ -425,6 +426,7 @@ impl ApusNode {
         let hdr = MsgHdr::new(Epoch::new(1, 0), idx as u32 + 1);
         self.app.deliver(hdr, payload);
         self.delivered_count += 1;
+        ctx.count(simnet::Counter::Commits, 1);
         if self.is_leader() {
             if let Some((client, id)) = self.origin.remove(&idx) {
                 ctx.send(
@@ -599,8 +601,7 @@ mod tests {
             n: 5,
             ..ApusConfig::default()
         };
-        let (mut sim, ids, client) =
-            cluster_with_client(15, &cfg, 8, 10, Duration::from_millis(1));
+        let (mut sim, ids, client) = cluster_with_client(15, &cfg, 8, 10, Duration::from_millis(1));
         // One permanently slow follower: quorum 3 of 5 still commits.
         sim.pause_at(ids[4], SimTime::ZERO, Duration::from_secs(10));
         sim.run_until(SimTime::from_millis(10));

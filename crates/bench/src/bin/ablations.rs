@@ -14,13 +14,17 @@
 //! * throughput with one periodically descheduled follower and small rings
 //!   (where the slot-reuse rule binds — §4.1's Derecho comparison).
 
-use bench::{ablation_point, Ablation, RunSpec, System};
+use bench::{
+    ablation_point, ablation_point_metrics, run_record_json, write_metrics_file, Ablation, RunSpec,
+    System,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut n = 3usize;
     let mut size = 10usize;
     let mut full = false;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -31,6 +35,10 @@ fn main() {
             "--size" => {
                 i += 1;
                 size = argv[i].parse().expect("--size BYTES");
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
             }
             "--full" => full = true,
             other => {
@@ -52,9 +60,22 @@ fn main() {
         "{:<28} {:>11} {:>12} {:>10} {:>14}",
         "configuration", "lat_us(w=1)", "sat msg/s", "pkts/msg", "slow-flwr msg/s"
     );
+    let mut records: Vec<String> = Vec::new();
     for ab in Ablation::all() {
         let low = ablation_point(ab, n, size, 1, 42, spec, false);
-        let sat = ablation_point(ab, n, size, 256, 42, spec, false);
+        let (sat, sat_metrics) = ablation_point_metrics(ab, n, size, 256, 42, spec, false);
+        if metrics_out.is_some() {
+            records.push(run_record_json(
+                ab.name(),
+                "acuerdo",
+                n,
+                size,
+                42,
+                spec,
+                &sat.point,
+                &sat_metrics,
+            ));
+        }
         let slow_spec = RunSpec {
             warmup: std::time::Duration::from_millis(2),
             measure: std::time::Duration::from_millis(25),
@@ -71,4 +92,8 @@ fn main() {
     }
     println!();
     println!("baseline = the paper's configuration; each row disables one design choice.");
+    if let Some(path) = &metrics_out {
+        write_metrics_file(path, "ablations", 42, &records).expect("write metrics file");
+        eprintln!("wrote {path} ({} records)", records.len());
+    }
 }

@@ -6,9 +6,10 @@
 //! cargo run --release -p bench --bin fig8 -- --nodes 3 --size 10
 //! cargo run --release -p bench --bin fig8 -- --full         # paper-scale sweeps
 //! cargo run --release -p bench --bin fig8 -- --csv          # machine-readable
+//! cargo run --release -p bench --bin fig8 -- --metrics-out fig8.metrics.json
 //! ```
 
-use bench::{sweep, RunSpec, System};
+use bench::{run_broadcast_metrics, run_record_json, sweep, write_metrics_file, RunSpec, System};
 
 struct Args {
     nodes: Vec<usize>,
@@ -16,6 +17,7 @@ struct Args {
     full: bool,
     csv: bool,
     seed: u64,
+    metrics_out: Option<String>,
 }
 
 fn parse() -> Args {
@@ -25,6 +27,7 @@ fn parse() -> Args {
         full: false,
         csv: false,
         seed: 42,
+        metrics_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -42,6 +45,10 @@ fn parse() -> Args {
                 i += 1;
                 a.seed = argv[i].parse().expect("--seed N");
             }
+            "--metrics-out" => {
+                i += 1;
+                a.metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
+            }
             "--full" => a.full = true,
             "--csv" => a.csv = true,
             other => {
@@ -57,6 +64,7 @@ fn parse() -> Args {
 fn main() {
     let args = parse();
     let max_log2 = if args.full { 14 } else { 12 };
+    let mut records: Vec<String> = Vec::new();
     if args.csv {
         println!("panel,system,window,throughput_mbps,msgs_per_sec,mean_us,p50_us,p99_us");
     }
@@ -73,6 +81,22 @@ fn main() {
                     RunSpec::quick(system)
                 };
                 let pts = sweep(system, n, size, max_log2, args.seed, spec);
+                if args.metrics_out.is_some() {
+                    // Re-run the saturated point to capture its counters
+                    // (same seed, so the run is bit-identical to the sweep's).
+                    let w = pts.last().map_or(1, |p| p.window);
+                    let (p, m) = run_broadcast_metrics(system, n, size, w, args.seed, spec);
+                    records.push(run_record_json(
+                        &panel,
+                        system.name(),
+                        n,
+                        size,
+                        args.seed,
+                        spec,
+                        &p,
+                        &m,
+                    ));
+                }
                 if args.csv {
                     for p in &pts {
                         println!(
@@ -87,7 +111,10 @@ fn main() {
                         );
                     }
                 } else {
-                    println!("\n  {:<16} window  MB/s      msg/s      mean_us   p99_us", system.name());
+                    println!(
+                        "\n  {:<16} window  MB/s      msg/s      mean_us   p99_us",
+                        system.name()
+                    );
                     for p in &pts {
                         println!(
                             "  {:<16} {:>6}  {:>8.3}  {:>9.0}  {:>8.2}  {:>8.2}",
@@ -97,5 +124,9 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(path) = &args.metrics_out {
+        write_metrics_file(path, "fig8", args.seed, &records).expect("write metrics file");
+        eprintln!("wrote {path} ({} records)", records.len());
     }
 }

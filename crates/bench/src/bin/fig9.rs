@@ -9,8 +9,24 @@
 use bench::{ycsb_point, RunSpec, System};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let seed = 42;
+    let mut full = false;
+    let mut seed = 42u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                i += 1;
+                seed = argv.get(i).expect("--seed N").parse().expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     let systems = [System::Acuerdo, System::Etcd, System::Zookeeper];
     println!("Figure 9: YCSB-load throughput (ops/sec) vs node count");
     println!("paper shape: acuerdo ~10x zookeeper, ~50x etcd, log-scale axis\n");

@@ -14,7 +14,16 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
     let out = PathBuf::from("figures");
     let max_log2 = if full { 14 } else { 12 };
 
@@ -36,7 +45,11 @@ fn main() {
                 name: system.name().to_string(),
                 points: pts.iter().map(|p| (p.mbps, p.mean_us)).collect(),
             });
-            eprintln!("{panel}: {} done ({} points)", system.name(), series.last().unwrap().points.len());
+            eprintln!(
+                "{panel}: {} done ({} points)",
+                system.name(),
+                series.last().unwrap().points.len()
+            );
         }
         let path = out.join(format!("{panel}.svg"));
         line_chart(
@@ -54,12 +67,24 @@ fn main() {
 
     // Figure 9.
     let mut series = vec![
-        Series { name: "acuerdo".into(), points: vec![] },
-        Series { name: "etcd".into(), points: vec![] },
-        Series { name: "zookeeper".into(), points: vec![] },
+        Series {
+            name: "acuerdo".into(),
+            points: vec![],
+        },
+        Series {
+            name: "etcd".into(),
+            points: vec![],
+        },
+        Series {
+            name: "zookeeper".into(),
+            points: vec![],
+        },
     ];
     for n in [3usize, 5, 7, 9] {
-        for (i, sys) in [System::Acuerdo, System::Etcd, System::Zookeeper].iter().enumerate() {
+        for (i, sys) in [System::Acuerdo, System::Etcd, System::Zookeeper]
+            .iter()
+            .enumerate()
+        {
             let spec = if sys.is_rdma() {
                 RunSpec::quick(*sys)
             } else {

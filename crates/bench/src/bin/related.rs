@@ -8,6 +8,10 @@
 use bench::{run_broadcast, run_dare, RunSpec, System};
 
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("unknown flag {arg}");
+        std::process::exit(2);
+    }
     let spec = RunSpec::quick(System::Acuerdo);
     println!("RDMA consensus lineage on 3 nodes, 10-byte messages (§5)\n");
     println!(

@@ -6,14 +6,16 @@
 //! ```text
 //! cargo run --release -p bench --bin table1
 //! cargo run --release -p bench --bin table1 -- --elections 12 --seed 7
+//! cargo run --release -p bench --bin table1 -- --metrics-out table1.metrics.json
 //! ```
 
-use bench::{election_experiment, long_latency_count};
+use bench::{election_experiment_metrics, long_latency_count, write_metrics_file};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut elections = 8usize;
     let mut seed = 42u64;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -25,6 +27,10 @@ fn main() {
                 i += 1;
                 seed = argv[i].parse().expect("--seed N");
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -32,13 +38,17 @@ fn main() {
         }
         i += 1;
     }
+    let mut records: Vec<String> = Vec::new();
 
     println!("Table 1: average Acuerdo election duration (ms), incl. diff transfer");
     println!("paper:    3 nodes: .3    5 nodes: 6.8    7 nodes: 12.1    9 nodes: 12.6");
     println!();
-    println!("{:>7} {:>12} {:>10} {:>10} {:>10} {:>12}", "nodes", "long-latency", "elections", "mean_ms", "min_ms", "max_ms");
+    println!(
+        "{:>7} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "nodes", "long-latency", "elections", "mean_ms", "min_ms", "max_ms"
+    );
     for n in [3usize, 5, 7, 9] {
-        let st = election_experiment(n, elections, seed);
+        let (st, metrics) = election_experiment_metrics(n, elections, seed);
         println!(
             "{:>7} {:>12} {:>10} {:>10.2} {:>10.2} {:>12.2}",
             n,
@@ -48,5 +58,20 @@ fn main() {
             st.min_ms,
             st.max_ms
         );
+        if metrics_out.is_some() {
+            records.push(format!(
+                "{{\"nodes\":{n},\"elections\":{},\"mean_ms\":{:.3},\"min_ms\":{:.3},\
+                 \"max_ms\":{:.3},\"metrics\":{}}}",
+                st.count,
+                st.mean_ms,
+                st.min_ms,
+                st.max_ms,
+                metrics.to_json()
+            ));
+        }
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics_file(path, "table1", seed, &records).expect("write metrics file");
+        eprintln!("wrote {path} ({} records)", records.len());
     }
 }

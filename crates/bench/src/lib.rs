@@ -18,14 +18,14 @@
 pub mod plot;
 
 use abcast::{RunResult, WindowClient};
-use dare::{DareConfig, DareWire};
 use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
 use apus::{ApWire, ApusConfig};
+use dare::{DareConfig, DareWire};
 use derecho::{DcWire, DerechoConfig, Mode};
 use kvstore::{ReplicatedMap, YcsbLoad};
 use paxos::{PaxosConfig, PxWire};
-use raft::{RaftConfig, RfWire, RaftNode};
-use simnet::{NetParams, Sim, SimTime};
+use raft::{RaftConfig, RaftNode, RfWire};
+use simnet::{MetricsSnapshot, NetParams, Sim, SimTime};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -170,6 +170,20 @@ pub fn run_broadcast(
     seed: u64,
     spec: RunSpec,
 ) -> Point {
+    run_broadcast_metrics(system, n, payload, window, seed, spec).0
+}
+
+/// Like [`run_broadcast`] but also returns the cluster-wide counter snapshot
+/// (for `--metrics-out` sidecars). Counters are always on, so this costs
+/// nothing beyond the copy.
+pub fn run_broadcast_metrics(
+    system: System,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> (Point, MetricsSnapshot) {
     match system {
         System::Acuerdo => {
             let cfg = AcuerdoConfig::stable(n);
@@ -177,7 +191,8 @@ pub fn run_broadcast(
                 acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             acuerdo::check_cluster(&sim, &ids).expect("acuerdo correctness");
-            Point::from_result(window, &sim.node::<WindowClient<AcWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<AcWire>>(client).result());
+            (p, sim.metrics())
         }
         System::DerechoLeader | System::DerechoAll => {
             let cfg = DerechoConfig {
@@ -193,7 +208,8 @@ pub fn run_broadcast(
                 derecho::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             derecho::check_cluster(&sim, &ids).expect("derecho correctness");
-            Point::from_result(window, &sim.node::<WindowClient<DcWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<DcWire>>(client).result());
+            (p, sim.metrics())
         }
         System::Apus => {
             let cfg = ApusConfig {
@@ -204,7 +220,8 @@ pub fn run_broadcast(
                 apus::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             apus::check_cluster(&sim, &ids).expect("apus correctness");
-            Point::from_result(window, &sim.node::<WindowClient<ApWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<ApWire>>(client).result());
+            (p, sim.metrics())
         }
         System::Libpaxos => {
             let cfg = PaxosConfig {
@@ -215,7 +232,8 @@ pub fn run_broadcast(
                 paxos::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             paxos::check_cluster(&sim, &ids).expect("paxos correctness");
-            Point::from_result(window, &sim.node::<WindowClient<PxWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<PxWire>>(client).result());
+            (p, sim.metrics())
         }
         System::Zookeeper => {
             let cfg = ZabConfig {
@@ -226,7 +244,8 @@ pub fn run_broadcast(
                 zab::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             zab::check_cluster(&sim, &ids).expect("zab correctness");
-            Point::from_result(window, &sim.node::<WindowClient<ZkWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<ZkWire>>(client).result());
+            (p, sim.metrics())
         }
         System::Etcd => {
             let cfg = RaftConfig {
@@ -237,7 +256,8 @@ pub fn run_broadcast(
                 raft::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             finish(&mut sim, spec);
             raft::check_cluster(&sim, &ids).expect("raft correctness");
-            Point::from_result(window, &sim.node::<WindowClient<RfWire>>(client).result())
+            let p = Point::from_result(window, &sim.node::<WindowClient<RfWire>>(client).result());
+            (p, sim.metrics())
         }
     }
 }
@@ -250,7 +270,8 @@ pub fn run_dare(n: usize, payload: usize, window: usize, seed: u64, spec: RunSpe
         n,
         ..DareConfig::default()
     };
-    let (mut sim, ids, client) = dare::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+    let (mut sim, ids, client) =
+        dare::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
     finish(&mut sim, spec);
     dare::check_cluster(&sim, &ids).expect("dare correctness");
     Point::from_result(window, &sim.node::<WindowClient<DareWire>>(client).result())
@@ -301,6 +322,16 @@ pub fn sweep(
 /// the old leader to the moment its recovery diffs finished transferring
 /// (detection time excluded, diff transfer included — the paper's metric).
 pub fn election_experiment(n: usize, elections: usize, seed: u64) -> ElectionStats {
+    election_experiment_metrics(n, elections, seed).0
+}
+
+/// Like [`election_experiment`] but also returns the counter snapshot, where
+/// the failover path shows up (elections, heartbeat misses, diff applies).
+pub fn election_experiment_metrics(
+    n: usize,
+    elections: usize,
+    seed: u64,
+) -> (ElectionStats, MetricsSnapshot) {
     use abcast::OpenLoopClient;
     let cfg = AcuerdoConfig {
         n,
@@ -370,7 +401,7 @@ pub fn election_experiment(n: usize, elections: usize, seed: u64) -> ElectionSta
             durations.push(ready.saturating_since(*start).as_secs_f64() * 1e3);
         }
     }
-    ElectionStats::from_durations(n, durations)
+    (ElectionStats::from_durations(n, durations), sim.metrics())
 }
 
 /// How many "long-latency" replicas the Table 1 setup injects.
@@ -435,11 +466,9 @@ pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
             let applied: Vec<u64> = ids
                 .iter()
                 .map(|&id| {
-                    abcast::app::app_as::<ReplicatedMap>(
-                        sim.node::<AcuerdoNode>(id).app.as_ref(),
-                    )
-                    .unwrap()
-                    .applied
+                    abcast::app::app_as::<ReplicatedMap>(sim.node::<AcuerdoNode>(id).app.as_ref())
+                        .unwrap()
+                        .applied
                 })
                 .collect();
             assert!(applied.iter().all(|&a| a > 0), "table not replicated");
@@ -564,6 +593,20 @@ pub fn ablation_point(
     spec: RunSpec,
     slow_follower: bool,
 ) -> AblationOutcome {
+    ablation_point_metrics(ab, n, payload, window, seed, spec, slow_follower).0
+}
+
+/// Like [`ablation_point`] but also returns the counter snapshot.
+#[allow(clippy::too_many_arguments)]
+pub fn ablation_point_metrics(
+    ab: Ablation,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+    slow_follower: bool,
+) -> (AblationOutcome, MetricsSnapshot) {
     let mut cfg = ab.apply(AcuerdoConfig::stable(n));
     if slow_follower {
         // Small rings + pauses longer than the ring's drain time: the
@@ -587,11 +630,70 @@ pub fn ablation_point(
     let r = sim.node::<WindowClient<AcWire>>(client).result();
     let stats = sim.stats();
     let denom = (r.completed as f64).max(1.0);
-    AblationOutcome {
+    let outcome = AblationOutcome {
         point: Point::from_result(window, &r),
         packets_per_msg: stats.packets as f64 / denom,
         wire_bytes_per_msg: stats.wire_bytes as f64 / denom,
+    };
+    (outcome, sim.metrics())
+}
+
+/// One `--metrics-out` record: run metadata, the client-visible point, and
+/// the per-node counter snapshot, as one hand-rolled JSON object (DESIGN.md
+/// §6 keeps serde out of the tree).
+#[allow(clippy::too_many_arguments)]
+pub fn run_record_json(
+    label: &str,
+    system: &str,
+    n: usize,
+    payload: usize,
+    seed: u64,
+    spec: RunSpec,
+    point: &Point,
+    metrics: &MetricsSnapshot,
+) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"system\":\"{}\",\"nodes\":{},\"payload_bytes\":{},\
+         \"seed\":{},\"warmup_ms\":{:.3},\"measure_ms\":{:.3},\"window\":{},\
+         \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
+         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{}}}",
+        simnet::json_escape(label),
+        simnet::json_escape(system),
+        n,
+        payload,
+        seed,
+        spec.warmup.as_secs_f64() * 1e3,
+        spec.measure.as_secs_f64() * 1e3,
+        point.window,
+        point.mbps,
+        point.msgs_per_sec,
+        point.mean_us,
+        point.p50_us,
+        point.p99_us,
+        metrics.to_json()
+    )
+}
+
+/// Assemble `records` into the metrics sidecar document and write it.
+pub fn write_metrics_file(
+    path: &str,
+    bench: &str,
+    seed: u64,
+    records: &[String],
+) -> std::io::Result<()> {
+    let mut out = String::with_capacity(records.iter().map(String::len).sum::<usize>() + 128);
+    out.push_str(&format!(
+        "{{\"bench\":\"{}\",\"seed\":{seed},\"records\":[",
+        simnet::json_escape(bench)
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r);
     }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
 }
 
 #[cfg(test)]
@@ -620,11 +722,7 @@ mod tests {
             let p = run_broadcast(s, 3, 10, 1, 7, RunSpec::quick(s));
             lat.push((s, p.mean_us));
         }
-        let acuerdo = lat
-            .iter()
-            .find(|(s, _)| *s == System::Acuerdo)
-            .unwrap()
-            .1;
+        let acuerdo = lat.iter().find(|(s, _)| *s == System::Acuerdo).unwrap().1;
         for (s, l) in &lat {
             if *s != System::Acuerdo {
                 assert!(
@@ -638,7 +736,14 @@ mod tests {
 
     #[test]
     fn rdma_systems_beat_tcp_systems_by_10x() {
-        let ac = run_broadcast(System::Acuerdo, 3, 10, 1, 7, RunSpec::quick(System::Acuerdo));
+        let ac = run_broadcast(
+            System::Acuerdo,
+            3,
+            10,
+            1,
+            7,
+            RunSpec::quick(System::Acuerdo),
+        );
         let zk = run_broadcast(
             System::Zookeeper,
             3,
@@ -657,7 +762,14 @@ mod tests {
 
     #[test]
     fn sweep_stops_at_saturation() {
-        let pts = sweep(System::Acuerdo, 3, 10, 13, 5, RunSpec::quick(System::Acuerdo));
+        let pts = sweep(
+            System::Acuerdo,
+            3,
+            10,
+            13,
+            5,
+            RunSpec::quick(System::Acuerdo),
+        );
         assert!(pts.len() >= 4, "sweep too short: {}", pts.len());
         let peak = pts.iter().map(|p| p.mbps).fold(0.0, f64::max);
         let last = pts.last().unwrap();
@@ -723,8 +835,7 @@ mod tests {
             measure: Duration::from_millis(25),
         };
         let reuse_base = ablation_point(Ablation::Baseline, 3, 10, 512, 5, slow_spec, true);
-        let reuse_all =
-            ablation_point(Ablation::SlotReuseOnCommit, 3, 10, 512, 5, slow_spec, true);
+        let reuse_all = ablation_point(Ablation::SlotReuseOnCommit, 3, 10, 512, 5, slow_spec, true);
         assert!(
             reuse_all.point.msgs_per_sec < reuse_base.point.msgs_per_sec * 0.75,
             "commit-at-all slot reuse should stall behind the slow node: {} vs {}",

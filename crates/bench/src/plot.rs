@@ -139,8 +139,14 @@ pub fn line_chart(
     yscale: Scale,
     series: &[Series],
 ) -> io::Result<()> {
-    let xs = Axis::fit(xscale, series.iter().flat_map(|s| s.points.iter().map(|p| p.0)));
-    let ys = Axis::fit(yscale, series.iter().flat_map(|s| s.points.iter().map(|p| p.1)));
+    let xs = Axis::fit(
+        xscale,
+        series.iter().flat_map(|s| s.points.iter().map(|p| p.0)),
+    );
+    let ys = Axis::fit(
+        yscale,
+        series.iter().flat_map(|s| s.points.iter().map(|p| p.1)),
+    );
     let px = |fx: f64| ML + fx * (W - ML - MR);
     let py = |fy: f64| H - MB - fy * (H - MT - MB);
 
@@ -233,9 +239,7 @@ pub fn line_chart(
             let path_d: String = pts
                 .iter()
                 .enumerate()
-                .map(|(j, (x, y))| {
-                    format!("{}{x:.1},{y:.1} ", if j == 0 { "M" } else { "L" })
-                })
+                .map(|(j, (x, y))| format!("{}{x:.1},{y:.1} ", if j == 0 { "M" } else { "L" }))
                 .collect();
             let _ = writeln!(
                 out,

@@ -365,9 +365,10 @@ impl DareNode {
             Phase::AwaitEntry { end, count } => {
                 // "Ensure the write is completed": wait for hardware
                 // completions from a quorum before marking valid.
-                let done = 1 + (0..self.cfg.n)
-                    .filter(|&j| j != self.me && self.ep.outstanding(j) == 0)
-                    .count();
+                let done = 1
+                    + (0..self.cfg.n)
+                        .filter(|&j| j != self.me && self.ep.outstanding(j) == 0)
+                        .count();
                 if done < self.quorum() {
                     return;
                 }
@@ -386,9 +387,10 @@ impl DareNode {
                 self.phase = Phase::AwaitPointer { end, count };
             }
             Phase::AwaitPointer { end, count } => {
-                let done = 1 + (0..self.cfg.n)
-                    .filter(|&j| j != self.me && self.ep.outstanding(j) == 0)
-                    .count();
+                let done = 1
+                    + (0..self.cfg.n)
+                        .filter(|&j| j != self.me && self.ep.outstanding(j) == 0)
+                        .count();
                 if done < self.quorum() {
                     return;
                 }
@@ -422,12 +424,18 @@ impl DareNode {
             let hdr = MsgHdr::new(Epoch::new(term, 0), self.applied_count as u32 + 1);
             self.app.deliver(hdr, &payload);
             self.delivered_count += 1;
+            ctx.count(simnet::Counter::Commits, 1);
             self.applied_off += ENTRY_HDR as u64 + payload.len() as u64;
             self.applied_count += 1;
             if self.role == DareRole::Leader {
                 if let Some((c, rid)) = self.origin.remove(&(self.applied_count - 1)) {
                     let _ = (client, id);
-                    ctx.send(c, DeliveryClass::Cpu, RESP_WIRE, DareWire::Resp(ClientResp { id: rid }));
+                    ctx.send(
+                        c,
+                        DeliveryClass::Cpu,
+                        RESP_WIRE,
+                        DareWire::Resp(ClientResp { id: rid }),
+                    );
                 }
             }
         }
@@ -511,6 +519,7 @@ impl DareNode {
     fn become_leader(&mut self, ctx: &mut Ctx<DareWire>) {
         self.role = DareRole::Leader;
         self.elections_won += 1;
+        ctx.count(simnet::Counter::ElectionsWon, 1);
         self.phase = Phase::Idle;
         // Log adjustment (simplified to a full mirror): bring every follower
         // to this leader's log.
@@ -538,18 +547,14 @@ impl DareNode {
         let data = Bytes::copy_from_slice(self.ep.read(self.ctrl_region, 0, CTRL_LEN));
         for j in 0..self.cfg.n {
             if j != self.me {
-                let _ = self.ep.post_write(ctx, j, self.ctrl_region, 0, data.clone());
+                let _ = self
+                    .ep
+                    .post_write(ctx, j, self.ctrl_region, 0, data.clone());
             }
         }
     }
 
-    fn on_new_term(
-        &mut self,
-        ctx: &mut Ctx<DareWire>,
-        term: u32,
-        log: Bytes,
-        log_end: u64,
-    ) {
+    fn on_new_term(&mut self, ctx: &mut Ctx<DareWire>, term: u32, log: Bytes, log_end: u64) {
         if term < self.term {
             return;
         }
@@ -571,7 +576,9 @@ impl DareNode {
         let data = Bytes::copy_from_slice(self.ep.read(self.ctrl_region, 0, CTRL_LEN));
         for j in 0..self.cfg.n {
             if j != self.me {
-                let _ = self.ep.post_write(ctx, j, self.ctrl_region, 0, data.clone());
+                let _ = self
+                    .ep
+                    .post_write(ctx, j, self.ctrl_region, 0, data.clone());
             }
         }
     }
@@ -593,11 +600,7 @@ impl Process<DareWire> for DareNode {
             DareWire::Req(req) => self.on_request(ctx, from, req),
             DareWire::VoteReq { term, log_end } => self.on_vote_req(ctx, from, term, log_end),
             DareWire::VoteResp { term, granted } => self.on_vote_resp(ctx, term, granted),
-            DareWire::NewTerm {
-                term,
-                log,
-                log_end,
-            } => self.on_new_term(ctx, term, log, log_end),
+            DareWire::NewTerm { term, log, log_end } => self.on_new_term(ctx, term, log, log_end),
             DareWire::Resp(_) => {}
         }
     }
@@ -634,7 +637,11 @@ impl Process<DareWire> for DareNode {
 }
 
 /// Build a group occupying ids `0..n`.
-pub fn build_cluster(sim: &mut Sim<DareWire>, cfg: &DareConfig, preset_leader: bool) -> Vec<NodeId> {
+pub fn build_cluster(
+    sim: &mut Sim<DareWire>,
+    cfg: &DareConfig,
+    preset_leader: bool,
+) -> Vec<NodeId> {
     let mut ids = Vec::with_capacity(cfg.n);
     for me in 0..cfg.n {
         let id = sim.add_node(Box::new(DareNode::new(cfg.clone(), me, preset_leader)));
@@ -683,8 +690,7 @@ mod tests {
     #[test]
     fn commits_and_totally_orders() {
         let cfg = DareConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(61, &cfg, 8, 10, Duration::from_millis(1));
+        let (mut sim, ids, client) = cluster_with_client(61, &cfg, 8, 10, Duration::from_millis(1));
         sim.run_until(SimTime::from_millis(10));
         check_cluster(&sim, &ids).unwrap();
         let r = sim.node::<WindowClient<DareWire>>(client).result();
@@ -699,8 +705,7 @@ mod tests {
         // Two serialized completion waits per entry: latency well above
         // Acuerdo's ~12.6us single-RTT pipeline.
         let cfg = DareConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(62, &cfg, 1, 10, Duration::from_millis(1));
+        let (mut sim, ids, client) = cluster_with_client(62, &cfg, 1, 10, Duration::from_millis(1));
         sim.run_until(SimTime::from_millis(10));
         check_cluster(&sim, &ids).unwrap();
         let lat = sim
@@ -731,8 +736,7 @@ mod tests {
     fn leader_crash_elects_replacement() {
         let cfg = DareConfig::default();
         let (mut sim, ids, client) = cluster_with_client(64, &cfg, 4, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<DareWire>>(client).retransmit =
-            Some(Duration::from_millis(5));
+        sim.node_mut::<WindowClient<DareWire>>(client).retransmit = Some(Duration::from_millis(5));
         sim.run_until(SimTime::from_millis(5));
         let before = sim.node::<DareNode>(1).delivered_count;
         assert!(before > 0);

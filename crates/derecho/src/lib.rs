@@ -156,8 +156,7 @@ mod tests {
         let n0 = sim.node::<DerechoNode>(ids[0]);
         // Leader posts ≥ 2 writes per message per receiver (data + counter).
         assert!(n0.sent_data > 0);
-        let per_msg =
-            n0.ep_writes_posted() as f64 / (n0.sent_data as f64 * (ids.len() as f64));
+        let per_msg = n0.ep_writes_posted() as f64 / (n0.sent_data as f64 * (ids.len() as f64));
         assert!(per_msg >= 2.0, "writes per message per receiver {per_msg}");
     }
 
@@ -170,8 +169,7 @@ mod tests {
             ..DerechoConfig::default()
         };
         let (mut sim, ids, client) = cluster_with_client(7, &cfg, 8, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<DcWire>>(client).retransmit =
-            Some(Duration::from_millis(2));
+        sim.node_mut::<WindowClient<DcWire>>(client).retransmit = Some(Duration::from_millis(2));
         sim.run_until(SimTime::from_millis(3));
         // Crash a follower: virtual synchrony must reconfigure it out.
         sim.crash(2);
@@ -193,8 +191,7 @@ mod tests {
             ..DerechoConfig::default()
         };
         let (mut sim, ids, client) = cluster_with_client(8, &cfg, 4, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<DcWire>>(client).retransmit =
-            Some(Duration::from_millis(2));
+        sim.node_mut::<WindowClient<DcWire>>(client).retransmit = Some(Duration::from_millis(2));
         sim.run_until(SimTime::from_millis(3));
         sim.crash(0);
         sim.run_until(SimTime::from_millis(10));

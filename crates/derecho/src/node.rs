@@ -6,7 +6,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NodeId, Process, SimTime};
+use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
@@ -64,6 +64,10 @@ impl Default for DerechoConfig {
     }
 }
 
+/// One forwarded frame in a view change: `(sender, seq, data)` where `data`
+/// is `None` for a null frame and `Some((client, id, payload))` otherwise.
+pub type ForwardedFrame = (u32, u64, Option<(u32, u64, Bytes)>);
+
 /// A view-change proposal (simplified ragged-edge cleanup; see crate docs).
 #[derive(Clone, Debug)]
 pub struct ViewChange {
@@ -74,9 +78,8 @@ pub struct ViewChange {
     /// Final frame count per excluded sender (frames `< cut` are delivered,
     /// the rest discarded).
     pub cuts: Vec<(u32, u64)>,
-    /// Undelivered frames of excluded senders forwarded by the proposer:
-    /// `(sender, seq, data)` where `data` is `None` for a null frame.
-    pub frames: Vec<(u32, u64, Option<(u32, u64, Bytes)>)>,
+    /// Undelivered frames of excluded senders forwarded by the proposer.
+    pub frames: Vec<ForwardedFrame>,
 }
 
 /// Wire type of a Derecho simulation.
@@ -232,12 +235,8 @@ impl DerechoNode {
             ep.connect(p);
         }
         let peers: Vec<NodeId> = (0..n).collect();
-        let out_ring = RingSender::new(
-            RegionId(me as u32),
-            cfg.ring_bytes,
-            RingMode::Split,
-            &peers,
-        );
+        let out_ring =
+            RingSender::new(RegionId(me as u32), cfg.ring_bytes, RingMode::Split, &peers);
         DerechoNode {
             me,
             ep,
@@ -560,8 +559,7 @@ impl DerechoNode {
     }
 
     fn deliver_slot(&mut self, ctx: &mut Ctx<DcWire>, sender: usize, seq: u64) {
-        let body = self
-            .store[sender]
+        let body = self.store[sender]
             .remove(&seq)
             .expect("stable slot must be present");
         self.delivered_upto[sender] = seq + 1;
@@ -574,12 +572,14 @@ impl DerechoNode {
             ctx.use_cpu(DELIVER_COST);
             let hdr = match self.cfg.mode {
                 Mode::AllSender => MsgHdr::new(Epoch::new(seq as u32, sender as u32), 1),
-                Mode::Leader => {
-                    MsgHdr::new(Epoch::new(self.ldr_idx as u32, sender as u32), seq as u32 + 1)
-                }
+                Mode::Leader => MsgHdr::new(
+                    Epoch::new(self.ldr_idx as u32, sender as u32),
+                    seq as u32 + 1,
+                ),
             };
             self.app.deliver(hdr, &payload);
             self.delivered_count += 1;
+            ctx.count(simnet::Counter::Commits, 1);
             if sender == self.me && self.origin.remove(&seq).is_some() {
                 ctx.send(
                     client,
@@ -657,7 +657,11 @@ impl DerechoNode {
             cuts: cuts.iter().map(|(&s, &c)| (s as u32, c)).collect(),
             frames,
         };
-        let wire = 64 + vc.frames.iter().map(|f| 16 + f.2.as_ref().map_or(0, |d| d.2.len())).sum::<usize>();
+        let wire = 64
+            + vc.frames
+                .iter()
+                .map(|f| 16 + f.2.as_ref().map_or(0, |d| d.2.len()))
+                .sum::<usize>();
         // Notify survivors and, as a courtesy, the evicted members (real
         // Derecho tells removed nodes to shut down and rejoin).
         for m in 0..self.cfg.n {
@@ -673,6 +677,12 @@ impl DerechoNode {
         if vc.view_id <= self.view_id {
             return;
         }
+        ctx.count(Counter::ViewChanges, 1);
+        ctx.trace(
+            Event::new("view_change")
+                .a(u64::from(vc.view_id))
+                .b(vc.members.len() as u64),
+        );
         self.view_id = vc.view_id;
         self.members = vc.members.iter().map(|&m| m as usize).collect();
         self.members.sort_unstable();

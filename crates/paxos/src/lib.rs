@@ -236,6 +236,7 @@ impl PaxosNode {
             let hdr = MsgHdr::new(Epoch::new(1, 0), inst as u32 + 1);
             self.app.deliver(hdr, &value);
             self.delivered_count += 1;
+            ctx.count(simnet::Counter::Commits, 1);
             self.delivered += 1;
             if self.me == 0 && self.origin.remove(&inst).is_some() {
                 self.send(
@@ -323,8 +324,7 @@ mod tests {
     #[test]
     fn commits_and_totally_orders() {
         let cfg = PaxosConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(17, &cfg, 8, 10, Duration::from_millis(5));
+        let (mut sim, ids, client) = cluster_with_client(17, &cfg, 8, 10, Duration::from_millis(5));
         sim.run_until(SimTime::from_millis(50));
         check_cluster(&sim, &ids).unwrap();
         let r = sim.node::<WindowClient<PxWire>>(client).result();
@@ -337,8 +337,7 @@ mod tests {
     #[test]
     fn latency_is_an_order_of_magnitude_above_rdma() {
         let cfg = PaxosConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(18, &cfg, 1, 10, Duration::from_millis(5));
+        let (mut sim, ids, client) = cluster_with_client(18, &cfg, 1, 10, Duration::from_millis(5));
         sim.run_until(SimTime::from_millis(50));
         check_cluster(&sim, &ids).unwrap();
         let lat = sim
@@ -354,8 +353,7 @@ mod tests {
     #[test]
     fn follower_slowness_outside_quorum_is_tolerated() {
         let cfg = PaxosConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(19, &cfg, 8, 10, Duration::from_millis(2));
+        let (mut sim, ids, client) = cluster_with_client(19, &cfg, 8, 10, Duration::from_millis(2));
         sim.pause_at(ids[2], SimTime::ZERO, Duration::from_secs(10));
         sim.run_until(SimTime::from_millis(50));
         check_cluster(&sim, &ids).unwrap();

@@ -265,7 +265,10 @@ impl RaftNode {
         } else {
             ctx.rng().random_range(0..=span)
         };
-        ctx.set_timer(lo + Duration::from_nanos(jitter), TOK_ELECTION << 32 | self.election_gen);
+        ctx.set_timer(
+            lo + Duration::from_nanos(jitter),
+            TOK_ELECTION << 32 | self.election_gen,
+        );
     }
 
     fn step_down(&mut self, ctx: &mut Ctx<RfWire>, term: u32) {
@@ -313,7 +316,11 @@ impl RaftNode {
         let from = self.next_index[j];
         let to = (from + self.cfg.max_batch as u64 - 1).min(self.last_idx());
         let entries: Vec<Entry> = self.log[from as usize - 1..to as usize].to_vec();
-        let wire = 64 + entries.iter().map(|e| 24 + e.payload.len() as u32).sum::<u32>();
+        let wire = 64
+            + entries
+                .iter()
+                .map(|e| 24 + e.payload.len() as u32)
+                .sum::<u32>();
         self.in_flight[j] = true;
         let msg = RfWire::AppendEntries {
             term: self.term,
@@ -350,6 +357,7 @@ impl RaftNode {
             let hdr = MsgHdr::new(Epoch::new(e.term, 0), idx as u32);
             self.app.deliver(hdr, &e.payload);
             self.delivered_count += 1;
+            ctx.count(simnet::Counter::Commits, 1);
             if self.role == RaftRole::Leader {
                 if let Some((client, id)) = self.origin.remove(&idx) {
                     self.send(ctx, client, RESP_WIRE, RfWire::Resp(ClientResp { id }));
@@ -432,6 +440,7 @@ impl RaftNode {
     fn become_leader(&mut self, ctx: &mut Ctx<RfWire>) {
         self.role = RaftRole::Leader;
         self.elections_won += 1;
+        ctx.count(simnet::Counter::ElectionsWon, 1);
         let next = self.last_idx() + 1;
         for j in 0..self.cfg.n {
             self.next_index[j] = next;
@@ -612,11 +621,9 @@ impl Process<RfWire> for RaftNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<RfWire>, token: u64) {
         match token >> 32 {
-            0 if token == TOK_HEARTBEAT => {
-                if self.role == RaftRole::Leader {
-                    self.heartbeat(ctx);
-                    ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
-                }
+            0 if token == TOK_HEARTBEAT && self.role == RaftRole::Leader => {
+                self.heartbeat(ctx);
+                ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
             }
             g if g == TOK_ELECTION => {
                 if token & 0xFFFF_FFFF != self.election_gen {
@@ -726,8 +733,7 @@ mod tests {
     fn leader_crash_elects_replacement_and_preserves_log() {
         let cfg = RaftConfig::default();
         let (mut sim, ids, client) = cluster_with_client(34, &cfg, 4, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
-            Some(Duration::from_millis(100));
+        sim.node_mut::<WindowClient<RfWire>>(client).retransmit = Some(Duration::from_millis(100));
         sim.run_until(SimTime::from_millis(50));
         let before = sim.node::<RaftNode>(1).delivered_count;
         assert!(before > 0);
@@ -753,7 +759,9 @@ mod tests {
         sim.run_until(SimTime::from_millis(1_000));
         let leaders: Vec<_> = ids
             .iter()
-            .filter(|&&id| !sim.is_crashed(id) && sim.node::<RaftNode>(id).role() == RaftRole::Leader)
+            .filter(|&&id| {
+                !sim.is_crashed(id) && sim.node::<RaftNode>(id).role() == RaftRole::Leader
+            })
             .collect();
         assert_eq!(leaders.len(), 1, "randomized timeouts must break ties");
     }
@@ -765,8 +773,7 @@ mod tests {
             ..RaftConfig::default()
         };
         let (mut sim, ids, client) = cluster_with_client(36, &cfg, 4, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
-            Some(Duration::from_millis(100));
+        sim.node_mut::<WindowClient<RfWire>>(client).retransmit = Some(Duration::from_millis(100));
         sim.run_until(SimTime::from_millis(40));
         sim.crash(3);
         sim.crash(4);

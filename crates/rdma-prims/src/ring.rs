@@ -27,7 +27,7 @@
 
 use bytes::Bytes;
 use rdma_sim::{Endpoint, PostError, RdmaPkt, RegionId};
-use simnet::{Ctx, NodeId};
+use simnet::{Counter, Ctx, NodeId};
 use std::collections::{HashMap, VecDeque};
 
 /// Bytes of framing prepended to every payload: 4-byte length + 8-byte seq.
@@ -166,6 +166,7 @@ impl RingSender {
         let rem = cap - pos;
         let wrap_bytes = if pos + frame_len > cap { rem } else { 0 };
         if l.head_abs + wrap_bytes + frame_len - l.acked_abs > cap {
+            ctx.count(Counter::RingStalls, 1);
             return Err(RingError::Full);
         }
         // Up to three posts: wrap marker, frame, (split) counter.
@@ -175,6 +176,7 @@ impl RingSender {
         }
 
         if wrap_bytes > 0 {
+            ctx.count(Counter::RingWraps, 1);
             if wrap_bytes >= 4 {
                 ep.post_write(
                     ctx,
@@ -212,6 +214,7 @@ impl RingSender {
         l.next_seq = seq + 1;
         l.pending.push_back((seq, l.head_abs));
         self.frames_sent += 1;
+        ctx.count(Counter::RingFrames, 1);
         Ok(seq)
     }
 }
@@ -413,9 +416,9 @@ mod tests {
                 self.batches.push(batch.len());
                 if self.push_acks {
                     let acked = self.ring.next_seq();
-                    self.ep.write_local(self.ack_region, 0, &acked.to_le_bytes());
-                    let data =
-                        Bytes::copy_from_slice(self.ep.read(self.ack_region, 0, 8));
+                    self.ep
+                        .write_local(self.ack_region, 0, &acked.to_le_bytes());
+                    let data = Bytes::copy_from_slice(self.ep.read(self.ack_region, 0, 8));
                     let _ = self
                         .ep
                         .post_write(ctx, self.sender, self.ack_region, 0, data);
@@ -527,7 +530,11 @@ mod tests {
         let (mut sim, a, b) = pair(RingMode::Coupled, 256, msgs.clone(), true);
         sim.run_until(SimTime::from_millis(20));
         let s = sim.node::<Sender>(a);
-        assert!(s.to_send.is_empty(), "sender stalled: {:?}", s.errors.last());
+        assert!(
+            s.to_send.is_empty(),
+            "sender stalled: {:?}",
+            s.errors.last()
+        );
         let r = sim.node::<Receiver>(b);
         assert_eq!(r.got.len(), 300);
         for (i, (_, p)) in r.got.iter().enumerate() {
@@ -643,7 +650,9 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
                 self.ring.send_to(ctx, &mut self.ep, 1, b"to-one").unwrap();
                 self.ring.send_to(ctx, &mut self.ep, 2, b"to-two").unwrap();
-                self.ring.send_to(ctx, &mut self.ep, 2, b"more-two").unwrap();
+                self.ring
+                    .send_to(ctx, &mut self.ep, 2, b"more-two")
+                    .unwrap();
             }
             fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {
                 self.ep.on_packet(ctx, from, msg.0);

@@ -2,7 +2,7 @@
 
 use crate::codec::FixedCodec;
 use rdma_sim::{Endpoint, PostError, RdmaPkt, RegionId};
-use simnet::{Ctx, NodeId};
+use simnet::{Counter, Ctx, NodeId};
 use std::marker::PhantomData;
 
 /// A replicated array of `n` cells of type `T`, one per node.
@@ -89,6 +89,7 @@ impl<T: FixedCodec> Sst<T> {
     ) -> Result<(), PostError> {
         let off = (self.me * T::SIZE) as u32;
         let data = bytes::Bytes::copy_from_slice(ep.read(self.region, off, T::SIZE));
+        ctx.count(Counter::SstPushes, 1);
         ep.post_write(ctx, peer, self.region, off, data)
     }
 

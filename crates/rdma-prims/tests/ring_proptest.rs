@@ -143,10 +143,14 @@ fn debug_single_empty_payload_split() {
 #[test]
 fn debug_varied_frames_tiny_split_ring() {
     let lens = [
-        40usize, 43, 32, 56, 39, 35, 14, 56, 30, 45, 30, 29, 4, 15, 31, 38, 1, 39, 35, 3, 44,
-        41, 56,
+        40usize, 43, 32, 56, 39, 35, 14, 56, 30, 45, 30, 29, 4, 15, 31, 38, 1, 39, 35, 3, 44, 41,
+        56,
     ];
-    let payloads: Vec<Vec<u8>> = lens.iter().enumerate().map(|(i, &l)| vec![i as u8; l]).collect();
+    let payloads: Vec<Vec<u8>> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| vec![i as u8; l])
+        .collect();
     let got = run_ring(RingMode::Split, 160, &payloads);
     assert_eq!(got.len(), 23, "delivered only {}", got.len());
 }

@@ -91,7 +91,8 @@ impl Process<Wire> for Node {
             if !batch.is_empty() {
                 let upto = self.ins[s].next_seq();
                 let off = ((s * self.n + self.me) * 8) as u32;
-                self.ep.write_local(self.ack_region, off, &upto.to_le_bytes());
+                self.ep
+                    .write_local(self.ack_region, off, &upto.to_le_bytes());
                 let data = Bytes::copy_from_slice(self.ep.read(self.ack_region, off, 8));
                 let _ = self.ep.post_write(ctx, s, self.ack_region, off, data);
                 self.got[s].extend(batch);
@@ -126,7 +127,9 @@ fn run(mode: RingMode, ring_len: usize, msgs: usize) -> Sim<Wire> {
     for me in 0..n {
         let mut node = Node::new(me, n, ring_len, mode);
         if me == 0 {
-            node.to_send = (0..msgs).map(|i| (i as u32).to_le_bytes().repeat(3)).collect();
+            node.to_send = (0..msgs)
+                .map(|i| (i as u32).to_le_bytes().repeat(3))
+                .collect();
         }
         sim.add_node(Box::new(node));
     }
@@ -152,7 +155,11 @@ fn check(sim: &Sim<Wire>, msgs: usize, label: &str) {
         );
         for (i, (seq, p)) in node.got[0].iter().enumerate() {
             assert_eq!(*seq, i as u64, "{label}: node {id} seq");
-            assert_eq!(&p[..4], &(i as u32).to_le_bytes(), "{label}: node {id} payload");
+            assert_eq!(
+                &p[..4],
+                &(i as u32).to_le_bytes(),
+                "{label}: node {id} payload"
+            );
         }
     }
 }

@@ -27,7 +27,7 @@
 
 use bytes::Bytes;
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NodeId};
+use simnet::{Counter, Ctx, DeliveryClass, NodeId};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -225,6 +225,7 @@ impl Endpoint {
             None
         };
         self.writes_posted += 1;
+        ctx.count(Counter::VerbPosts, 1);
         ctx.use_cpu(cfg.post_cost);
         let wire = data.len() as u32 + WRITE_OVERHEAD;
         ctx.send(
@@ -263,6 +264,7 @@ impl Endpoint {
         // Reads are always "signaled": the response is the completion.
         qp.next_wr += 1;
         qp.completed += 1; // retired by the response itself
+        ctx.count(Counter::VerbPosts, 1);
         ctx.use_cpu(cfg.post_cost);
         ctx.send(
             dst,
@@ -298,6 +300,7 @@ impl Endpoint {
                 signal,
             } => {
                 self.writes_applied += 1;
+                ctx.count(Counter::DmaWritesApplied, 1);
                 self.write_local(region, offset, &data);
                 if let Some(wr) = signal {
                     // Generated by the NIC: no CPU charge.
@@ -324,11 +327,14 @@ impl Endpoint {
                 );
             }
             RdmaPkt::ReadResp { token, data } => {
+                ctx.count(Counter::CompletionsPolled, 1);
                 self.reads_done.push((token, data));
             }
             RdmaPkt::Ack { upto } => {
                 if let Some(qp) = self.qps.get_mut(&from) {
+                    let before = qp.completed;
                     qp.completed = qp.completed.max(upto + 1);
+                    ctx.count(Counter::CompletionsPolled, qp.completed - before);
                 }
             }
         }
@@ -359,7 +365,10 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
             let script = std::mem::take(&mut self.script);
             for (dst, region, offset, data) in script {
-                if let Err(e) = self.ep.post_write(ctx, dst, region, offset, Bytes::from(data)) {
+                if let Err(e) = self
+                    .ep
+                    .post_write(ctx, dst, region, offset, Bytes::from(data))
+                {
                     self.post_errors.push(e);
                 }
             }

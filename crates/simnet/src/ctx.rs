@@ -1,6 +1,7 @@
 //! The effect context handed to [`Process`](crate::Process) handlers.
 
 use crate::time::SimTime;
+use crate::trace::{Counter, Event, Probe, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use std::time::Duration;
@@ -50,18 +51,26 @@ pub struct Ctx<'a, M> {
     cpu: Duration,
     cpu_scale: f64,
     rng: &'a mut SmallRng,
+    probe: &'a mut Probe,
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) halt: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
-    pub(crate) fn new(now: SimTime, self_id: NodeId, cpu_scale: f64, rng: &'a mut SmallRng) -> Self {
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: NodeId,
+        cpu_scale: f64,
+        rng: &'a mut SmallRng,
+        probe: &'a mut Probe,
+    ) -> Self {
         Ctx {
             now,
             self_id,
             cpu: Duration::ZERO,
             cpu_scale,
             rng,
+            probe,
             effects: Vec::new(),
             halt: false,
         }
@@ -137,6 +146,31 @@ impl<'a, M> Ctx<'a, M> {
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
+
+    /// Record a protocol-level trace instant, timestamped at
+    /// [`Ctx::now_cpu`].
+    ///
+    /// Zero-perturbation: recording charges no CPU, draws no randomness, and
+    /// schedules nothing — when tracing is disabled this is a branch on a
+    /// flag. Traced and untraced runs of the same seed are bit-identical.
+    #[inline]
+    pub fn trace(&mut self, ev: Event) {
+        if self.probe.enabled() {
+            self.probe.record(TraceEvent::Proto {
+                at: self.now + self.cpu,
+                node: self.self_id,
+                ev,
+            });
+        }
+    }
+
+    /// Bump this node's `c` counter by `n`. Counters are always on — a plain
+    /// array increment with the same zero-perturbation guarantee as
+    /// [`Ctx::trace`].
+    #[inline]
+    pub fn count(&mut self, c: Counter, n: u64) {
+        self.probe.count(self.self_id, c, n);
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +181,8 @@ mod tests {
     #[test]
     fn cpu_accrues_and_scales() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::from_micros(10), 3, 2.0, &mut rng);
+        let mut probe = Probe::new();
+        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::from_micros(10), 3, 2.0, &mut rng, &mut probe);
         assert_eq!(ctx.id(), 3);
         assert_eq!(ctx.now(), SimTime::from_micros(10));
         ctx.use_cpu(Duration::from_nanos(100));
@@ -158,14 +193,19 @@ mod tests {
     #[test]
     fn effects_capture_cpu_offset() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut ctx: Ctx<'_, u32> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng);
+        let mut probe = Probe::new();
+        let mut ctx: Ctx<'_, u32> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe);
         ctx.send(1, DeliveryClass::Dma, 64, 42);
         ctx.use_cpu(Duration::from_nanos(500));
         ctx.send(1, DeliveryClass::Dma, 64, 43);
         match (&ctx.effects[0], &ctx.effects[1]) {
             (
-                Effect::Send { at_cpu: a, msg: 42, .. },
-                Effect::Send { at_cpu: b, msg: 43, .. },
+                Effect::Send {
+                    at_cpu: a, msg: 42, ..
+                },
+                Effect::Send {
+                    at_cpu: b, msg: 43, ..
+                },
             ) => {
                 assert_eq!(*a, Duration::ZERO);
                 assert_eq!(*b, Duration::from_nanos(500));
@@ -177,7 +217,8 @@ mod tests {
     #[test]
     fn halt_flag() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng);
+        let mut probe = Probe::new();
+        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe);
         assert!(!ctx.halt);
         ctx.halt();
         assert!(ctx.halt);

@@ -4,6 +4,7 @@ use crate::ctx::{Ctx, DeliveryClass, Effect};
 use crate::net::Network;
 use crate::params::NetParams;
 use crate::time::SimTime;
+use crate::trace::{Counter, MetricsSnapshot, Probe, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,14 +61,20 @@ pub struct EngineStats {
 
 enum EventKind<M> {
     Start(NodeId),
-    Timer { node: NodeId, token: u64 },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Deliver {
         node: NodeId,
         from: NodeId,
         class: DeliveryClass,
         msg: M,
     },
-    PauseAt { node: NodeId, dur: Duration },
+    PauseAt {
+        node: NodeId,
+        dur: Duration,
+    },
     CrashAt(NodeId),
     DeschedTick(NodeId),
 }
@@ -117,6 +124,7 @@ pub struct Sim<M> {
     rng: SmallRng,
     halted: bool,
     stats: EngineStats,
+    probe: Probe,
 }
 
 impl<M: 'static> Sim<M> {
@@ -132,6 +140,7 @@ impl<M: 'static> Sim<M> {
             rng: SmallRng::seed_from_u64(seed),
             halted: false,
             stats: EngineStats::default(),
+            probe: Probe::new(),
         }
     }
 
@@ -149,6 +158,7 @@ impl<M: 'static> Sim<M> {
             desched: None,
         });
         self.net.add_node();
+        self.probe.add_node();
         self.push(self.now, EventKind::Start(id));
         id
     }
@@ -174,6 +184,44 @@ impl<M: 'static> Sim<M> {
     /// Number of spawned nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// Turn trace-event recording on or off. Counters are always on.
+    ///
+    /// Tracing is zero-perturbation: it charges no CPU, draws no randomness,
+    /// and schedules nothing, so traced and untraced runs of the same seed
+    /// produce bit-identical results (`tests/observability.rs`).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.probe.set_enabled(on);
+    }
+
+    /// Whether trace-event recording is on.
+    pub fn tracing(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    /// The recorded timeline so far (empty unless tracing was enabled).
+    /// Feed to [`chrome_trace_json`](crate::chrome_trace_json) for a
+    /// Perfetto-compatible dump.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.probe.events()
+    }
+
+    /// Take the recorded timeline, leaving the buffer empty.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.probe.take_events()
+    }
+
+    /// Snapshot every node's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.probe.snapshot()
+    }
+
+    /// Read one node's counter.
+    pub fn counter(&self, node: NodeId, c: Counter) -> u64 {
+        self.probe.counter(node, c)
     }
 
     /// Immutable access to a node's state, downcast to its concrete type.
@@ -344,6 +392,13 @@ impl<M: 'static> Sim<M> {
                         // The NIC deposits the message regardless of process
                         // state; the handler must only record it.
                         self.stats.dma_msgs += 1;
+                        self.probe.count(node, Counter::MsgsDelivered, 1);
+                        self.probe.record(TraceEvent::Deliver {
+                            at: self.now,
+                            node,
+                            from,
+                            class,
+                        });
                         self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
                     }
                     DeliveryClass::Cpu => {
@@ -360,6 +415,13 @@ impl<M: 'static> Sim<M> {
                             );
                         } else {
                             self.stats.cpu_msgs += 1;
+                            self.probe.count(node, Counter::MsgsDelivered, 1);
+                            self.probe.record(TraceEvent::Deliver {
+                                at: self.now,
+                                node,
+                                from,
+                                class,
+                            });
                             self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
                         }
                     }
@@ -422,7 +484,7 @@ impl<M: 'static> Sim<M> {
     {
         let mut proc = self.nodes[node].proc.take().expect("re-entrant dispatch");
         let cpu_scale = self.nodes[node].cpu_scale;
-        let mut ctx = Ctx::new(self.now, node, cpu_scale, &mut self.rng);
+        let mut ctx = Ctx::new(self.now, node, cpu_scale, &mut self.rng, &mut self.probe);
         f(proc.as_mut(), &mut ctx);
         let cpu = ctx.cpu_used();
         let halt = ctx.halt;
@@ -431,7 +493,13 @@ impl<M: 'static> Sim<M> {
         self.nodes[node].proc = Some(proc);
         if cpu > Duration::ZERO {
             let slot = &mut self.nodes[node];
-            slot.busy_until = slot.busy_until.max(self.now) + cpu;
+            let start = slot.busy_until.max(self.now);
+            slot.busy_until = start + cpu;
+            self.probe.record(TraceEvent::CpuBusy {
+                node,
+                start,
+                end: start + cpu,
+            });
         }
         let timer_jitter = self.nodes[node].timer_jitter;
         for eff in effects {
@@ -447,9 +515,38 @@ impl<M: 'static> Sim<M> {
                         continue;
                     }
                     let post = self.now + at_cpu;
-                    let delivered = self.net.route(&mut self.rng, node, dst, post, wire_bytes);
+                    let info = self.net.route(&mut self.rng, node, dst, post, wire_bytes);
+                    self.probe.count(node, Counter::MsgsSent, 1);
+                    self.probe
+                        .count(node, Counter::WireBytes, u64::from(info.wire_bytes));
+                    self.probe.count(node, Counter::Packets, 1);
+                    if self.probe.enabled() {
+                        self.probe.record(TraceEvent::Send {
+                            at: post,
+                            src: node,
+                            dst,
+                            class,
+                            wire_bytes: info.wire_bytes,
+                        });
+                        self.probe.record(TraceEvent::NicEgress {
+                            node,
+                            start: info.depart_start,
+                            end: info.depart,
+                            bytes: info.wire_bytes,
+                            dst,
+                        });
+                        if dst != node {
+                            self.probe.record(TraceEvent::NicIngress {
+                                node: dst,
+                                start: info.ingress_start,
+                                end: info.delivered,
+                                bytes: info.wire_bytes,
+                                src: node,
+                            });
+                        }
+                    }
                     self.push(
-                        delivered,
+                        info.delivered,
                         EventKind::Deliver {
                             node: dst,
                             from: node,
@@ -731,8 +828,15 @@ mod tests {
         );
         s.run_until(SimTime::from_millis(2));
         let p = s.node::<Poller>(a);
-        let long_gaps = p.gaps.iter().filter(|g| **g >= Duration::from_micros(40)).count();
-        assert!(long_gaps >= 3, "expected descheduling gaps, got {long_gaps}");
+        let long_gaps = p
+            .gaps
+            .iter()
+            .filter(|g| **g >= Duration::from_micros(40))
+            .count();
+        assert!(
+            long_gaps >= 3,
+            "expected descheduling gaps, got {long_gaps}"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod net;
 pub mod params;
 pub mod threaded;
 mod time;
+pub mod trace;
 
 pub use ctx::{Ctx, DeliveryClass};
 pub use engine::{DeschedProfile, EngineStats, Process, Sim};
@@ -38,6 +39,9 @@ pub use net::{LinkParams, NicParams};
 pub use params::NetParams;
 pub use threaded::ThreadedRunner;
 pub use time::SimTime;
+pub use trace::{
+    chrome_trace_json, json_escape, Counter, CounterSet, Event, MetricsSnapshot, Probe, TraceEvent,
+};
 
 /// Identifier of a node (process) inside one simulation.
 ///

@@ -153,7 +153,9 @@ impl Network {
     }
 
     /// Compute the delivery instant of a packet posted at `post` from `src`
-    /// to `dst`, updating NIC queues and the per-link FIFO clamp.
+    /// to `dst`, updating NIC queues and the per-link FIFO clamp. Returns the
+    /// full hop timeline so the engine can emit NIC serialization spans
+    /// without recomputing the model.
     pub fn route(
         &mut self,
         rng: &mut SmallRng,
@@ -161,9 +163,10 @@ impl Network {
         dst: NodeId,
         post: SimTime,
         wire_bytes: u32,
-    ) -> SimTime {
+    ) -> RouteInfo {
         let ser = self.nic.serialize_time(wire_bytes);
-        self.wire_bytes += u64::from(wire_bytes.max(self.nic.min_wire_bytes));
+        let clamped_bytes = wire_bytes.max(self.nic.min_wire_bytes);
+        self.wire_bytes += u64::from(clamped_bytes);
         self.packets += 1;
 
         // Sender NIC egress serialization (shared across that node's links).
@@ -182,21 +185,43 @@ impl Network {
 
         // Receiver NIC ingress serialization (shared across inbound links);
         // skipped for loopback, which never touches the receive pipeline.
-        let delivered = if src == dst {
-            arrive
+        let (ingress_start, delivered) = if src == dst {
+            (arrive, arrive)
         } else {
             let start = arrive.max(self.nics[dst].ingress_free);
             let done = start + ser;
             self.nics[dst].ingress_free = done;
-            done
+            (start, done)
         };
 
         // Reliable connections deliver FIFO per ordered pair.
         let clamp = self.fifo_clamp.entry((src, dst)).or_insert(SimTime::ZERO);
         let delivered = delivered.max(*clamp);
         *clamp = delivered;
-        delivered
+        RouteInfo {
+            depart_start,
+            depart,
+            ingress_start,
+            delivered,
+            wire_bytes: clamped_bytes,
+        }
     }
+}
+
+/// Hop timeline of one routed packet, as computed by [`Network::route`].
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct RouteInfo {
+    /// When the packet started serializing through the sender NIC.
+    pub depart_start: SimTime,
+    /// When it finished egress serialization (left the sender).
+    pub depart: SimTime,
+    /// When the receiver NIC started clocking it in (equals arrival for
+    /// loopback, which skips the receive pipeline).
+    pub ingress_start: SimTime,
+    /// Delivery instant after ingress serialization and the FIFO clamp.
+    pub delivered: SimTime,
+    /// Bytes charged on the wire after min-size clamping.
+    pub wire_bytes: u32,
 }
 
 #[cfg(test)]
@@ -239,7 +264,7 @@ mod tests {
     fn single_packet_latency() {
         let mut n = net();
         let mut r = rng();
-        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10);
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
         // egress 26ns + 1500ns + ingress 26ns.
         assert_eq!(d.as_nanos(), 26 + 1_500 + 26);
     }
@@ -248,8 +273,8 @@ mod tests {
     fn egress_serializes_fanout() {
         let mut n = net();
         let mut r = rng();
-        let d1 = n.route(&mut r, 0, 1, SimTime::ZERO, 10);
-        let d2 = n.route(&mut r, 0, 2, SimTime::ZERO, 10);
+        let d1 = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        let d2 = n.route(&mut r, 0, 2, SimTime::ZERO, 10).delivered;
         // Second packet waits for the first to leave the sender NIC.
         assert_eq!(d2.as_nanos() - d1.as_nanos(), 26);
     }
@@ -258,8 +283,8 @@ mod tests {
     fn ingress_serializes_fanin() {
         let mut n = net();
         let mut r = rng();
-        let d1 = n.route(&mut r, 0, 2, SimTime::ZERO, 10);
-        let d2 = n.route(&mut r, 1, 2, SimTime::ZERO, 10);
+        let d1 = n.route(&mut r, 0, 2, SimTime::ZERO, 10).delivered;
+        let d2 = n.route(&mut r, 1, 2, SimTime::ZERO, 10).delivered;
         assert!(d2 > d1);
         assert_eq!(d2.as_nanos() - d1.as_nanos(), 26);
     }
@@ -271,8 +296,10 @@ mod tests {
         // First packet hit by transient extra latency; second posted later
         // without it must not overtake.
         n.add_link_latency(0, 1, Duration::from_micros(50), SimTime::from_micros(1));
-        let d1 = n.route(&mut r, 0, 1, SimTime::ZERO, 10);
-        let d2 = n.route(&mut r, 0, 1, SimTime::from_nanos(100), 10);
+        let d1 = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        let d2 = n
+            .route(&mut r, 0, 1, SimTime::from_nanos(100), 10)
+            .delivered;
         assert!(d2 >= d1, "FIFO violated: {d2:?} < {d1:?}");
     }
 
@@ -281,7 +308,7 @@ mod tests {
         let mut n = net();
         let mut r = rng();
         n.add_link_latency(0, 1, Duration::from_micros(50), SimTime::from_micros(1));
-        let late = n.route(&mut r, 0, 1, SimTime::from_millis(1), 10);
+        let late = n.route(&mut r, 0, 1, SimTime::from_millis(1), 10).delivered;
         // Normal path again: ~1552ns after post.
         assert_eq!(late.as_nanos() - SimTime::from_millis(1).as_nanos(), 1_552);
     }
@@ -290,7 +317,7 @@ mod tests {
     fn loopback_skips_ingress_and_is_fast() {
         let mut n = net();
         let mut r = rng();
-        let d = n.route(&mut r, 0, 0, SimTime::ZERO, 10);
+        let d = n.route(&mut r, 0, 0, SimTime::ZERO, 10).delivered;
         assert_eq!(d.as_nanos(), 26 + 300);
     }
 
@@ -299,10 +326,10 @@ mod tests {
         let mut n = net();
         let mut r = rng();
         n.set_link(0, 1, LinkParams::fixed(Duration::from_micros(25)));
-        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10);
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
         assert_eq!(d.as_nanos(), 26 + 25_000 + 26);
         // Other links unaffected.
-        let d2 = n.route(&mut r, 0, 2, SimTime::ZERO, 10);
+        let d2 = n.route(&mut r, 0, 2, SimTime::ZERO, 10).delivered;
         assert!(d2 < d);
     }
 
@@ -324,7 +351,7 @@ mod tests {
         let mut r = rng();
         for i in 0..200 {
             let post = SimTime::from_micros(i * 10);
-            let d = n.route(&mut r, 0, 1, post, 10);
+            let d = n.route(&mut r, 0, 1, post, 10).delivered;
             let elapsed = d.as_nanos() - post.as_nanos();
             assert!((1_052..=1_552).contains(&elapsed), "elapsed {elapsed}");
         }

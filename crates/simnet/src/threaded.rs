@@ -26,10 +26,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A node not yet started: its inbox plus the process to run.
+type PendingNode<M> = (Receiver<(NodeId, M)>, Box<dyn Process<M> + Send>);
+
 /// A handle to a cluster of protocol nodes running on real threads.
 pub struct ThreadedRunner<M: Send + 'static> {
     senders: Vec<Sender<(NodeId, M)>>,
-    pending: Vec<Option<(Receiver<(NodeId, M)>, Box<dyn Process<M> + Send>)>>,
+    pending: Vec<Option<PendingNode<M>>>,
     handles: Vec<JoinHandle<Box<dyn Process<M> + Send>>>,
     stop: Arc<AtomicBool>,
     epoch: Instant,
@@ -113,7 +116,10 @@ impl<M: Send + 'static> ThreadedRunner<M> {
     /// (downcast with [`ThreadedRunner::node_as`]).
     pub fn stop(mut self) -> Vec<Box<dyn Process<M> + Send>> {
         self.stop.store(true, Ordering::SeqCst);
-        self.handles.drain(..).map(|h| h.join().expect("node thread panicked")).collect()
+        self.handles
+            .drain(..)
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
     }
 
     /// Downcast a stopped node to its concrete type.
@@ -133,6 +139,9 @@ fn run_node<M: Send + 'static>(
     seed: u64,
 ) {
     let mut rng = SmallRng::seed_from_u64(seed);
+    // Each thread owns a disabled probe: protocol count()/trace() calls stay
+    // valid on real threads, but nothing is collected (non-goal: see above).
+    let mut probe = crate::trace::Probe::new();
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let now_sim = |epoch: Instant| {
         crate::SimTime::from_nanos(epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
@@ -140,7 +149,7 @@ fn run_node<M: Send + 'static>(
 
     // on_start
     {
-        let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng);
+        let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
         proc.on_start(&mut ctx);
         apply_effects(id, ctx, &senders, &mut timers, epoch);
     }
@@ -150,7 +159,7 @@ fn run_node<M: Send + 'static>(
         let now = Instant::now();
         while timers.peek().is_some_and(|t| t.at <= now) {
             let t = timers.pop().expect("peeked");
-            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng);
+            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
             proc.on_timer(&mut ctx, t.token);
             apply_effects(id, ctx, &senders, &mut timers, epoch);
         }
@@ -160,19 +169,17 @@ fn run_node<M: Send + 'static>(
             .map(|t| t.at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(1))
             .min(Duration::from_millis(1));
-        match rx.recv_timeout(wait) {
-            Ok((from, msg)) => {
-                let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng);
+        // On timeout the loop simply re-checks timers and the stop flag.
+        if let Ok((from, msg)) = rx.recv_timeout(wait) {
+            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
+            proc.on_message(&mut ctx, from, msg);
+            apply_effects(id, ctx, &senders, &mut timers, epoch);
+            // Drain whatever else is queued (receiver-side batching).
+            while let Ok((from, msg)) = rx.try_recv() {
+                let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
                 proc.on_message(&mut ctx, from, msg);
                 apply_effects(id, ctx, &senders, &mut timers, epoch);
-                // Drain whatever else is queued (receiver-side batching).
-                while let Ok((from, msg)) = rx.try_recv() {
-                    let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng);
-                    proc.on_message(&mut ctx, from, msg);
-                    apply_effects(id, ctx, &senders, &mut timers, epoch);
-                }
             }
-            Err(_) => {} // timeout: loop re-checks timers and the stop flag
         }
     }
 }

@@ -1,0 +1,623 @@
+//! Zero-perturbation tracing and metrics for the simulated fabric.
+//!
+//! Two observability channels thread through the engine and every protocol
+//! crate:
+//!
+//! * **Counters** ([`Counter`]) — per-node `u64` registers bumped through
+//!   [`Ctx::count`](crate::Ctx::count) (protocol layer) and by the engine
+//!   itself (fabric layer). Counting is *always on*: a plain array increment
+//!   that charges no CPU, draws no randomness, and schedules no event, so it
+//!   cannot perturb a run.
+//! * **Events** ([`TraceEvent`]) — a timeline of fabric spans (NIC egress /
+//!   ingress serialization, CPU-busy intervals) and protocol instants
+//!   ([`Event`] via [`Ctx::trace`](crate::Ctx::trace)), recorded only while
+//!   tracing is enabled ([`Sim::set_tracing`](crate::Sim::set_tracing)).
+//!   Recording appends to a buffer and nothing else — traced and untraced
+//!   runs of the same seed are bit-identical (`tests/observability.rs` proves
+//!   this).
+//!
+//! Exports are hand-rolled JSON (the workspace deliberately avoids serde,
+//! DESIGN.md §6): [`chrome_trace_json`] renders the event timeline in the
+//! Chrome trace-event format that Perfetto and `chrome://tracing` open
+//! directly, keyed on virtual time; [`MetricsSnapshot::to_json`] renders the
+//! counter registry for per-run metrics sidecars.
+
+use crate::ctx::DeliveryClass;
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// Per-node counter registry slots.
+///
+/// Fabric counters (`MsgsSent` .. `Packets`) are maintained by the engine;
+/// the rest are bumped by protocol crates at their natural instrument points.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Messages this node posted into the fabric.
+    MsgsSent,
+    /// Messages delivered to this node.
+    MsgsDelivered,
+    /// Bytes this node placed on the wire (after min-wire-size clamping).
+    WireBytes,
+    /// Packets this node placed on the wire.
+    Packets,
+    /// RDMA verbs posted (writes + reads).
+    VerbPosts,
+    /// One-sided writes applied into this node's registered memory.
+    DmaWritesApplied,
+    /// Completion-queue entries retired by polling.
+    CompletionsPolled,
+    /// SST row pushes.
+    SstPushes,
+    /// Ring-buffer frames sent.
+    RingFrames,
+    /// Sends refused because the remote ring had no reusable space.
+    RingStalls,
+    /// Ring wrap markers written (frame did not fit before the end).
+    RingWraps,
+    /// Broadcast messages accepted into the log.
+    Accepts,
+    /// Messages committed / delivered to the application.
+    Commits,
+    /// Recovery-diff entries applied during an epoch change.
+    DiffApplies,
+    /// Elections started.
+    Elections,
+    /// Elections won (this node became leader).
+    ElectionsWon,
+    /// Heartbeat-timeout expiries that marked the leader suspect.
+    HeartbeatMisses,
+    /// View changes installed (Derecho) or epoch/view installs generally.
+    ViewChanges,
+    /// Client-side retransmissions.
+    Retransmits,
+}
+
+impl Counter {
+    /// Number of counter slots.
+    pub const COUNT: usize = 19;
+
+    /// All counters, in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MsgsSent,
+        Counter::MsgsDelivered,
+        Counter::WireBytes,
+        Counter::Packets,
+        Counter::VerbPosts,
+        Counter::DmaWritesApplied,
+        Counter::CompletionsPolled,
+        Counter::SstPushes,
+        Counter::RingFrames,
+        Counter::RingStalls,
+        Counter::RingWraps,
+        Counter::Accepts,
+        Counter::Commits,
+        Counter::DiffApplies,
+        Counter::Elections,
+        Counter::ElectionsWon,
+        Counter::HeartbeatMisses,
+        Counter::ViewChanges,
+        Counter::Retransmits,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MsgsSent => "msgs_sent",
+            Counter::MsgsDelivered => "msgs_delivered",
+            Counter::WireBytes => "wire_bytes",
+            Counter::Packets => "packets",
+            Counter::VerbPosts => "verb_posts",
+            Counter::DmaWritesApplied => "dma_writes_applied",
+            Counter::CompletionsPolled => "completions_polled",
+            Counter::SstPushes => "sst_pushes",
+            Counter::RingFrames => "ring_frames",
+            Counter::RingStalls => "ring_stalls",
+            Counter::RingWraps => "ring_wraps",
+            Counter::Accepts => "accepts",
+            Counter::Commits => "commits",
+            Counter::DiffApplies => "diff_applies",
+            Counter::Elections => "elections",
+            Counter::ElectionsWon => "elections_won",
+            Counter::HeartbeatMisses => "heartbeat_misses",
+            Counter::ViewChanges => "view_changes",
+            Counter::Retransmits => "retransmits",
+        }
+    }
+}
+
+/// One node's counter registers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    vals: [u64; Counter::COUNT],
+}
+
+impl CounterSet {
+    /// Read one counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// Iterate `(counter, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c, self.vals[c as usize]))
+    }
+}
+
+/// A protocol-level instant: a static name plus up to two numeric arguments
+/// (what they mean is up to the emitting protocol — typically an epoch and a
+/// sequence number).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Static event name (becomes the timeline label).
+    pub name: &'static str,
+    /// First numeric argument (shown as `a` in the timeline).
+    pub a: u64,
+    /// Second numeric argument (shown as `b` in the timeline).
+    pub b: u64,
+}
+
+impl Event {
+    /// An event with both arguments zero.
+    pub fn new(name: &'static str) -> Self {
+        Event { name, a: 0, b: 0 }
+    }
+
+    /// Set the first argument.
+    pub fn a(mut self, v: u64) -> Self {
+        self.a = v;
+        self
+    }
+
+    /// Set the second argument.
+    pub fn b(mut self, v: u64) -> Self {
+        self.b = v;
+        self
+    }
+}
+
+/// One recorded timeline entry (virtual-time stamped).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A protocol instant emitted through [`Ctx::trace`](crate::Ctx::trace).
+    Proto {
+        /// Instant (dispatch time plus CPU charged so far).
+        at: SimTime,
+        /// Emitting node.
+        node: NodeId,
+        /// The protocol event.
+        ev: Event,
+    },
+    /// A message was posted into the fabric.
+    Send {
+        /// Post instant (dispatch time plus CPU charged at the send).
+        at: SimTime,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Delivery semantics.
+        class: DeliveryClass,
+        /// Bytes on the wire (after min-wire-size clamping).
+        wire_bytes: u32,
+    },
+    /// The sender NIC serialized a packet onto the wire.
+    NicEgress {
+        /// Sending node (timeline row owner).
+        node: NodeId,
+        /// Serialization start.
+        start: SimTime,
+        /// Serialization end (packet fully on the wire).
+        end: SimTime,
+        /// Clamped packet size.
+        bytes: u32,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// The receiver NIC serialized a packet off the wire.
+    NicIngress {
+        /// Receiving node (timeline row owner).
+        node: NodeId,
+        /// Serialization start.
+        start: SimTime,
+        /// Serialization end.
+        end: SimTime,
+        /// Clamped packet size.
+        bytes: u32,
+        /// Source node.
+        src: NodeId,
+    },
+    /// A message reached its destination handler.
+    Deliver {
+        /// Delivery instant.
+        at: SimTime,
+        /// Receiving node.
+        node: NodeId,
+        /// Sender.
+        from: NodeId,
+        /// Delivery semantics.
+        class: DeliveryClass,
+    },
+    /// A node's CPU was busy executing handler work.
+    CpuBusy {
+        /// Node whose CPU was busy.
+        node: NodeId,
+        /// Busy-interval start.
+        start: SimTime,
+        /// Busy-interval end.
+        end: SimTime,
+    },
+}
+
+/// The recording side of the observability layer, owned by the engine (or by
+/// a thread in the threaded runner).
+///
+/// Counters are always on. Event recording is gated by [`Probe::set_enabled`]
+/// and is append-only: it charges no CPU, draws no randomness, and never
+/// touches the event schedule.
+#[derive(Debug, Default)]
+pub struct Probe {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    counters: Vec<CounterSet>,
+}
+
+impl Probe {
+    /// A disabled probe with no nodes registered.
+    pub fn new() -> Self {
+        Probe::default()
+    }
+
+    /// Register a counter row for a newly spawned node.
+    pub fn add_node(&mut self) {
+        self.counters.push(CounterSet::default());
+    }
+
+    /// Turn event recording on or off (counters are unaffected).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether event recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append `ev` to the timeline if recording is on.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Bump a per-node counter (always on; rows grow on demand so probes
+    /// outside an engine — e.g. the threaded runner — never panic).
+    #[inline]
+    pub fn count(&mut self, node: NodeId, c: Counter, n: u64) {
+        if node >= self.counters.len() {
+            self.counters.resize(node + 1, CounterSet::default());
+        }
+        self.counters[node].vals[c as usize] += n;
+    }
+
+    /// Read one node's counter (0 for unregistered nodes).
+    #[inline]
+    pub fn counter(&self, node: NodeId, c: Counter) -> u64 {
+        self.counters.get(node).map_or(0, |s| s.get(c))
+    }
+
+    /// The recorded timeline so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Take the recorded timeline, leaving the buffer empty.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Copy out the counter registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            nodes: self.counters.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of every node's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One [`CounterSet`] per node, indexed by [`NodeId`].
+    pub nodes: Vec<CounterSet>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of one counter across all nodes.
+    pub fn total(&self, c: Counter) -> u64 {
+        self.nodes.iter().map(|n| n.get(c)).sum()
+    }
+
+    /// How many distinct counters are nonzero on at least one node.
+    pub fn distinct_nonzero(&self) -> usize {
+        Counter::ALL.iter().filter(|&&c| self.total(c) > 0).count()
+    }
+
+    /// Render as JSON: per-node counter objects plus cross-node totals.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.nodes.len() + 1));
+        out.push_str("{\"nodes\":[");
+        for (id, set) in self.nodes.iter().enumerate() {
+            if id > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"node\":{id},\"counters\":{{"));
+            for (i, (c, v)) in set.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", c.name(), v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"totals\":{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name(), self.total(*c)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1_000.0
+}
+
+fn class_name(c: DeliveryClass) -> &'static str {
+    match c {
+        DeliveryClass::Dma => "dma",
+        DeliveryClass::Cpu => "cpu",
+    }
+}
+
+// Chrome trace-event thread lanes, one per event family, so Perfetto renders
+// each node as a process with stable named rows.
+const TID_PROTO: u32 = 0;
+const TID_CPU: u32 = 1;
+const TID_NIC_TX: u32 = 2;
+const TID_NIC_RX: u32 = 3;
+
+/// Render a recorded timeline in the Chrome trace-event JSON format
+/// (open with [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
+///
+/// Timestamps are virtual microseconds. Each simulated node becomes a
+/// "process" (`pid` = node id) with four named rows: protocol instants,
+/// CPU-busy spans, NIC egress spans, and NIC ingress spans.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, entry: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&entry);
+    };
+
+    // Name the per-node lanes so the viewer shows meaningful rows.
+    let max_node = events
+        .iter()
+        .map(|e| match *e {
+            TraceEvent::Proto { node, .. }
+            | TraceEvent::NicEgress { node, .. }
+            | TraceEvent::NicIngress { node, .. }
+            | TraceEvent::Deliver { node, .. }
+            | TraceEvent::CpuBusy { node, .. } => node,
+            TraceEvent::Send { src, dst, .. } => src.max(dst),
+        })
+        .max();
+    if let Some(max_node) = max_node {
+        for node in 0..=max_node {
+            push(&mut out, format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_name\",\"args\":{{\"name\":\"node {node}\"}}}}"
+            ));
+            for (tid, name) in [
+                (TID_PROTO, "protocol"),
+                (TID_CPU, "cpu"),
+                (TID_NIC_TX, "nic egress"),
+                (TID_NIC_RX, "nic ingress"),
+            ] {
+                push(&mut out, format!(
+                    "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+                ));
+            }
+        }
+    }
+
+    for e in events {
+        let entry = match *e {
+            TraceEvent::Proto { at, node, ev } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{node},\"tid\":{TID_PROTO},\"ts\":{:.3},\"name\":\"{}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+                ts_us(at),
+                json_escape(ev.name),
+                ev.a,
+                ev.b
+            ),
+            TraceEvent::Send {
+                at,
+                src,
+                dst,
+                class,
+                wire_bytes,
+            } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{src},\"tid\":{TID_PROTO},\"ts\":{:.3},\"name\":\"send\",\"args\":{{\"dst\":{dst},\"class\":\"{}\",\"wire_bytes\":{wire_bytes}}}}}",
+                ts_us(at),
+                class_name(class)
+            ),
+            TraceEvent::Deliver {
+                at,
+                node,
+                from,
+                class,
+            } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{node},\"tid\":{TID_PROTO},\"ts\":{:.3},\"name\":\"deliver\",\"args\":{{\"from\":{from},\"class\":\"{}\"}}}}",
+                ts_us(at),
+                class_name(class)
+            ),
+            TraceEvent::NicEgress {
+                node,
+                start,
+                end,
+                bytes,
+                dst,
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":{node},\"tid\":{TID_NIC_TX},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"tx\",\"args\":{{\"bytes\":{bytes},\"dst\":{dst}}}}}",
+                ts_us(start),
+                ts_us(end) - ts_us(start)
+            ),
+            TraceEvent::NicIngress {
+                node,
+                start,
+                end,
+                bytes,
+                src,
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":{node},\"tid\":{TID_NIC_RX},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"rx\",\"args\":{{\"bytes\":{bytes},\"src\":{src}}}}}",
+                ts_us(start),
+                ts_us(end) - ts_us(start)
+            ),
+            TraceEvent::CpuBusy { node, start, end } => format!(
+                "{{\"ph\":\"X\",\"pid\":{node},\"tid\":{TID_CPU},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"busy\",\"args\":{{}}}}",
+                ts_us(start),
+                ts_us(end) - ts_us(start)
+            ),
+        };
+        push(&mut out, entry);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node() {
+        let mut p = Probe::new();
+        p.add_node();
+        p.add_node();
+        p.count(0, Counter::Commits, 3);
+        p.count(1, Counter::Commits, 4);
+        p.count(0, Counter::Commits, 1);
+        let snap = p.snapshot();
+        assert_eq!(snap.nodes[0].get(Counter::Commits), 4);
+        assert_eq!(snap.nodes[1].get(Counter::Commits), 4);
+        assert_eq!(snap.total(Counter::Commits), 8);
+        assert_eq!(snap.total(Counter::Retransmits), 0);
+    }
+
+    #[test]
+    fn count_grows_rows_on_demand() {
+        let mut p = Probe::new();
+        p.count(5, Counter::RingStalls, 1);
+        assert_eq!(p.snapshot().nodes.len(), 6);
+        assert_eq!(p.snapshot().nodes[5].get(Counter::RingStalls), 1);
+    }
+
+    #[test]
+    fn recording_gated_by_enabled() {
+        let mut p = Probe::new();
+        let ev = TraceEvent::CpuBusy {
+            node: 0,
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(10),
+        };
+        p.record(ev);
+        assert!(p.events().is_empty());
+        p.set_enabled(true);
+        p.record(ev);
+        assert_eq!(p.events().len(), 1);
+        assert_eq!(p.take_events().len(), 1);
+        assert!(p.events().is_empty());
+    }
+
+    #[test]
+    fn counter_names_are_unique_and_cover_all() {
+        let names: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let events = vec![
+            TraceEvent::Proto {
+                at: SimTime::from_nanos(1_500),
+                node: 0,
+                ev: Event::new("commit").a(7),
+            },
+            TraceEvent::NicEgress {
+                node: 0,
+                start: SimTime::ZERO,
+                end: SimTime::from_nanos(26),
+                bytes: 80,
+                dst: 1,
+            },
+            TraceEvent::CpuBusy {
+                node: 1,
+                start: SimTime::from_nanos(100),
+                end: SimTime::from_nanos(700),
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"commit\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"process_name\""));
+        // Balanced braces / brackets (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn metrics_json_contains_every_counter() {
+        let mut p = Probe::new();
+        p.add_node();
+        p.count(0, Counter::VerbPosts, 2);
+        let json = p.snapshot().to_json();
+        for c in Counter::ALL {
+            assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+        assert!(json.contains("\"verb_posts\":2"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -337,7 +337,14 @@ impl ZabNode {
             self.committed = new_committed;
             for f in 0..self.cfg.n {
                 if f != self.me {
-                    self.send(ctx, f, 48, ZkWire::Commit { zxid: new_committed });
+                    self.send(
+                        ctx,
+                        f,
+                        48,
+                        ZkWire::Commit {
+                            zxid: new_committed,
+                        },
+                    );
                 }
             }
             self.deliver_upto(ctx, new_committed);
@@ -367,6 +374,7 @@ impl ZabNode {
             let hdr = MsgHdr::new(Epoch::new(z.0, self.leader_of_epoch(z.0)), z.1);
             self.app.deliver(hdr, &value);
             self.delivered_count += 1;
+            ctx.count(simnet::Counter::Commits, 1);
             self.delivered = z;
             if self.role == ZabRole::Leading && self.origin.remove(&z).is_some() {
                 self.send(
@@ -451,6 +459,7 @@ impl ZabNode {
         self.epoch_acks = 1;
         self.epoch_ready = false;
         self.elections_won += 1;
+        ctx.count(simnet::Counter::ElectionsWon, 1);
         self.acks.clear();
         for p in 0..self.cfg.n {
             if p != self.me {
@@ -500,10 +509,7 @@ impl ZabNode {
         self.role = ZabRole::Following;
         self.last_leader_seen = ctx.now();
         // Adopt the leader's history wholesale (truncate-and-copy sync).
-        self.log = log
-            .into_iter()
-            .map(|(z, c, i, v)| (z, (c, i, v)))
-            .collect();
+        self.log = log.into_iter().map(|(z, c, i, v)| (z, (c, i, v))).collect();
         self.send(ctx, from, 48, ZkWire::AckNewLeader { epoch });
         self.committed = self.committed.max(committed);
         let upto = self.committed;
@@ -654,8 +660,7 @@ mod tests {
     #[test]
     fn commits_and_totally_orders() {
         let cfg = ZabConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(23, &cfg, 8, 10, Duration::from_millis(5));
+        let (mut sim, ids, client) = cluster_with_client(23, &cfg, 8, 10, Duration::from_millis(5));
         sim.run_until(SimTime::from_millis(60));
         check_cluster(&sim, &ids).unwrap();
         let r = sim.node::<WindowClient<ZkWire>>(client).result();
@@ -668,8 +673,7 @@ mod tests {
     #[test]
     fn latency_reflects_kernel_stack_and_pipeline() {
         let cfg = ZabConfig::default();
-        let (mut sim, ids, client) =
-            cluster_with_client(24, &cfg, 1, 10, Duration::from_millis(5));
+        let (mut sim, ids, client) = cluster_with_client(24, &cfg, 1, 10, Duration::from_millis(5));
         sim.run_until(SimTime::from_millis(60));
         check_cluster(&sim, &ids).unwrap();
         let lat = sim
@@ -700,8 +704,7 @@ mod tests {
     fn leader_crash_elects_replacement_and_preserves_commits() {
         let cfg = ZabConfig::default();
         let (mut sim, ids, client) = cluster_with_client(26, &cfg, 8, 10, Duration::ZERO);
-        sim.node_mut::<WindowClient<ZkWire>>(client).retransmit =
-            Some(Duration::from_millis(20));
+        sim.node_mut::<WindowClient<ZkWire>>(client).retransmit = Some(Duration::from_millis(20));
         sim.run_until(SimTime::from_millis(20));
         let committed_before = sim.node::<ZabNode>(1).delivered_count;
         assert!(committed_before > 0);

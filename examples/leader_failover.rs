@@ -56,7 +56,10 @@ fn main() {
 
     let committed_after = sim.node::<AcuerdoNode>(new_leader).delivered_count;
     println!("phase 4: new epoch committed up to {committed_after} deliveries");
-    assert!(committed_after > committed_before, "no post-failover progress");
+    assert!(
+        committed_after > committed_before,
+        "no post-failover progress"
+    );
 
     // Nothing committed was lost; all live replicas agree on one order.
     check_cluster(&sim, &replicas).expect("no committed message lost or reordered");

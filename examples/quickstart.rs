@@ -19,15 +19,23 @@ fn main() {
     // Three replicas (tolerating one crash fault), booted into a stable
     // epoch led by replica 0, plus a window-8 client.
     let cfg = AcuerdoConfig::stable(3);
-    let (mut sim, replicas, client) =
-        cluster_with_client(/*seed*/ 1, &cfg, /*window*/ 8, /*payload*/ 10, Duration::ZERO);
+    let (mut sim, replicas, client) = cluster_with_client(
+        /*seed*/ 1,
+        &cfg,
+        /*window*/ 8,
+        /*payload*/ 10,
+        Duration::ZERO,
+    );
 
     // Stop after 500 committed-and-acknowledged messages.
     sim.node_mut::<WindowClient<AcWire>>(client).halt_after = Some(500);
     sim.run_until(SimTime::from_secs(1));
 
     let leader = current_leader(&sim, &replicas).expect("a unique leader");
-    println!("leader: replica {leader}, epoch {:?}", sim.node::<AcuerdoNode>(leader).epoch());
+    println!(
+        "leader: replica {leader}, epoch {:?}",
+        sim.node::<AcuerdoNode>(leader).epoch()
+    );
 
     let result = sim.node::<WindowClient<AcWire>>(client).result();
     println!("committed messages : {}", result.completed);

@@ -32,14 +32,21 @@ fn main() {
 
     let result = sim.node::<WindowClient<AcWire>>(client).result();
     println!("YCSB-load on 3 replicas:");
-    println!("  {:.0} ops/s, mean latency {:.1} us", result.msgs_per_sec(), result.latency.mean_us());
+    println!(
+        "  {:.0} ops/s, mean latency {:.1} us",
+        result.msgs_per_sec(),
+        result.latency.mean_us()
+    );
 
     // All replicas converged to the same table.
     let tables: Vec<&ReplicatedMap> = replicas
         .iter()
         .map(|&r| app_as::<ReplicatedMap>(sim.node::<AcuerdoNode>(r).app.as_ref()).unwrap())
         .collect();
-    println!("  applied ops per replica: {:?}", tables.iter().map(|t| t.applied).collect::<Vec<_>>());
+    println!(
+        "  applied ops per replica: {:?}",
+        tables.iter().map(|t| t.applied).collect::<Vec<_>>()
+    );
     // State-machine replication: any two replicas that applied the same
     // number of committed ops hold byte-identical tables.
     for (i, a) in tables.iter().enumerate() {
@@ -47,12 +54,19 @@ fn main() {
             if a.applied == b.applied {
                 assert_eq!(a.map.len(), b.map.len(), "replicas {i} and {j} diverged");
                 for (k, v) in &a.map {
-                    assert_eq!(b.map.get(k), Some(v), "replicas {i} and {j} diverged on {k:?}");
+                    assert_eq!(
+                        b.map.get(k),
+                        Some(v),
+                        "replicas {i} and {j} diverged on {k:?}"
+                    );
                 }
             }
         }
     }
-    println!("  table sizes: {:?}", tables.iter().map(|t| t.map.len()).collect::<Vec<_>>());
+    println!(
+        "  table sizes: {:?}",
+        tables.iter().map(|t| t.map.len()).collect::<Vec<_>>()
+    );
 
     // Direct read from a follower replica (bypasses broadcast).
     let hot_key = tables[0]

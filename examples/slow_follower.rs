@@ -56,31 +56,51 @@ fn derecho_run(slow: bool) -> (f64, f64) {
 }
 
 fn main() {
-    println!("3 replicas, window 8, 10-byte messages; follower 2 descheduled 100-250us every ~300us\n");
+    println!(
+        "3 replicas, window 8, 10-byte messages; follower 2 descheduled 100-250us every ~300us\n"
+    );
     let (al0, at0) = acuerdo_run(false);
     let (al1, at1) = acuerdo_run(true);
     let (dl0, dt0) = derecho_run(false);
     let (dl1, dt1) = derecho_run(true);
 
-    println!("{:<18} {:>14} {:>14} {:>12}", "system", "clean", "slow member", "slowdown");
     println!(
-        "{:<18} {:>11.1} us {:>11.1} us {:>11.2}x",
-        "acuerdo latency", al0, al1, al1 / al0
+        "{:<18} {:>14} {:>14} {:>12}",
+        "system", "clean", "slow member", "slowdown"
     );
     println!(
         "{:<18} {:>11.1} us {:>11.1} us {:>11.2}x",
-        "derecho latency", dl0, dl1, dl1 / dl0
+        "acuerdo latency",
+        al0,
+        al1,
+        al1 / al0
+    );
+    println!(
+        "{:<18} {:>11.1} us {:>11.1} us {:>11.2}x",
+        "derecho latency",
+        dl0,
+        dl1,
+        dl1 / dl0
     );
     println!(
         "{:<18} {:>8.0} msg/s {:>8.0} msg/s {:>11.2}x",
-        "acuerdo tput", at0, at1, at0 / at1
+        "acuerdo tput",
+        at0,
+        at1,
+        at0 / at1
     );
     println!(
         "{:<18} {:>8.0} msg/s {:>8.0} msg/s {:>11.2}x",
-        "derecho tput", dt0, dt1, dt0 / dt1
+        "derecho tput",
+        dt0,
+        dt1,
+        dt0 / dt1
     );
     println!();
     println!("acuerdo runs at the speed of its fastest quorum; virtual synchrony");
     println!("runs at the speed of its slowest member.");
-    assert!(dl1 / dl0 > (al1 / al0) * 1.3, "demo invariant: derecho hurt more");
+    assert!(
+        dl1 / dl0 > (al1 / al0) * 1.3,
+        "demo invariant: derecho hurt more"
+    );
 }

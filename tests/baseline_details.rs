@@ -8,7 +8,7 @@ use std::time::Duration;
 
 #[test]
 fn zab_cumulative_commit_survives_delayed_acks() {
-    use acuerdo_repro::zab::{self, ZabConfig, ZkWire, ZabNode};
+    use acuerdo_repro::zab::{self, ZabConfig, ZabNode, ZkWire};
     // Slow the leader→follower-2 proposal path: follower 1 alone forms the
     // quorum, commits advance cumulatively, and follower 2 must still
     // deliver the full prefix (from buffered proposals + the watermark).
@@ -40,9 +40,7 @@ fn zab_five_nodes_totally_order_under_load() {
         zab::cluster_with_client(302, &cfg, 16, 100, Duration::from_millis(5));
     sim.run_until(SimTime::from_millis(80));
     zab::check_cluster(&sim, &ids).unwrap();
-    assert!(
-        sim.node::<WindowClient<ZkWire>>(client).result().completed > 100
-    );
+    assert!(sim.node::<WindowClient<ZkWire>>(client).result().completed > 100);
 }
 
 #[test]
@@ -113,7 +111,7 @@ fn raft_log_conflict_is_truncated_after_leadership_change() {
 
 #[test]
 fn apus_recovers_after_transient_total_stall() {
-    use acuerdo_repro::apus::{self, ApusConfig, ApWire};
+    use acuerdo_repro::apus::{self, ApWire, ApusConfig};
     // All followers briefly unreachable (extra latency): the single pending
     // batch stalls, then the pipeline refills without loss or reorder.
     let cfg = ApusConfig::default();
@@ -124,5 +122,9 @@ fn apus_recovers_after_transient_total_stall() {
     sim.run_until(SimTime::from_millis(20));
     apus::check_cluster(&sim, &ids).unwrap();
     let r = sim.node::<WindowClient<ApWire>>(client).result();
-    assert!(r.completed > 500, "no recovery after stall: {}", r.completed);
+    assert!(
+        r.completed > 500,
+        "no recovery after stall: {}",
+        r.completed
+    );
 }

@@ -34,7 +34,10 @@ fn measure_all(seed: u64, window: usize) -> Vec<Measured> {
     }
     {
         use acuerdo_repro::derecho::{self, DcWire, DerechoConfig, Mode};
-        for (name, mode) in [("derecho-leader", Mode::Leader), ("derecho-all", Mode::AllSender)] {
+        for (name, mode) in [
+            ("derecho-leader", Mode::Leader),
+            ("derecho-all", Mode::AllSender),
+        ] {
             let cfg = DerechoConfig {
                 n: 3,
                 mode,

@@ -89,7 +89,10 @@ fn descheduled_follower_catches_up_from_ring_backlog() {
         let lagger = sim.node::<AcuerdoNode>(2).delivered_count;
         leader.saturating_sub(lagger)
     };
-    assert!(lag_at_wake > 100, "pause should create a backlog: {lag_at_wake}");
+    assert!(
+        lag_at_wake > 100,
+        "pause should create a backlog: {lag_at_wake}"
+    );
     // Within a couple of milliseconds the lagger has drained the backlog to
     // within a commit-push interval of the leader.
     sim.run_until(SimTime::from_millis(8));
@@ -107,7 +110,8 @@ fn transient_link_delay_does_not_stall_quorum() {
     // 200us of extra latency on the leader→follower-2 link: the quorum
     // (leader + follower 1) keeps committing at full speed.
     let cfg = AcuerdoConfig::stable(3);
-    let (mut sim, ids, client) = acuerdo::cluster_with_client(80, &cfg, 8, 10, Duration::from_millis(1));
+    let (mut sim, ids, client) =
+        acuerdo::cluster_with_client(80, &cfg, 8, 10, Duration::from_millis(1));
     sim.add_link_latency(0, 2, Duration::from_micros(200), SimTime::from_millis(10));
     sim.run_until(SimTime::from_millis(15));
     let r = sim.node::<WindowClient<AcWire>>(client).result();
@@ -195,7 +199,8 @@ fn slow_node_descheduling_storm_acuerdo_vs_derecho() {
     };
     // Acuerdo.
     let cfg = AcuerdoConfig::stable(3);
-    let (mut sim, ids, client) = acuerdo::cluster_with_client(84, &cfg, 8, 10, Duration::from_millis(1));
+    let (mut sim, ids, client) =
+        acuerdo::cluster_with_client(84, &cfg, 8, 10, Duration::from_millis(1));
     sim.set_desched(2, profile);
     sim.run_until(SimTime::from_millis(12));
     check_cluster(&sim, &ids).unwrap();
@@ -208,7 +213,8 @@ fn slow_node_descheduling_storm_acuerdo_vs_derecho() {
         view_timeout: Duration::from_secs(10),
         ..DerechoConfig::default()
     };
-    let (mut dsim, dids, dclient) = d::cluster_with_client(84, &dcfg, 8, 10, Duration::from_millis(1));
+    let (mut dsim, dids, dclient) =
+        d::cluster_with_client(84, &dcfg, 8, 10, Duration::from_millis(1));
     dsim.set_desched(2, profile);
     dsim.run_until(SimTime::from_millis(12));
     d::check_cluster(&dsim, &dids).unwrap();

@@ -1,0 +1,101 @@
+//! The tracing layer is zero-perturbation: turning it on must not change a
+//! single scheduling decision. Traced and untraced runs of the same seed
+//! must produce bit-identical delivery histories, client results, and
+//! counters — tracing only *adds* the recorded timeline.
+
+use acuerdo_repro::abcast::{MsgHdr, WindowClient};
+use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
+use acuerdo_repro::simnet::{chrome_trace_json, SimTime};
+use bytes::Bytes;
+use std::time::Duration;
+
+struct Outcome {
+    histories: Vec<Vec<(MsgHdr, Bytes)>>,
+    completed: u64,
+    payload_bytes: u64,
+    samples: u64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    counters_json: String,
+    distinct_counters: usize,
+    event_count: usize,
+    timeline: Option<String>,
+}
+
+fn run(seed: u64, traced: bool, crash: bool) -> Outcome {
+    let cfg = AcuerdoConfig {
+        fail_timeout: Duration::from_micros(400),
+        ..AcuerdoConfig::stable(3)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(seed, &cfg, 8, 10, Duration::ZERO);
+    sim.set_tracing(traced);
+    sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(2));
+    if crash {
+        sim.crash_at(0, SimTime::from_millis(2));
+    }
+    sim.run_until(SimTime::from_millis(10));
+    let r = sim.node::<WindowClient<AcWire>>(client).result();
+    let snap = sim.metrics();
+    Outcome {
+        histories: acuerdo::histories(&sim, &ids),
+        completed: r.completed,
+        payload_bytes: r.payload_bytes,
+        samples: r.latency.count(),
+        mean_us: r.latency.mean_us(),
+        p50_us: r.latency.p50_us(),
+        p99_us: r.latency.p99_us(),
+        counters_json: snap.to_json(),
+        distinct_counters: snap.distinct_nonzero(),
+        event_count: sim.trace_events().len(),
+        timeline: traced.then(|| chrome_trace_json(sim.trace_events())),
+    }
+}
+
+fn assert_identical(a: &Outcome, b: &Outcome) {
+    assert_eq!(a.histories, b.histories, "delivery histories diverged");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.payload_bytes, b.payload_bytes);
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.mean_us, b.mean_us, "latency mean diverged");
+    assert_eq!(a.p50_us, b.p50_us);
+    assert_eq!(a.p99_us, b.p99_us);
+    assert_eq!(a.counters_json, b.counters_json, "counters diverged");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let traced = run(42, true, false);
+    let untraced = run(42, false, false);
+    assert_identical(&traced, &untraced);
+    assert!(traced.event_count > 0, "traced run recorded nothing");
+    assert_eq!(untraced.event_count, 0, "untraced run recorded events");
+}
+
+#[test]
+fn tracing_does_not_perturb_a_failover() {
+    let traced = run(555, true, true);
+    let untraced = run(555, false, true);
+    assert_identical(&traced, &untraced);
+    assert!(traced.event_count > 0);
+}
+
+#[test]
+fn traced_run_yields_timeline_and_counters() {
+    let o = run(7, true, false);
+    assert!(
+        o.distinct_counters >= 8,
+        "only {} distinct counters nonzero",
+        o.distinct_counters
+    );
+    let tl = o.timeline.expect("timeline present");
+    let tl = tl.trim();
+    assert!(
+        tl.starts_with("{\"displayTimeUnit\"") && tl.ends_with("]}"),
+        "not a trace-event document"
+    );
+    // Fabric spans and protocol instants both made it into the timeline.
+    assert!(tl.contains("\"ph\":\"X\""), "no spans in timeline");
+    assert!(tl.contains("commit"), "no commit instants in timeline");
+    assert!(tl.contains("nic"), "no NIC lanes in timeline");
+}

@@ -5,7 +5,7 @@
 //! total order, with no duplicates and no invented messages.
 
 use acuerdo_repro::abcast::{self, WindowClient};
-use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig, AcuerdoNode};
+use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
 use acuerdo_repro::simnet::SimTime;
 use proptest::prelude::*;
 use std::collections::HashSet;

@@ -59,11 +59,14 @@ fn pause_grid_leader_during_every_phase() {
         sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(2));
         sim.pause_at(0, at, Duration::from_millis(3));
         sim.run_until(SimTime::from_millis(15));
-        check_cluster(&sim, &ids)
-            .unwrap_or_else(|v| panic!("pause at {at}: {v:?}"));
+        check_cluster(&sim, &ids).unwrap_or_else(|v| panic!("pause at {at}: {v:?}"));
         let old = sim.node::<AcuerdoNode>(0);
         let e1 = sim.node::<AcuerdoNode>(1).epoch();
-        assert_eq!(old.epoch(), e1, "pause at {at}: old leader stuck in old epoch");
+        assert_eq!(
+            old.epoch(),
+            e1,
+            "pause at {at}: old leader stuck in old epoch"
+        );
     }
 }
 

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided — the unbounded MPSC channel the threaded
+//! runner uses as its "NIC". Backed by `std::sync::mpsc`, which offers the
+//! same FIFO-per-sender and blocking `recv_timeout` semantics at the small
+//! scales the examples run at.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of an unbounded channel (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error: the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out.
+        Timeout,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails only if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        h.join().unwrap();
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

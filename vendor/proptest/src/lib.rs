@@ -1,0 +1,468 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), range / `any` /
+//! `Just` / `prop_oneof!` / `prop::collection::vec` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test seed so failures are reproducible; there is no
+//! shrinking — the failing arguments are printed verbatim instead.
+
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed; the run aborts with this message.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; another case is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// A rejected (filtered-out) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result type of a single generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Upper bound on consecutive `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Deterministic generator driving case construction (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary string (e.g. the test name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi]` (inclusive).
+        pub fn below(&mut self, lo: u64, hi_incl: u64) -> u64 {
+            debug_assert!(lo <= hi_incl);
+            let span = hi_incl - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            let width = span + 1;
+            let zone = u64::MAX - (u64::MAX - width + 1) % width;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return lo + v % width;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Box a strategy (used by `prop_oneof!` for a homogeneous list).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives.
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from a non-empty alternative list.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(0, self.options.len() as u64 - 1) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Types with a default "any value" strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.below(self.start as u64, self.end as u64 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.below(*self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    /// `vec(element_strategy, len_range)` — lengths drawn from `len_range`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            elem,
+            lo: len.start,
+            hi_excl: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.lo as u64, self.hi_excl as u64 - 1) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Alias module so `prop::collection::vec(..)` works via the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in strategy, ..) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    #[allow(clippy::redundant_closure_call, unused_mut)]
+                    let mut case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    case()
+                };
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.max_global_rejects,
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s): {}\n  args: {:#?}",
+                            stringify!($name),
+                            passed,
+                            msg,
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Reject the current case unless `cond` holds (draws a fresh case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assume failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0usize..=4usize.pow(2) / 4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_just(p in prop_oneof![Just(1usize), Just(10), Just(100)]) {
+            prop_assert!(p == 1 || p == 10 || p == 100);
+        }
+
+        #[test]
+        fn assume_rejects_halves(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn question_mark_works(x in 1u8..5) {
+            fn helper(v: u8) -> Result<(), TestCaseError> {
+                if v == 0 {
+                    return Err(TestCaseError::fail("zero"));
+                }
+                Ok(())
+            }
+            helper(x)?;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(false, "forced failure {}", x);
+            }
+        }
+        always_fails();
+    }
+}
