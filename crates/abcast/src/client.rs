@@ -26,6 +26,10 @@ const CLIENT_SEND_CPU: Duration = Duration::from_nanos(50);
 const TOK_WARMUP: u64 = 1;
 const TOK_RETRY: u64 = 2;
 
+/// Consecutive no-progress retry rounds before a retransmitting client stops
+/// trusting `targets` and broadcasts to every replica it knows of.
+const FALLBACK_RETRY_ROUNDS: u32 = 3;
+
 /// A client request: a unique id plus an opaque payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClientReq {
@@ -66,6 +70,13 @@ pub struct WindowClient<M: ClientPort> {
     /// Resend outstanding requests older than this (used only in failover
     /// runs; `None` for the stable-network figures).
     pub retransmit: Option<Duration>,
+    /// Every replica of the cluster. When set, a client whose retransmits
+    /// make no progress for [`FALLBACK_RETRY_ROUNDS`] consecutive rounds
+    /// broadcasts its stale requests to all of them instead of re-aiming at
+    /// `targets` forever — `targets` may point at a crashed or partitioned
+    /// leader the client has no other way to route around (the retransmit
+    /// livelock). Empty (the default) disables the fallback.
+    pub replicas: Vec<NodeId>,
     /// Halt the simulation once this many measured completions arrived.
     pub halt_after: Option<u64>,
     /// Custom payload generator (e.g. YCSB key-value operations); defaults
@@ -75,6 +86,10 @@ pub struct WindowClient<M: ClientPort> {
 
     next_id: u64,
     outstanding: HashMap<u64, (SimTime, Bytes)>,
+    /// Consecutive retry rounds that resent something without any
+    /// completion arriving in between.
+    stuck_rounds: u32,
+    completed_at_last_retry: u64,
     measuring: bool,
     window_start: SimTime,
     completed: u64,
@@ -95,10 +110,13 @@ impl<M: ClientPort> WindowClient<M> {
             payload_size,
             warmup,
             retransmit: None,
+            replicas: Vec::new(),
             halt_after: None,
             payload_fn: None,
             next_id: 0,
             outstanding: HashMap::new(),
+            stuck_rounds: 0,
+            completed_at_last_retry: 0,
             measuring: false,
             window_start: SimTime::ZERO,
             completed: 0,
@@ -189,23 +207,48 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
             TOK_RETRY => {
                 let rto = self.retransmit.expect("retry timer without rto");
                 let now = ctx.now();
-                let stale: Vec<(u64, Bytes)> = self
+                let mut stale: Vec<(u64, Bytes)> = self
                     .outstanding
                     .iter()
                     .filter(|(_, (t, _))| now.saturating_since(*t) >= rto)
                     .map(|(id, (_, b))| (*id, b.clone()))
                     .collect();
+                // HashMap iteration order varies between instances; the send
+                // order decides how a recovering leader orders these, so it
+                // must not leak into the delivery history.
+                stale.sort_unstable_by_key(|(id, _)| *id);
+                if stale.is_empty() || self.total_completed != self.completed_at_last_retry {
+                    self.stuck_rounds = 0;
+                } else {
+                    self.stuck_rounds += 1;
+                }
+                self.completed_at_last_retry = self.total_completed;
+                // After enough fruitless rounds, stop trusting `targets`
+                // (it may name a dead or partitioned leader) and shotgun
+                // the stale requests at every replica; whichever one leads
+                // will ingest them, the rest drop them.
+                let broadcast =
+                    self.stuck_rounds >= FALLBACK_RETRY_ROUNDS && !self.replicas.is_empty();
                 for (id, body) in stale {
-                    let dst = self.targets[(id % self.targets.len() as u64) as usize];
                     ctx.count(Counter::Retransmits, 1);
-                    ctx.trace(Event::new("retransmit").a(id));
+                    ctx.trace(Event::new("retransmit").a(id).b(u64::from(broadcast)));
                     ctx.use_cpu(CLIENT_SEND_CPU);
-                    ctx.send(
-                        dst,
-                        DeliveryClass::Cpu,
-                        body.len() as u32 + REQ_OVERHEAD,
-                        M::request(ClientReq { id, payload: body }),
-                    );
+                    let dsts: Vec<NodeId> = if broadcast {
+                        self.replicas.clone()
+                    } else {
+                        vec![self.targets[(id % self.targets.len() as u64) as usize]]
+                    };
+                    for dst in dsts {
+                        ctx.send(
+                            dst,
+                            DeliveryClass::Cpu,
+                            body.len() as u32 + REQ_OVERHEAD,
+                            M::request(ClientReq {
+                                id,
+                                payload: body.clone(),
+                            }),
+                        );
+                    }
                 }
                 ctx.set_timer(rto, TOK_RETRY);
             }
@@ -391,6 +434,32 @@ mod tests {
         let c = sim.node::<WindowClient<EchoWire>>(client);
         assert!(c.total_completed > 10, "got {}", c.total_completed);
         assert_eq!(c.in_flight(), 2); // window refilled and flowing again
+    }
+
+    #[test]
+    fn broadcast_fallback_routes_around_dead_target() {
+        let mut sim: Sim<EchoWire> = Sim::new(3, NetParams::rdma());
+        let dead = sim.add_node(Box::new(EchoServer {
+            served: 0,
+            drop_until: 0,
+        }));
+        let live = sim.add_node(Box::new(EchoServer {
+            served: 0,
+            drop_until: 0,
+        }));
+        // Aimed at a server that dies immediately; only the fallback set
+        // knows about the live one.
+        let mut wc = WindowClient::<EchoWire>::new(dead, 2, 10, Duration::ZERO);
+        wc.retransmit = Some(Duration::from_millis(1));
+        wc.replicas = vec![dead, live];
+        let client = sim.add_node(Box::new(wc));
+        sim.crash(dead);
+        sim.run_until(SimTime::from_millis(50));
+        let c = sim.node::<WindowClient<EchoWire>>(client);
+        // Rounds 1..FALLBACK_RETRY_ROUNDS go to the dead target; afterwards
+        // the broadcast reaches the live server and the window flows again.
+        assert!(c.total_completed > 10, "got {}", c.total_completed);
+        assert!(sim.node::<EchoServer>(live).served > 0);
     }
 
     #[test]

@@ -20,6 +20,20 @@ pub fn build_cluster(sim: &mut Sim<AcWire>, cfg: &AcuerdoConfig) -> Vec<NodeId> 
     ids
 }
 
+/// Register restart factories so `Sim::restart_at` brings a crashed replica
+/// back as a fresh-state rejoiner ([`AcuerdoNode::rejoining`]): empty log,
+/// epoch zero, resync handshake. The fault harness calls this once after
+/// [`build_cluster`]; configs should set `retain_log` so the survivors can
+/// re-seed the full history.
+pub fn enable_restarts(sim: &mut Sim<AcWire>, cfg: &AcuerdoConfig, ids: &[NodeId]) {
+    for &id in ids {
+        let cfg = cfg.clone();
+        sim.set_restart_factory(id, move || {
+            Box::new(AcuerdoNode::rejoining(cfg.clone(), id))
+        });
+    }
+}
+
 /// Create a simulation over the RDMA network preset with an Acuerdo cluster
 /// plus a closed-loop window client aimed at replica 0.
 ///

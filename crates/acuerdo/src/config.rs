@@ -44,6 +44,10 @@ pub struct AcuerdoConfig {
     pub max_diff_part: usize,
     /// Maximum client requests queued at the leader beyond ring capacity.
     pub max_client_backlog: usize,
+    /// Disable log GC so a node that crash-restarts (losing its whole log)
+    /// can be re-seeded with the complete history by a recovery diff. The
+    /// fault-injection harness sets this; steady-state benchmarks keep GC on.
+    pub retain_log: bool,
 }
 
 impl Default for AcuerdoConfig {
@@ -62,6 +66,7 @@ impl Default for AcuerdoConfig {
             initial_epoch: None,
             max_diff_part: 32 << 10,
             max_client_backlog: 1 << 20,
+            retain_log: false,
         }
     }
 }

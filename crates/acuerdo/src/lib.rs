@@ -28,7 +28,9 @@ mod config;
 pub mod msg;
 mod node;
 
-pub use cluster::{build_cluster, check_cluster, cluster_with_client, current_leader, histories};
+pub use cluster::{
+    build_cluster, check_cluster, cluster_with_client, current_leader, enable_restarts, histories,
+};
 pub use config::AcuerdoConfig;
 pub use node::{AcWire, AcuerdoNode, Role};
 
@@ -80,6 +82,66 @@ mod tests {
         for &id in &ids {
             assert_eq!(sim.node::<AcuerdoNode>(id).epoch(), e, "node {id}");
         }
+        check_cluster(&sim, &ids).unwrap();
+    }
+
+    #[test]
+    fn follower_crash_restart_rejoins_with_full_log() {
+        let cfg = AcuerdoConfig {
+            retain_log: true,
+            ..AcuerdoConfig::stable(3)
+        };
+        let (mut sim, ids, _client) =
+            cluster_with_client(11, &cfg, 4, 32, Duration::from_micros(100));
+        enable_restarts(&mut sim, &cfg, &ids);
+        // Let traffic flow, then reboot follower 2 mid-stream.
+        sim.crash_at(2, SimTime::from_millis(2));
+        sim.restart_at(2, SimTime::from_millis(3));
+        sim.run_until(SimTime::from_millis(10));
+        let survivor = sim.node::<AcuerdoNode>(1);
+        let rejoined = sim.node::<AcuerdoNode>(2);
+        assert!(!rejoined.is_resyncing(), "node 2 still resyncing");
+        assert!(
+            rejoined.delivered_count > 0,
+            "rejoined node delivered nothing"
+        );
+        assert_eq!(rejoined.epoch(), survivor.epoch());
+        check_cluster(&sim, &ids).unwrap();
+        // The rejoiner's history must cover the whole committed prefix from
+        // the very first entry, not just a post-reboot tail: it was
+        // re-seeded from the leader's retained log.
+        let h = histories(&sim, &ids);
+        assert_eq!(
+            h[2].first(),
+            h[1].first(),
+            "rejoiner must re-deliver from the start"
+        );
+        assert!(
+            h[2].len() > 50,
+            "rejoiner history too short: {}",
+            h[2].len()
+        );
+        assert!(sim.counter(0, simnet::Counter::RejoinDiffBytes) > 0);
+    }
+
+    #[test]
+    fn leader_crash_restart_rejoins_after_election() {
+        let cfg = AcuerdoConfig {
+            retain_log: true,
+            ..AcuerdoConfig::stable(3)
+        };
+        let (mut sim, ids, _client) =
+            cluster_with_client(13, &cfg, 4, 32, Duration::from_micros(100));
+        enable_restarts(&mut sim, &cfg, &ids);
+        sim.crash_at(0, SimTime::from_millis(2));
+        sim.restart_at(0, SimTime::from_millis(4));
+        sim.run_until(SimTime::from_millis(20));
+        let leader = current_leader(&sim, &ids).expect("unique leader after reboot");
+        assert_ne!(leader, 0, "deposed leader must rejoin as follower");
+        let rejoined = sim.node::<AcuerdoNode>(0);
+        assert!(!rejoined.is_resyncing(), "node 0 still resyncing");
+        assert_eq!(rejoined.epoch(), sim.node::<AcuerdoNode>(leader).epoch());
+        assert!(rejoined.delivered_count > 0);
         check_cluster(&sim, &ids).unwrap();
     }
 

@@ -22,6 +22,23 @@
 //!   all ordering invariants (the diff carries no application payload).
 //! * Large recovery diffs are split into consecutive parts on the FIFO ring
 //!   and applied atomically once complete (see `msg`).
+//!
+//! ## Rejoin and stream resynchronization
+//!
+//! A crash-restarted replica reboots with an empty log and epoch zero
+//! ([`AcuerdoNode::rejoining`]), and partitions can sever an established RC
+//! connection mid-stream, losing ring frames for good. Both are repaired by
+//! the same mechanism: the out-of-date node broadcasts [`AcWire::Hello`],
+//! which re-establishes connections the way real RDMA does — tear down the
+//! QP, register a **fresh** ring region (straggler writes of the dead stream
+//! land in the abandoned region and cannot corrupt the new one), and exchange
+//! the new region ids out of band. A peer receiving a Hello forgets its SST
+//! mirror of the sender (required for safety: a rebooted node's stale
+//! Accept_SST cell must not count toward commit quorums it no longer backs),
+//! and the current leader re-seeds the sender with a recovery diff over the
+//! existing multi-part diff path of §3.4. While waiting for that diff the
+//! node abstains from elections so its reset state cannot outbid the live
+//! epoch; if no diff arrives it eventually falls back to a normal election.
 
 use crate::config::AcuerdoConfig;
 use crate::msg::{self, Frame};
@@ -45,6 +62,11 @@ pub enum AcWire {
     Req(ClientReq),
     /// A commit acknowledgment to a client.
     Resp(ClientResp),
+    /// Connection re-establishment handshake (rejoin / stream resync, see
+    /// module docs). `ring` is the fresh region the *sender* just registered
+    /// for frames from the recipient; `reply` asks the recipient to tear its
+    /// side down too and answer with its own Hello.
+    Hello { ring: RegionId, reply: bool },
 }
 
 impl From<RdmaPkt> for AcWire {
@@ -79,6 +101,11 @@ pub enum Role {
 const TOK_POLL: u64 = 1;
 const TOK_PUSH: u64 = 2;
 
+/// Wire bytes of a Hello handshake message (region id + flags + headers).
+const HELLO_WIRE: u32 = 24;
+/// Resync attempts before giving up and contesting a normal election.
+const MAX_RESYNC_ATTEMPTS: u32 = 3;
+
 /// CPU cost of delivering one committed message to the application.
 const DELIVER_COST: Duration = Duration::from_nanos(100);
 /// Followers push their Commit_SST (needed only for diff construction) every
@@ -97,6 +124,8 @@ struct PeerOut {
     next_cnt: u32,
     /// `(hdr, ring seq)` of in-flight frames, for slot-reuse accounting.
     sent: VecDeque<(MsgHdr, u64)>,
+    /// The queued diff re-seeds a rejoining peer (counts `RejoinDiffBytes`).
+    rejoin: bool,
 }
 
 impl PeerOut {
@@ -105,6 +134,7 @@ impl PeerOut {
             diff_backlog: VecDeque::new(),
             next_cnt: 1,
             sent: VecDeque::new(),
+            rejoin: false,
         }
     }
 }
@@ -151,6 +181,25 @@ pub struct AcuerdoNode {
 
     // Diff reassembly: (epoch, parts collected so far).
     diff_buf: Option<PendingDiff>,
+
+    // Rejoin / stream resynchronization (module docs).
+    /// Waiting for a recovery diff after a Hello broadcast; abstains from
+    /// elections until it arrives.
+    resyncing: bool,
+    /// When the current resync attempt started.
+    resync_started: SimTime,
+    /// Hello broadcasts sent for the current desync episode.
+    resync_attempts: u32,
+    /// When commit notifications first outran this follower's ring frames
+    /// (cleared on delivery; a long stall means the stream broke).
+    frame_stall: Option<SimTime>,
+    /// Last commit-cell heartbeat seq observed per peer while electing, and
+    /// when it was seen to change — to notice a live epoch advancing
+    /// without us (a frozen-high seq from a dead leader must not count).
+    elect_hb_base: Vec<u64>,
+    elect_hb_seen: Vec<SimTime>,
+    /// Peers that sent a Hello since we last built them a diff.
+    hello_from: Vec<bool>,
 
     /// The replicated application messages are delivered to.
     pub app: Box<dyn App>,
@@ -238,6 +287,13 @@ impl AcuerdoNode {
             election_detected_at: SimTime::ZERO,
             awaiting_ready: false,
             diff_buf: None,
+            resyncing: false,
+            resync_started: SimTime::ZERO,
+            resync_attempts: 0,
+            frame_stall: None,
+            elect_hb_base: vec![0; n],
+            elect_hb_seen: vec![SimTime::ZERO; n],
+            hello_from: vec![false; n],
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             elections_won: 0,
@@ -246,11 +302,31 @@ impl AcuerdoNode {
         }
     }
 
+    /// Build a replica that boots as a crash-restarted rejoiner: empty log,
+    /// epoch zero, and a resync handshake instead of a start-up election
+    /// (module docs). This is the restart factory of the fault harness.
+    pub fn rejoining(cfg: AcuerdoConfig, me: usize) -> Self {
+        let mut node = AcuerdoNode::new(
+            AcuerdoConfig {
+                initial_epoch: None,
+                ..cfg
+            },
+            me,
+        );
+        node.resyncing = true;
+        node
+    }
+
     // ---- inspection -------------------------------------------------------
 
     /// Current role.
     pub fn role(&self) -> Role {
         self.role
+    }
+
+    /// True while waiting for a recovery diff after a Hello broadcast.
+    pub fn is_resyncing(&self) -> bool {
+        self.resyncing
     }
 
     /// Current epoch.
@@ -317,11 +393,15 @@ impl AcuerdoNode {
         // Diff parts first: they open the epoch on this peer's ring.
         while let Some(frame) = self.out[j].diff_backlog.front() {
             let hdr = MsgHdr::new(self.e_new, 0);
+            let frame_len = frame.len() as u64;
             match self
                 .out_ring
                 .send_to(ctx, &mut self.ep, self.peers[j], frame)
             {
                 Ok(seq) => {
+                    if self.out[j].rejoin {
+                        ctx.count(Counter::RejoinDiffBytes, frame_len);
+                    }
                     self.out[j].sent.push_back((hdr, seq));
                     self.out[j].diff_backlog.pop_front();
                 }
@@ -462,25 +542,36 @@ impl AcuerdoNode {
             self.role = Role::Follower;
         }
         // Truncate uncommitted suffix, then splice in the leader's entries.
+        // A mid-epoch rejoin diff can start above its own header `(e, 0)`
+        // (its entries belong to the *current* epoch); there is nothing to
+        // truncate then.
         let cut = entries
             .first()
             .map(|(h, _)| *h)
             .unwrap_or_else(|| self.committed.next());
-        let stale: Vec<MsgHdr> = self
-            .log
-            .range((Included(cut), Excluded(MsgHdr::new(e, 0))))
-            .map(|(h, _)| *h)
-            .collect();
-        for h in stale {
-            self.log.remove(&h);
+        if cut < MsgHdr::new(e, 0) {
+            let stale: Vec<MsgHdr> = self
+                .log
+                .range((Included(cut), Excluded(MsgHdr::new(e, 0))))
+                .map(|(h, _)| *h)
+                .collect();
+            for h in stale {
+                self.log.remove(&h);
+            }
         }
         for (h, p) in entries {
             self.log.insert(h, p);
         }
-        self.accepted = hdr;
-        self.next = MsgHdr::new(e, 0);
+        // `max`: a re-applied or mid-epoch diff must never regress progress
+        // an intact node already made (regression would re-deliver).
+        self.accepted = self.accepted.max(hdr);
+        self.next = self.next.max(MsgHdr::new(e, 0));
         self.last_leader_activity = ctx.now();
         self.last_hb_seen = self.commit_cell(e.ldr as usize).1;
+        // The diff is exactly what a resyncing node was waiting for.
+        self.resyncing = false;
+        self.resync_attempts = 0;
+        self.frame_stall = None;
     }
 
     // ---- committing (Figure 6) ----------------------------------------------
@@ -515,7 +606,11 @@ impl AcuerdoNode {
                 // Normal message commit.
                 let Some(payload) = self.log.get(&self.next).cloned() else {
                     // Commit notification outran this replica's ring backlog;
-                    // wait for the frame.
+                    // wait for the frame. A stall that outlives a whole fail
+                    // timeout means the stream broke (detect_desync).
+                    if self.frame_stall.is_none() {
+                        self.frame_stall = Some(ctx.now());
+                    }
                     break;
                 };
                 let hdr = self.next;
@@ -542,6 +637,7 @@ impl AcuerdoNode {
     }
 
     fn deliver(&mut self, ctx: &mut Ctx<AcWire>, hdr: MsgHdr, payload: Bytes) {
+        self.frame_stall = None;
         ctx.use_cpu(DELIVER_COST);
         self.app.deliver(hdr, &payload);
         self.delivered_count += 1;
@@ -601,6 +697,9 @@ impl AcuerdoNode {
     // ---- log GC ----------------------------------------------------------------
 
     fn gc(&mut self) {
+        if self.cfg.retain_log {
+            return;
+        }
         let mut min_commit = self.committed;
         for k in 0..self.cfg.n {
             min_commit = min_commit.min(self.commit_cell(k).0);
@@ -643,10 +742,15 @@ impl AcuerdoNode {
         self.election_detected_at = now;
         self.last_mx = self.vote_sst.mine(&self.ep);
         self.last_mx_change = now;
+        self.frame_stall = None;
+        self.elect_hb_base = (0..self.cfg.n).map(|k| self.commit_cell(k).1).collect();
+        self.elect_hb_seen = vec![now; self.cfg.n];
     }
 
     fn election_step(&mut self, ctx: &mut Ctx<AcWire>) {
-        if self.role != Role::Electing {
+        if self.role != Role::Electing || self.resyncing {
+            // A resyncing node abstains: its reset state must not outbid the
+            // live epoch it is about to be re-seeded into.
             return;
         }
         let votes = self.vote_sst.snapshot(&self.ep);
@@ -702,6 +806,7 @@ impl AcuerdoNode {
         self.role = Role::Leader;
         self.count = 0;
         self.elections_won += 1;
+        self.frame_stall = None;
         ctx.count(Counter::ElectionsWon, 1);
         ctx.trace(Event::new("leader_elected").a(u64::from(self.e_new.round)));
         self.awaiting_ready = true;
@@ -716,6 +821,9 @@ impl AcuerdoNode {
             let parts = msg::encode_diff_parts(hdr, &entries, self.cfg.max_diff_part);
             self.out[j].diff_backlog = parts.into();
             self.out[j].next_cnt = 1;
+            // A peer that Hello'd since the last diff is being re-seeded
+            // from scratch: account its diff as rejoin traffic.
+            self.out[j].rejoin = std::mem::take(&mut self.hello_from[j]);
         }
         self.flush_all(ctx);
         self.check_ready(ctx);
@@ -741,18 +849,214 @@ impl AcuerdoNode {
         if !is_leader && !self.push_ticks.is_multiple_of(FOLLOWER_PUSH_PERIOD) {
             return;
         }
-        self.commit_push_seq += 1;
+        // Only a leader advances the heartbeat: followers push their commit
+        // cells too (the leader reads them for GC and recovery lows), but a
+        // ticking counter from a non-leader — say a rebooted ex-leader whose
+        // id still matches `e_cur.ldr` on its old followers — would read as
+        // leader liveness and suppress the very election that node needs.
+        if is_leader {
+            self.commit_push_seq += 1;
+        }
         let cell: CommitCell = (self.committed, self.commit_push_seq);
         self.commit_sst.write_mine(&mut self.ep, &cell);
         let peers = self.peers.clone();
         let _ = self.commit_sst.push_mine(ctx, &mut self.ep, &peers);
+    }
+
+    // ---- rejoin / stream resynchronization (module docs) ---------------------------
+
+    /// Register a fresh inbound ring for frames from peer `j` and start
+    /// polling it instead of the old one. Straggler writes of the abandoned
+    /// stream keep landing in the old region, which stays registered exactly
+    /// so they stay harmless.
+    fn refresh_inbound(&mut self, j: usize) -> RegionId {
+        let r = self.ep.register_region(self.cfg.ring_bytes);
+        self.in_rings[j] = RingReceiver::new(r, self.cfg.ring_bytes, self.cfg.ring_mode);
+        r
+    }
+
+    /// Tear down and re-establish this node's connection state: fresh
+    /// inbound ring regions, reset QPs, zeroed SST mirrors, and a Hello
+    /// broadcast carrying the new region ids. The node then waits for the
+    /// current leader's recovery diff.
+    fn initiate_resync(&mut self, ctx: &mut Ctx<AcWire>) {
+        self.role = Role::Electing;
+        self.resyncing = true;
+        self.resync_started = ctx.now();
+        self.resync_attempts += 1;
+        self.diff_buf = None;
+        self.frame_stall = None;
+        // Abandon any election this node was running: diffs are only
+        // accepted for epochs at or above `e_new`, so a candidacy raised
+        // while cut off (e.g. a partitioned minority electing itself) would
+        // make the node reject the very recovery diff it is asking for.
+        // Neutralizing the vote cell retracts the candidacy from peers too
+        // (on_hello re-pushes it).
+        self.e_new = self.e_cur;
+        let v = Vote::new(self.e_cur, self.accepted);
+        self.vote_sst.write_mine(&mut self.ep, &v);
+        ctx.trace(Event::new("resync").a(u64::from(self.resync_attempts)));
+        for j in 0..self.cfg.n {
+            if j == self.me {
+                continue;
+            }
+            let ring = self.refresh_inbound(j);
+            self.ep.reset_connection(self.peers[j]);
+            self.accept_sst.reset_slot(&mut self.ep, j);
+            self.vote_sst.reset_slot(&mut self.ep, j);
+            self.commit_sst.reset_slot(&mut self.ep, j);
+            self.out[j] = PeerOut::new();
+            ctx.send(
+                self.peers[j],
+                DeliveryClass::Cpu,
+                HELLO_WIRE,
+                AcWire::Hello { ring, reply: true },
+            );
+        }
+    }
+
+    fn on_hello(&mut self, ctx: &mut Ctx<AcWire>, from: NodeId, ring: RegionId, reply: bool) {
+        let j = from;
+        if j >= self.cfg.n || j == self.me {
+            return;
+        }
+        ctx.use_cpu(cpu::FRAME_PROC);
+        ctx.trace(Event::new("hello").a(j as u64).b(u64::from(reply)));
+        // The sender tore its end down: mirror the teardown locally so write
+        // sequencing restarts from zero, and aim our stream at its fresh
+        // ring.
+        self.ep.reset_connection(self.peers[j]);
+        self.out_ring.retarget_lane(self.peers[j], ring);
+        self.out[j] = PeerOut::new();
+        if reply {
+            // Forget everything mirrored from the (possibly rebooted)
+            // sender: its stale SST cells must not count toward quorums its
+            // fresh incarnation no longer backs.
+            self.accept_sst.reset_slot(&mut self.ep, j);
+            self.vote_sst.reset_slot(&mut self.ep, j);
+            self.commit_sst.reset_slot(&mut self.ep, j);
+            let fresh = self.refresh_inbound(j);
+            self.hello_from[j] = true;
+            ctx.send(
+                self.peers[j],
+                DeliveryClass::Cpu,
+                HELLO_WIRE,
+                AcWire::Hello {
+                    ring: fresh,
+                    reply: false,
+                },
+            );
+            if self.role == Role::Leader {
+                self.build_rejoin_diff(ctx, j);
+            }
+        }
+        // The sender wiped its SST mirrors of us. Commit cells re-push
+        // periodically and accept cells re-push on every acceptance, but a
+        // vote cell is only pushed when it *changes* — re-push it or an
+        // in-progress election deadlocks against the wiped mirror.
+        let _ = self.vote_sst.push_mine_to(ctx, &mut self.ep, self.peers[j]);
+    }
+
+    /// Re-seed a rejoining peer with a recovery diff over the current
+    /// epoch's diff machinery (§3.4), then resume its normal stream right
+    /// after the last entry the diff covers (re-sending covered entries
+    /// would regress the peer's `accepted`).
+    fn build_rejoin_diff(&mut self, ctx: &mut Ctx<AcWire>, j: usize) {
+        let hdr = MsgHdr::new(self.e_new, 0);
+        let low = self.commit_cell(j).0;
+        let entries: Vec<(MsgHdr, Bytes)> = self
+            .log
+            .range((Included(low), Included(self.accepted)))
+            .map(|(h, p)| (*h, p.clone()))
+            .collect();
+        let parts = msg::encode_diff_parts(hdr, &entries, self.cfg.max_diff_part);
+        self.out[j].diff_backlog = parts.into();
+        self.out[j].next_cnt = if self.accepted.epoch == self.e_new {
+            self.accepted.cnt + 1
+        } else {
+            1
+        };
+        self.out[j].rejoin = true;
+        self.hello_from[j] = false;
+        self.flush_peer(ctx, j);
+    }
+
+    /// Notice that this node's connection state went stale and repair it
+    /// with a resync (module docs). Runs after `accept_frames`/`commit_step`
+    /// so an already-landed diff is applied before staleness is judged.
+    fn detect_desync(&mut self, ctx: &mut Ctx<AcWire>) {
+        let now = ctx.now();
+        if self.resyncing {
+            // Waiting for a recovery diff. Re-Hello in case the broadcast
+            // raced a dying leader or a still-partitioned link; after a few
+            // attempts give up and contest a normal election (there may be
+            // no leader left to answer).
+            if now.saturating_since(self.resync_started) > self.cfg.fail_timeout * 2 {
+                if self.resync_attempts >= MAX_RESYNC_ATTEMPTS {
+                    self.resyncing = false;
+                    self.resync_attempts = 0;
+                    ctx.count(Counter::Elections, 1);
+                    ctx.trace(Event::new("election_start").a(u64::from(self.e_cur.round)));
+                    self.start_election(now);
+                } else {
+                    self.initiate_resync(ctx);
+                }
+            }
+            return;
+        }
+        let desync = match self.role {
+            // A deposed leader that slept through an election: some peer
+            // committed in an epoch this leader has never heard of.
+            Role::Leader => (0..self.cfg.n).any(|k| self.commit_cell(k).0.epoch > self.e_new),
+            // A stuck elector watching a live epoch advance without being
+            // let in: its vote pushes are going nowhere (severed stream)
+            // while some leader's heartbeat keeps counting. The heartbeat
+            // must be advancing *now* — one that froze above the election
+            // start snapshot (the leader died mid-election) doesn't count.
+            // Zero-epoch cells are excluded or boot-time electors would
+            // trip on node 0's initial cell.
+            Role::Electing => {
+                let mut advancing = false;
+                for k in 0..self.cfg.n {
+                    let (c, hb) = self.commit_cell(k);
+                    if hb != self.elect_hb_base[k] {
+                        self.elect_hb_base[k] = hb;
+                        self.elect_hb_seen[k] = now;
+                    }
+                    if c.epoch != Epoch::ZERO
+                        && c.epoch.ldr as usize == k
+                        && self.elect_hb_seen[k] > self.election_detected_at
+                        && now.saturating_since(self.elect_hb_seen[k]) <= self.cfg.fail_timeout
+                    {
+                        advancing = true;
+                    }
+                }
+                advancing && now.saturating_since(self.election_detected_at) > self.cfg.fail_timeout
+            }
+            // A follower whose inbound stream broke: the leader's commit
+            // notifications keep outrunning the frames for longer than a
+            // whole fail timeout.
+            Role::Follower => self
+                .frame_stall
+                .is_some_and(|t| now.saturating_since(t) > self.cfg.fail_timeout),
+        };
+        if desync {
+            ctx.trace(Event::new("desync").a(u64::from(self.e_cur.round)));
+            self.resync_attempts = 0;
+            self.initiate_resync(ctx);
+        }
     }
 }
 
 impl Process<AcWire> for AcuerdoNode {
     fn on_start(&mut self, ctx: &mut Ctx<AcWire>) {
         self.last_leader_activity = ctx.now();
-        if self.role == Role::Electing {
+        if self.resyncing {
+            // Crash-restarted rejoiner: handshake for a recovery diff
+            // instead of contesting an election with an empty log.
+            self.resync_attempts = 0;
+            self.initiate_resync(ctx);
+        } else if self.role == Role::Electing {
             ctx.count(Counter::Elections, 1);
             ctx.trace(Event::new("election_start"));
             self.start_election(ctx.now());
@@ -766,6 +1070,7 @@ impl Process<AcWire> for AcuerdoNode {
             AcWire::Rdma(pkt) => self.ep.on_packet(ctx, from, pkt),
             AcWire::Req(req) => self.on_client_request(ctx, from, req),
             AcWire::Resp(_) => {}
+            AcWire::Hello { ring, reply } => self.on_hello(ctx, from, ring, reply),
         }
     }
 
@@ -782,6 +1087,7 @@ impl Process<AcWire> for AcuerdoNode {
                 }
                 self.detect_failure(ctx);
                 self.election_step(ctx);
+                self.detect_desync(ctx);
                 ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
             }
             TOK_PUSH => {

@@ -1,0 +1,151 @@
+//! Seeded chaos runs: generate a fault script per seed, execute it, check
+//! safety and post-quiescence convergence, and print failing seeds as repro
+//! commands.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos -- --proto acuerdo --seeds 200
+//! cargo run --release -p bench --bin chaos -- --proto raft --seeds 25 --max-time-ms 50
+//! cargo run --release -p bench --bin chaos -- --proto acuerdo --seed 17     # one repro
+//! cargo run --release -p bench --bin chaos -- --proto all --seeds 10 --metrics-out chaos.json
+//! ```
+//!
+//! Exit status: 0 when every run passed, 1 on any safety violation (all
+//! protocols) or convergence failure (Acuerdo only — baselines without a
+//! rejoin path may safely stall and are merely reported).
+
+use bench::chaos::{run_chaos, Proto};
+use bench::write_metrics_file;
+use simnet::SimTime;
+use std::process::exit;
+
+struct Args {
+    protos: Vec<Proto>,
+    seed: Option<u64>,
+    seeds: u64,
+    max_time_ms: u64,
+    metrics_out: Option<String>,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: chaos [--proto acuerdo|raft|zab|paxos|derecho|all] [--seed N]\n\
+         \x20            [--seeds N] [--max-time-ms MS] [--metrics-out FILE]"
+    );
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        protos: vec![Proto::Acuerdo],
+        seed: None,
+        seeds: 20,
+        max_time_ms: 50,
+        metrics_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--proto" => {
+                let v = need(&mut args, "--proto");
+                out.protos = if v == "all" {
+                    Proto::all().to_vec()
+                } else {
+                    match Proto::parse(&v) {
+                        Some(p) => vec![p],
+                        None => {
+                            eprintln!("unknown protocol {v}");
+                            exit(2);
+                        }
+                    }
+                };
+            }
+            "--seed" => out.seed = Some(parse_num(&need(&mut args, "--seed"))),
+            "--seeds" => out.seeds = parse_num(&need(&mut args, "--seeds")),
+            "--max-time-ms" => out.max_time_ms = parse_num(&need(&mut args, "--max-time-ms")),
+            "--metrics-out" => out.metrics_out = Some(need(&mut args, "--metrics-out")),
+            "--help" | "-h" => {
+                usage();
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad number {s}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let horizon = SimTime::from_millis(args.max_time_ms);
+    let seed_list: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (1..=args.seeds).collect(),
+    };
+
+    let mut records = Vec::new();
+    let mut fatal = 0usize;
+    let mut stalled = 0usize;
+    for &proto in &args.protos {
+        for &seed in &seed_list {
+            let r = run_chaos(proto, seed, horizon);
+            let verdict = if r.fatal() {
+                "FAIL"
+            } else if !r.converged {
+                "stall" // baseline without a rejoin path: safe but behind
+            } else {
+                "ok"
+            };
+            println!(
+                "chaos {:8} seed {:4}: {:2} faults  pre={:<5} final=[{}..{}] live={}  {}",
+                proto.name(),
+                seed,
+                r.schedule.faults.len(),
+                r.pre_fault_commits,
+                r.final_min,
+                r.final_max,
+                r.live_nodes,
+                verdict
+            );
+            if r.fatal() {
+                fatal += 1;
+                if let Some(v) = &r.safety {
+                    eprintln!("  safety violation: {v:?}");
+                }
+                eprintln!("  repro: {}", r.repro());
+            } else if !r.converged {
+                stalled += 1;
+            }
+            records.push(r.to_json());
+        }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        let base = seed_list.first().copied().unwrap_or(0);
+        write_metrics_file(path, "chaos", base, &records).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(2);
+        });
+        println!("wrote {path}");
+    }
+
+    let total = records.len();
+    println!("{total} runs: {fatal} failed, {stalled} safely stalled");
+    if fatal > 0 {
+        exit(1);
+    }
+}

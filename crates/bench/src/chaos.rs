@@ -1,0 +1,640 @@
+//! # chaos — seeded fault-script generator and runner
+//!
+//! Turns one `u64` seed into a timed script of faults — crashes, restarts,
+//! partitions, heals, descheduling pauses, transient link delays, CPU
+//! slowdowns — runs it against a protocol cluster, and checks two things
+//! afterwards:
+//!
+//! * **Safety** — the §2.2 atomic-broadcast properties over the delivery
+//!   histories of every live replica ([`abcast::check_histories`]). A
+//!   violation is fatal for every protocol.
+//! * **Convergence** — after the last fault there is a quiescent tail
+//!   (40% of the horizon) with a live quorum; by the horizon every live
+//!   replica must have delivered at least the longest history observed
+//!   *before* the first fault (the pre-fault commit point). Acuerdo must
+//!   converge — its rejoin path re-seeds rebooted replicas with the full
+//!   retained log — so a miss is fatal; the baselines run without restart
+//!   factories (a crashed baseline node stays down) and may safely stall,
+//!   so a miss is only reported.
+//!
+//! Schedules are generated under a quorum-preservation budget: at most
+//! `f = (n-1)/2` replicas are ever crashed, partitions cut off only a
+//! minority and always heal inside the fault window, and every restart /
+//! heal / un-scale lands before the quiescent tail begins. Everything —
+//! schedule generation and execution — is deterministic per seed, so a
+//! failing run reproduces bit-identically from its printed repro command
+//! (`chaos --proto acuerdo --seed N`).
+
+use abcast::{MsgHdr, Violation, WindowClient};
+use acuerdo::{AcWire, AcuerdoConfig};
+use bytes::Bytes;
+use derecho::{DcWire, DerechoConfig};
+use paxos::{PaxosConfig, PaxosNode, PxWire};
+use raft::{RaftConfig, RaftNode, RfWire};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::{MetricsSnapshot, NodeId, Sim, SimTime};
+use std::time::Duration;
+use zab::{ZabConfig, ZabNode, ZkWire};
+
+/// Protocols the chaos harness can drive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// The paper's contribution, with crash-restart rejoin enabled.
+    Acuerdo,
+    /// Raft (etcd baseline) over TCP.
+    Raft,
+    /// Zab (ZooKeeper baseline) over TCP.
+    Zab,
+    /// Multi-Paxos (libpaxos baseline) over TCP.
+    Paxos,
+    /// Derecho (leader mode) over RDMA.
+    Derecho,
+}
+
+impl Proto {
+    /// All drivable protocols.
+    pub fn all() -> [Proto; 5] {
+        [
+            Proto::Acuerdo,
+            Proto::Raft,
+            Proto::Zab,
+            Proto::Paxos,
+            Proto::Derecho,
+        ]
+    }
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proto::Acuerdo => "acuerdo",
+            Proto::Raft => "raft",
+            Proto::Zab => "zab",
+            Proto::Paxos => "paxos",
+            Proto::Derecho => "derecho",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Proto> {
+        Proto::all().into_iter().find(|p| p.name() == s)
+    }
+
+    /// Whether crashed replicas come back (a registered restart factory).
+    /// Only Acuerdo implements the fresh-state rejoin path; baselines stay
+    /// down, which keeps them inside their own fault models.
+    pub fn restartable(self) -> bool {
+        matches!(self, Proto::Acuerdo)
+    }
+}
+
+/// One fault of a schedule. Paired "off" actions (restart after a crash,
+/// heal after a partition, un-scale after a CPU slowdown) are separate
+/// entries so a schedule is a flat, replayable list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail-stop `node` (loses all volatile state).
+    Crash {
+        /// The replica to kill.
+        node: NodeId,
+    },
+    /// Reboot a crashed `node` (fresh process via the restart factory).
+    Restart {
+        /// The replica to reboot.
+        node: NodeId,
+    },
+    /// Cut a minority group off from the rest of the fabric.
+    Partition {
+        /// The isolated minority (size ≤ f).
+        minority: Vec<NodeId>,
+    },
+    /// Remove the active partition.
+    Heal,
+    /// Deschedule `node` for `dur` (timers and CPU deliveries wait).
+    Pause {
+        /// The replica to deschedule.
+        node: NodeId,
+        /// Pause length.
+        dur: Duration,
+    },
+    /// Add one-way latency on the (src, dst) link for a while.
+    LinkDelay {
+        /// Link source.
+        src: NodeId,
+        /// Link destination.
+        dst: NodeId,
+        /// Extra one-way latency.
+        extra: Duration,
+        /// How long the extra latency lasts from the fault's start.
+        dur: Duration,
+    },
+    /// Scale `node`'s CPU charges by `milli`/1000 (1000 = back to normal).
+    CpuScale {
+        /// The replica to slow down (or restore).
+        node: NodeId,
+        /// Scale factor in thousandths (kept integral so schedules are `Eq`).
+        milli: u32,
+    },
+}
+
+impl Fault {
+    fn describe(&self) -> String {
+        match self {
+            Fault::Crash { node } => format!("crash n{node}"),
+            Fault::Restart { node } => format!("restart n{node}"),
+            Fault::Partition { minority } => format!("partition {minority:?}"),
+            Fault::Heal => "heal".to_string(),
+            Fault::Pause { node, dur } => format!("pause n{node} {}us", dur.as_micros()),
+            Fault::LinkDelay {
+                src,
+                dst,
+                extra,
+                dur,
+            } => format!(
+                "delay {src}->{dst} +{}us for {}us",
+                extra.as_micros(),
+                dur.as_micros()
+            ),
+            Fault::CpuScale { node, milli } => format!("cpu n{node} x{:.1}", *milli as f64 / 1e3),
+        }
+    }
+}
+
+/// A fault at a point in virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A complete, replayable fault script for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// The generating seed (also seeds the simulation).
+    pub seed: u64,
+    /// Replica count the script was generated for.
+    pub n: usize,
+    /// Total virtual run length.
+    pub horizon: SimTime,
+    /// Faults in firing order.
+    pub faults: Vec<TimedFault>,
+}
+
+impl Schedule {
+    /// Generate the script for `seed`: 2–5 primary faults inside the fault
+    /// window `[20%, 60%)` of the horizon, each drawn from the mix the
+    /// quorum budget currently allows. The tail 40% stays fault-free so the
+    /// cluster can converge before it is judged.
+    pub fn generate(seed: u64, n: usize, horizon: SimTime, restartable: bool) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        let f = (n - 1) / 2;
+        let win_start = horizon.as_nanos() / 5;
+        let win_end = horizon.as_nanos() * 3 / 5;
+        let clamp = |ns: u64| SimTime::from_nanos(ns.min(win_end));
+
+        let mut faults: Vec<TimedFault> = Vec::new();
+        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut partitioned = false;
+        let primary = rng.random_range(2usize..=5);
+        for _ in 0..primary {
+            let at_ns = rng.random_range(win_start..win_end);
+            let at = SimTime::from_nanos(at_ns);
+            match rng.random_range(0u32..6) {
+                0 if f >= 1 && crashed.len() < f => {
+                    // Crash a not-yet-crashed replica; pair with a restart
+                    // when the protocol can take one.
+                    let node = rng.random_range(0..n);
+                    if crashed.contains(&node) {
+                        continue;
+                    }
+                    crashed.push(node);
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::Crash { node },
+                    });
+                    if restartable {
+                        let back = clamp(at_ns + rng.random_range(500_000u64..3_000_000));
+                        faults.push(TimedFault {
+                            at: back,
+                            fault: Fault::Restart { node },
+                        });
+                    }
+                }
+                1 if f >= 1 && !partitioned => {
+                    partitioned = true;
+                    let m = rng.random_range(1usize..=f);
+                    let mut minority = Vec::with_capacity(m);
+                    while minority.len() < m {
+                        let node = rng.random_range(0..n);
+                        if !minority.contains(&node) {
+                            minority.push(node);
+                        }
+                    }
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::Partition { minority },
+                    });
+                    let heal = clamp(at_ns + rng.random_range(1_000_000u64..8_000_000));
+                    faults.push(TimedFault {
+                        at: heal.max(at),
+                        fault: Fault::Heal,
+                    });
+                }
+                2 => {
+                    let node = rng.random_range(0..n);
+                    let dur = Duration::from_micros(rng.random_range(300u64..2_000));
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::Pause { node, dur },
+                    });
+                }
+                3 => {
+                    let src = rng.random_range(0..n);
+                    let mut dst = rng.random_range(0..n);
+                    if dst == src {
+                        dst = (dst + 1) % n;
+                    }
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::LinkDelay {
+                            src,
+                            dst,
+                            extra: Duration::from_micros(rng.random_range(20u64..200)),
+                            dur: Duration::from_micros(rng.random_range(1_000u64..4_000)),
+                        },
+                    });
+                }
+                4 => {
+                    let node = rng.random_range(0..n);
+                    let milli = rng.random_range(1_500u32..4_000);
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::CpuScale { node, milli },
+                    });
+                    let restore = clamp(at_ns + rng.random_range(2_000_000u64..6_000_000));
+                    faults.push(TimedFault {
+                        at: restore.max(at),
+                        fault: Fault::CpuScale { node, milli: 1_000 },
+                    });
+                }
+                _ => {
+                    // Mild scheduler hiccup as the fallback fault.
+                    let node = rng.random_range(0..n);
+                    faults.push(TimedFault {
+                        at,
+                        fault: Fault::Pause {
+                            node,
+                            dur: Duration::from_micros(rng.random_range(100u64..800)),
+                        },
+                    });
+                }
+            }
+        }
+        // Stable sort: paired on/off entries share relative order on ties.
+        faults.sort_by_key(|tf| tf.at);
+        Schedule {
+            seed,
+            n,
+            horizon,
+            faults,
+        }
+    }
+
+    /// When the first fault fires (the pre-fault commit point is sampled
+    /// here), or the horizon for an empty script.
+    pub fn first_fault_at(&self) -> SimTime {
+        self.faults.first().map(|tf| tf.at).unwrap_or(self.horizon)
+    }
+}
+
+impl TimedFault {
+    /// Fire this fault on `sim` *now* (callers advance the clock to
+    /// [`TimedFault::at`] first; [`Schedule`] replay does this in `drive`).
+    /// `n` is the replica count, needed to complement a partition minority.
+    pub fn apply<M: 'static>(&self, sim: &mut Sim<M>, n: usize) {
+        apply(sim, n, self)
+    }
+}
+
+fn apply<M: 'static>(sim: &mut Sim<M>, n: usize, tf: &TimedFault) {
+    let now = sim.now();
+    match &tf.fault {
+        Fault::Crash { node } => sim.crash(*node),
+        Fault::Restart { node } => sim.restart_at(*node, now),
+        Fault::Partition { minority } => {
+            let rest: Vec<NodeId> = (0..n).filter(|i| !minority.contains(i)).collect();
+            sim.partition(vec![minority.clone(), rest], now);
+        }
+        Fault::Heal => sim.heal(now),
+        Fault::Pause { node, dur } => sim.pause_at(*node, now, *dur),
+        Fault::LinkDelay {
+            src,
+            dst,
+            extra,
+            dur,
+        } => sim.add_link_latency(*src, *dst, *extra, now + *dur),
+        Fault::CpuScale { node, milli } => sim.set_cpu_scale(*node, *milli as f64 / 1e3),
+    }
+}
+
+/// Outcome of one seeded chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Protocol driven.
+    pub proto: Proto,
+    /// Seed (schedule + simulation).
+    pub seed: u64,
+    /// The executed script.
+    pub schedule: Schedule,
+    /// Longest history at the first fault (entries every live replica must
+    /// eventually cover).
+    pub pre_fault_commits: usize,
+    /// Shortest live history at the horizon.
+    pub final_min: usize,
+    /// Longest live history at the horizon.
+    pub final_max: usize,
+    /// Live replicas at the horizon.
+    pub live_nodes: usize,
+    /// Safety verdict (`None` = all §2.2 properties hold).
+    pub safety: Option<Violation>,
+    /// Whether every live replica covered the pre-fault commit point.
+    pub converged: bool,
+    /// Cluster-wide counter snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ChaosReport {
+    /// Whether this run fails the harness: any safety violation, or — for
+    /// Acuerdo, whose rejoin path must always recover — a convergence miss.
+    pub fn fatal(&self) -> bool {
+        self.safety.is_some() || (self.proto == Proto::Acuerdo && !self.converged)
+    }
+
+    /// The command reproducing this exact run.
+    pub fn repro(&self) -> String {
+        format!(
+            "chaos --proto {} --seed {} --max-time-ms {}",
+            self.proto.name(),
+            self.seed,
+            self.schedule.horizon.as_nanos() / 1_000_000
+        )
+    }
+
+    /// One hand-rolled JSON record for the `--metrics-out` sidecar.
+    pub fn to_json(&self) -> String {
+        let faults: Vec<String> = self
+            .schedule
+            .faults
+            .iter()
+            .map(|tf| {
+                format!(
+                    "\"{:.0}us {}\"",
+                    tf.at.as_micros_f64(),
+                    simnet::json_escape(&tf.fault.describe())
+                )
+            })
+            .collect();
+        let safety = match &self.safety {
+            None => "null".to_string(),
+            Some(v) => format!("\"{}\"", simnet::json_escape(&format!("{v:?}"))),
+        };
+        format!(
+            "{{\"proto\":\"{}\",\"seed\":{},\"faults\":[{}],\
+             \"pre_fault_commits\":{},\"final_min\":{},\"final_max\":{},\
+             \"live_nodes\":{},\"safety\":{},\"converged\":{},\"metrics\":{}}}",
+            self.proto.name(),
+            self.seed,
+            faults.join(","),
+            self.pre_fault_commits,
+            self.final_min,
+            self.final_max,
+            self.live_nodes,
+            safety,
+            self.converged,
+            self.metrics.to_json()
+        )
+    }
+}
+
+/// Run the script against an already-built cluster: advance to each fault
+/// time, fire it, then run out the quiescent tail. Returns the pre-fault
+/// commit point and the final live histories.
+fn drive<M: 'static>(
+    sim: &mut Sim<M>,
+    schedule: &Schedule,
+    histories: impl Fn(&Sim<M>) -> Vec<Vec<(MsgHdr, Bytes)>>,
+) -> (usize, Vec<Vec<(MsgHdr, Bytes)>>) {
+    sim.run_until(schedule.first_fault_at());
+    let pre = histories(sim).iter().map(Vec::len).max().unwrap_or(0);
+    for tf in &schedule.faults {
+        if tf.at > sim.now() {
+            sim.run_until(tf.at);
+        }
+        apply(sim, schedule.n, tf);
+    }
+    sim.run_until(schedule.horizon);
+    (pre, histories(sim))
+}
+
+fn report(
+    proto: Proto,
+    schedule: Schedule,
+    pre: usize,
+    hs: Vec<Vec<(MsgHdr, Bytes)>>,
+    metrics: MetricsSnapshot,
+) -> ChaosReport {
+    let safety = abcast::check_histories(&hs, None).err();
+    let final_min = hs.iter().map(Vec::len).min().unwrap_or(0);
+    let final_max = hs.iter().map(Vec::len).max().unwrap_or(0);
+    ChaosReport {
+        proto,
+        seed: schedule.seed,
+        pre_fault_commits: pre,
+        final_min,
+        final_max,
+        live_nodes: hs.len(),
+        safety,
+        converged: !hs.is_empty() && final_min >= pre,
+        schedule,
+        metrics,
+    }
+}
+
+/// Extract live delivery histories for a baseline node type.
+macro_rules! live_histories {
+    ($sim:expr, $ids:expr, $node:ty) => {
+        $ids.iter()
+            .filter(|&&id| !$sim.is_crashed(id))
+            .map(|&id| {
+                $sim.node::<$node>(id)
+                    .delivery_log()
+                    .expect("DeliveryLog app")
+                    .entries
+                    .clone()
+            })
+            .collect::<Vec<_>>()
+    };
+}
+
+/// Replica count every chaos cluster uses (f = 2: room for a crash *and* a
+/// minority partition in one script).
+pub const CHAOS_N: usize = 5;
+
+const WINDOW: usize = 8;
+const PAYLOAD: usize = 32;
+
+/// Run one seeded chaos script against `proto` and judge it.
+///
+/// The Acuerdo cluster retains its log and registers restart factories so
+/// rebooted replicas rejoin through the recovery-diff path; its client
+/// retransmits and falls back to broadcasting when the leader dies.
+/// Baselines run their stock configuration (preset leader, no restarts) —
+/// crashed replicas stay down and the run may stall safely.
+pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
+    let n = CHAOS_N;
+    let schedule = Schedule::generate(seed, n, horizon, proto.restartable());
+    let warmup = Duration::from_micros(100);
+    match proto {
+        Proto::Acuerdo => {
+            let cfg = AcuerdoConfig {
+                retain_log: true,
+                ..AcuerdoConfig::stable(n)
+            };
+            let (mut sim, ids, client) =
+                acuerdo::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            acuerdo::enable_restarts(&mut sim, &cfg, &ids);
+            let c = sim.node_mut::<WindowClient<AcWire>>(client);
+            c.retransmit = Some(Duration::from_millis(1));
+            c.replicas = ids.clone();
+            let (pre, hs) = drive(&mut sim, &schedule, |s| acuerdo::histories(s, &ids));
+            report(proto, schedule, pre, hs, sim.metrics())
+        }
+        Proto::Raft => {
+            let cfg = RaftConfig {
+                n,
+                ..RaftConfig::default()
+            };
+            let (mut sim, ids, client) =
+                raft::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
+                Some(Duration::from_millis(2));
+            let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, RaftNode));
+            report(proto, schedule, pre, hs, sim.metrics())
+        }
+        Proto::Zab => {
+            let cfg = ZabConfig {
+                n,
+                ..ZabConfig::default()
+            };
+            let (mut sim, ids, client) =
+                zab::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.node_mut::<WindowClient<ZkWire>>(client).retransmit =
+                Some(Duration::from_millis(2));
+            let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, ZabNode));
+            report(proto, schedule, pre, hs, sim.metrics())
+        }
+        Proto::Paxos => {
+            let cfg = PaxosConfig {
+                n,
+                ..PaxosConfig::default()
+            };
+            let (mut sim, ids, client) =
+                paxos::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.node_mut::<WindowClient<PxWire>>(client).retransmit =
+                Some(Duration::from_millis(2));
+            let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, PaxosNode));
+            report(proto, schedule, pre, hs, sim.metrics())
+        }
+        Proto::Derecho => {
+            let cfg = DerechoConfig {
+                n,
+                ..DerechoConfig::default()
+            };
+            let (mut sim, ids, client) =
+                derecho::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.node_mut::<WindowClient<DcWire>>(client).retransmit =
+                Some(Duration::from_millis(2));
+            // Derecho's own histories() additionally excludes evicted
+            // members — they are outside the virtual-synchrony contract.
+            let (pre, hs) = drive(&mut sim, &schedule, |s| derecho::histories(s, &ids));
+            report(proto, schedule, pre, hs, sim.metrics())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_quorum_preserving() {
+        for seed in 0..50 {
+            let a = Schedule::generate(seed, 5, SimTime::from_millis(50), true);
+            let b = Schedule::generate(seed, 5, SimTime::from_millis(50), true);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.faults.is_empty(), "seed {seed} generated no faults");
+            // Sorted by time, quorum budget respected, window respected.
+            let mut crashes = 0;
+            let win_end = SimTime::from_nanos(SimTime::from_millis(50).as_nanos() * 3 / 5);
+            for w in a.faults.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+            for tf in &a.faults {
+                assert!(tf.at <= win_end, "fault after the quiescent tail began");
+                match &tf.fault {
+                    Fault::Crash { .. } => crashes += 1,
+                    Fault::Partition { minority } => assert!(minority.len() <= 2),
+                    _ => {}
+                }
+            }
+            assert!(crashes <= 2, "seed {seed}: {crashes} crashes with f=2");
+            // Restartable schedules pair every crash with a restart.
+            let restarts = a
+                .faults
+                .iter()
+                .filter(|tf| matches!(tf.fault, Fault::Restart { .. }))
+                .count();
+            assert_eq!(restarts, crashes, "seed {seed}: unpaired crash");
+        }
+    }
+
+    #[test]
+    fn acuerdo_survives_a_smoke_batch() {
+        for seed in 1..=5 {
+            let r = run_chaos(Proto::Acuerdo, seed, SimTime::from_millis(50));
+            assert!(r.safety.is_none(), "seed {seed}: {:?}", r.safety);
+            assert!(
+                r.converged,
+                "seed {seed}: min {} < pre {} ({:?})",
+                r.final_min, r.pre_fault_commits, r.schedule.faults
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_stay_safe_under_chaos() {
+        for proto in [Proto::Raft, Proto::Derecho] {
+            for seed in 1..=3 {
+                let r = run_chaos(proto, seed, SimTime::from_millis(50));
+                assert!(
+                    r.safety.is_none(),
+                    "{} seed {seed}: {:?}",
+                    proto.name(),
+                    r.safety
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let r = run_chaos(Proto::Acuerdo, 3, SimTime::from_millis(30));
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"proto\":\"acuerdo\""));
+        assert!(j.contains("\"seed\":3"));
+        assert!(j.contains("\"metrics\":{"));
+    }
+}

@@ -15,6 +15,7 @@
 //! Binaries `fig8`, `table1`, `fig9`, `ablations` print the paper's
 //! rows/series; Criterion benches run scaled-down smoke points.
 
+pub mod chaos;
 pub mod plot;
 
 use abcast::{RunResult, WindowClient};

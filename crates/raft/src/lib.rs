@@ -622,6 +622,13 @@ impl Process<RfWire> for RaftNode {
     fn on_timer(&mut self, ctx: &mut Ctx<RfWire>, token: u64) {
         match token >> 32 {
             0 if token == TOK_HEARTBEAT && self.role == RaftRole::Leader => {
+                // The heartbeat tick doubles as the retransmission timer: an
+                // AppendEntries still unacknowledged after a full interval is
+                // presumed lost (a partition severs even the "reliable"
+                // transport), so the pipeline gate is reopened and this tick
+                // resends. Duplicates are harmless — the consistency check
+                // makes appends idempotent.
+                self.in_flight.fill(false);
                 self.heartbeat(ctx);
                 ctx.set_timer(self.cfg.heartbeat, TOK_HEARTBEAT);
             }

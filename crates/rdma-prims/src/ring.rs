@@ -63,6 +63,10 @@ pub enum RingError {
 }
 
 struct Lane {
+    /// Region id the frames of this lane are written into at the receiver.
+    /// Starts at the sender's canonical region and is retargeted when the
+    /// receiver re-registers a fresh ring after a resynchronization.
+    region: RegionId,
     head_abs: u64,
     next_seq: u64,
     acked_abs: u64,
@@ -71,9 +75,8 @@ struct Lane {
 }
 
 /// Sender half: one lane per receiver, each mirroring into the same region id
-/// at that receiver.
+/// at that receiver (until a lane is retargeted after a resync).
 pub struct RingSender {
-    region: RegionId,
     cap: u64,
     mode: RingMode,
     lanes: HashMap<NodeId, Lane>,
@@ -96,6 +99,7 @@ impl RingSender {
                 (
                     r,
                     Lane {
+                        region,
                         head_abs: 0,
                         next_seq: 0,
                         acked_abs: 0,
@@ -105,7 +109,6 @@ impl RingSender {
             })
             .collect();
         RingSender {
-            region,
             cap,
             mode,
             lanes,
@@ -139,6 +142,29 @@ impl RingSender {
         }
     }
 
+    /// Forget all transport state toward `dst`: sequence numbers, in-flight
+    /// frames, and acknowledged space restart from a fresh ring. Called when
+    /// `dst` reboots and its (zeroed) ring region is re-mirrored from
+    /// scratch.
+    pub fn reset_lane(&mut self, dst: NodeId) {
+        let l = self.lanes.get_mut(&dst).expect("unknown lane");
+        l.head_abs = 0;
+        l.next_seq = 0;
+        l.acked_abs = 0;
+        l.pending.clear();
+    }
+
+    /// [`RingSender::reset_lane`] plus retargeting: subsequent frames to
+    /// `dst` are written into `region` (a ring the receiver freshly
+    /// registered, same geometry) instead of the canonical mirror. Using a
+    /// new region makes the restart safe against stragglers: writes of the
+    /// torn-down stream that are still in flight land in the abandoned
+    /// region and can never corrupt the new one.
+    pub fn retarget_lane(&mut self, dst: NodeId, region: RegionId) {
+        self.reset_lane(dst);
+        self.lanes.get_mut(&dst).expect("unknown lane").region = region;
+    }
+
     /// Send `payload` to `dst`; returns the frame's transport sequence
     /// number. Fails with [`RingError::Full`] when the receiver has not yet
     /// acknowledged enough earlier frames.
@@ -151,7 +177,6 @@ impl RingSender {
     ) -> Result<u64, RingError> {
         let cap = self.cap;
         let mode = self.mode;
-        let region = self.region;
         let frame_len = FRAME_HDR + payload.len() as u64;
         // A frame must fit in half the ring: wraps then only trigger at
         // positions past cap/2 >= frame_len, so a post-wrap frame can never
@@ -161,6 +186,7 @@ impl RingSender {
             return Err(RingError::TooLarge);
         }
         let l = self.lanes.get_mut(&dst).expect("unknown lane");
+        let region = l.region;
 
         let pos = l.head_abs % cap;
         let rem = cap - pos;
@@ -636,6 +662,81 @@ mod tests {
         let max = r.batches.iter().copied().max().unwrap();
         assert!(max >= 20, "expected a big catch-up batch, got {max}");
         assert_eq!(r.ring.max_batch, max);
+    }
+
+    #[test]
+    fn retarget_lane_restarts_stream_in_fresh_region() {
+        // Frames sent after a retarget start at seq 0 in the new region; the
+        // old region keeps whatever the torn-down stream deposited there.
+        let mut sim: Sim<Wire> = Sim::new(3, NetParams::rdma());
+        struct S {
+            ep: Endpoint,
+            ring: RingSender,
+        }
+        impl Process<Wire> for S {
+            fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
+                self.ring.send_to(ctx, &mut self.ep, 1, b"one").unwrap();
+                self.ring.send_to(ctx, &mut self.ep, 1, b"two").unwrap();
+                ctx.set_timer(Duration::from_micros(100), 0);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {
+                self.ep.on_packet(ctx, from, msg.0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<Wire>, _t: u64) {
+                self.ring.retarget_lane(1, RegionId(2));
+                let seq = self.ring.send_to(ctx, &mut self.ep, 1, b"three").unwrap();
+                assert_eq!(seq, 0, "retarget restarts the sequence space");
+            }
+        }
+        struct R {
+            ep: Endpoint,
+            old: RingReceiver,
+            new: RingReceiver,
+            got_old: Vec<Bytes>,
+            got_new: Vec<Bytes>,
+        }
+        impl Process<Wire> for R {
+            fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {
+                self.ep.on_packet(ctx, from, msg.0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<Wire>, _t: u64) {
+                self.got_old
+                    .extend(self.old.poll(&mut self.ep).into_iter().map(|(_, p)| p));
+                self.got_new
+                    .extend(self.new.poll(&mut self.ep).into_iter().map(|(_, p)| p));
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+        }
+        let mut sep = Endpoint::new(QpConfig::default());
+        sep.connect(1);
+        let sring = sep.register_region(1024);
+        let mut rep = Endpoint::new(QpConfig::default());
+        rep.connect(0);
+        let r0 = rep.register_region(1024);
+        let _spacer = rep.register_region(8);
+        let r2 = rep.register_region(1024);
+        assert_eq!(r2, RegionId(2));
+        let _s = sim.add_node(Box::new(S {
+            ep: sep,
+            ring: RingSender::new(sring, 1024, RingMode::Coupled, &[1]),
+        }));
+        let r = sim.add_node(Box::new(R {
+            ep: rep,
+            old: RingReceiver::new(r0, 1024, RingMode::Coupled),
+            new: RingReceiver::new(r2, 1024, RingMode::Coupled),
+            got_old: vec![],
+            got_new: vec![],
+        }));
+        sim.run_until(SimTime::from_millis(1));
+        let rx = sim.node::<R>(r);
+        assert_eq!(
+            rx.got_old,
+            vec![Bytes::from_static(b"one"), Bytes::from_static(b"two")]
+        );
+        assert_eq!(rx.got_new, vec![Bytes::from_static(b"three")]);
     }
 
     #[test]

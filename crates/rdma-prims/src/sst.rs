@@ -80,6 +80,15 @@ impl<T: FixedCodec> Sst<T> {
         ep.write_local(self.region, (self.me * T::SIZE) as u32, &buf);
     }
 
+    /// Zero slot `j` in the local copy: forget the mirrored state of a peer
+    /// that rebooted (its fresh incarnation starts from all-zero cells and
+    /// will re-push real values).
+    pub fn reset_slot(&self, ep: &mut Endpoint, j: usize) {
+        assert!(j < self.n, "slot out of range");
+        let zeros = vec![0u8; T::SIZE];
+        ep.write_local(self.region, (j * T::SIZE) as u32, &zeros);
+    }
+
     /// Replicate this node's slot to `peer` with one RDMA write.
     pub fn push_mine_to<M: From<RdmaPkt>>(
         &self,

@@ -159,6 +159,18 @@ impl Endpoint {
         });
     }
 
+    /// Tear down and re-establish the connection toward `peer`: all
+    /// outstanding work requests are discarded and work-request numbering
+    /// restarts at zero. Called when `peer` reboots (its old incarnation can
+    /// never ack the in-flight requests).
+    pub fn reset_connection(&mut self, peer: NodeId) {
+        if let Some(qp) = self.qps.get_mut(&peer) {
+            qp.next_wr = 0;
+            qp.completed = 0;
+            qp.unsignaled = 0;
+        }
+    }
+
     /// Whether `k` more posts toward `peer` would fit in the send queue.
     pub fn can_post(&self, peer: NodeId, k: u32) -> bool {
         match self.qps.get(&peer) {
@@ -299,6 +311,19 @@ impl Endpoint {
                 data,
                 signal,
             } => {
+                // NIC-side rkey/bounds check: a write through a stale view
+                // of this endpoint's region table (the sender targeting a
+                // region a reboot de-registered) is dropped, not applied —
+                // real hardware fails the rkey validation. The resync
+                // handshake retargets the stream afterwards.
+                let in_bounds = self
+                    .regions
+                    .get(region.0 as usize)
+                    .is_some_and(|r| offset as usize + data.len() <= r.len());
+                if !in_bounds {
+                    ctx.count(Counter::RkeyDrops, 1);
+                    return;
+                }
                 self.writes_applied += 1;
                 ctx.count(Counter::DmaWritesApplied, 1);
                 self.write_local(region, offset, &data);
@@ -318,6 +343,17 @@ impl Endpoint {
                 len,
                 token,
             } => {
+                // Same rkey/bounds check as for writes: a read through a
+                // stale region table is dropped (no response; the reader's
+                // request simply times out, as on real hardware).
+                let in_bounds = self
+                    .regions
+                    .get(region.0 as usize)
+                    .is_some_and(|r| offset as usize + len as usize <= r.len());
+                if !in_bounds {
+                    ctx.count(Counter::RkeyDrops, 1);
+                    return;
+                }
                 let data = Bytes::copy_from_slice(self.read(region, offset, len as usize));
                 ctx.send(
                     from,
@@ -333,7 +369,10 @@ impl Endpoint {
             RdmaPkt::Ack { upto } => {
                 if let Some(qp) = self.qps.get_mut(&from) {
                     let before = qp.completed;
-                    qp.completed = qp.completed.max(upto + 1);
+                    // The min-clamp discards acks from a peer's previous
+                    // incarnation after a connection reset: a completion can
+                    // never outrun what this connection actually posted.
+                    qp.completed = qp.completed.max(upto + 1).min(qp.next_wr);
                     ctx.count(Counter::CompletionsPolled, qp.completed - before);
                 }
             }

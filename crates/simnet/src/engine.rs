@@ -57,26 +57,52 @@ pub struct EngineStats {
     pub wire_bytes: u64,
     /// Packets placed on the wire.
     pub packets: u64,
+    /// Pre-crash in-flight deliveries and timers discarded because an
+    /// endpoint restarted before they fired (the RC connection was torn down
+    /// and re-established with a fresh incarnation).
+    pub restart_drops: u64,
+    /// Sends dropped at the source because a partition or link flap cut the
+    /// connection.
+    pub partition_drops: u64,
 }
 
 enum EventKind<M> {
-    Start(NodeId),
+    Start {
+        node: NodeId,
+        inc: u64,
+    },
     Timer {
         node: NodeId,
         token: u64,
+        inc: u64,
     },
     Deliver {
         node: NodeId,
         from: NodeId,
         class: DeliveryClass,
         msg: M,
+        /// Sender's incarnation at post time.
+        src_inc: u64,
+        /// Receiver's incarnation at post time.
+        dst_inc: u64,
     },
     PauseAt {
         node: NodeId,
         dur: Duration,
     },
     CrashAt(NodeId),
-    DeschedTick(NodeId),
+    RestartAt(NodeId),
+    PartitionAt(Vec<Vec<NodeId>>),
+    HealAt,
+    FlapAt {
+        src: NodeId,
+        dst: NodeId,
+        until: SimTime,
+    },
+    DeschedTick {
+        node: NodeId,
+        inc: u64,
+    },
 }
 
 struct Event<M> {
@@ -103,11 +129,19 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Builds a fresh process when a node reboots (see
+/// [`Sim::set_restart_factory`]).
+type RestartFactory<M> = Box<dyn FnMut() -> Box<dyn Process<M>>>;
+
 struct NodeSlot<M> {
     proc: Option<Box<dyn Process<M>>>,
     busy_until: SimTime,
     paused_until: SimTime,
     crashed: bool,
+    /// Bumped on every restart; events carry the incarnation they were
+    /// created under, and stale ones are discarded at dispatch.
+    inc: u64,
+    factory: Option<RestartFactory<M>>,
     cpu_scale: f64,
     timer_jitter: Duration,
     desched: Option<DeschedProfile>,
@@ -153,13 +187,15 @@ impl<M: 'static> Sim<M> {
             busy_until: SimTime::ZERO,
             paused_until: SimTime::ZERO,
             crashed: false,
+            inc: 0,
+            factory: None,
             cpu_scale: 1.0,
             timer_jitter: Duration::ZERO,
             desched: None,
         });
         self.net.add_node();
         self.probe.add_node();
-        self.push(self.now, EventKind::Start(id));
+        self.push(self.now, EventKind::Start { node: id, inc: 0 });
         id
     }
 
@@ -250,8 +286,12 @@ impl<M: 'static> Sim<M> {
 
     // ---- fault injection -------------------------------------------------
 
-    /// Crash `node` immediately: its process and NIC stop; all queued and
-    /// future events for it are dropped.
+    /// Crash `node` immediately: its process and NIC stop. Queued events for
+    /// it stay in the queue but are skipped at dispatch time, which is
+    /// observationally equivalent to dropping them (and keeps crash O(1)
+    /// instead of a heap rebuild). A later [`Sim::restart_at`] cannot
+    /// resurrect them: restart bumps the node's incarnation and pre-crash
+    /// events carry the old one.
     pub fn crash(&mut self, node: NodeId) {
         self.nodes[node].crashed = true;
     }
@@ -264,6 +304,56 @@ impl<M: 'static> Sim<M> {
     /// Whether `node` has crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.nodes[node].crashed
+    }
+
+    /// Register the factory that builds a fresh process when `node` reboots.
+    /// Without a factory, [`Sim::restart_at`] is a no-op.
+    pub fn set_restart_factory<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnMut() -> Box<dyn Process<M>> + 'static,
+    {
+        self.nodes[node].factory = Some(Box::new(f));
+    }
+
+    /// Reboot a crashed `node` at virtual time `at`: a fresh process from the
+    /// registered factory starts with reset NIC/timer state and a new
+    /// incarnation, so pre-crash in-flight deliveries and timers are dropped
+    /// (counted in [`EngineStats::restart_drops`]) rather than resurrected.
+    /// Ignored if the node is not crashed at `at` or has no factory.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) {
+        self.push(at, EventKind::RestartAt(node));
+    }
+
+    /// How many times `node` has restarted.
+    pub fn incarnation(&self, node: NodeId) -> u64 {
+        self.nodes[node].inc
+    }
+
+    /// Partition the fabric at `at`: each inner vec is one connected group;
+    /// messages crossing a cut are dropped at the sender (RC connection
+    /// breakage), counted per node in [`Counter::PartitionDrops`]. Nodes not
+    /// named in any group (e.g. clients) keep full connectivity. Replaces any
+    /// previous partition.
+    pub fn partition(&mut self, groups: Vec<Vec<NodeId>>, at: SimTime) {
+        self.push(at, EventKind::PartitionAt(groups));
+    }
+
+    /// Remove the active partition at `at`.
+    pub fn heal(&mut self, at: SimTime) {
+        self.push(at, EventKind::HealAt);
+    }
+
+    /// Open a directed drop window on the (src, dst) link: every message
+    /// posted on it in `[at, at + dur)` is dropped (link flap / drop burst).
+    pub fn flap_link(&mut self, src: NodeId, dst: NodeId, at: SimTime, dur: Duration) {
+        self.push(
+            at,
+            EventKind::FlapAt {
+                src,
+                dst,
+                until: at + dur,
+            },
+        );
     }
 
     /// Deschedule `node`'s process for `dur` starting at `at`. DMA deliveries
@@ -287,8 +377,9 @@ impl<M: 'static> Sim<M> {
     /// Make `node` a "long-latency node" (see [`DeschedProfile`]).
     pub fn set_desched(&mut self, node: NodeId, profile: DeschedProfile) {
         self.nodes[node].desched = Some(profile);
+        let inc = self.nodes[node].inc;
         let first = self.sample_interval(profile);
-        self.push(self.now + first, EventKind::DeschedTick(node));
+        self.push(self.now + first, EventKind::DeschedTick { node, inc });
     }
 
     /// Inject transient extra one-way latency on the (src, dst) link until
@@ -312,6 +403,8 @@ impl<M: 'static> Sim<M> {
         delay: Duration,
         msg: M,
     ) {
+        let src_inc = self.nodes.get(from).map_or(0, |s| s.inc);
+        let dst_inc = self.nodes[dst].inc;
         self.push(
             self.now + delay,
             EventKind::Deliver {
@@ -319,6 +412,8 @@ impl<M: 'static> Sim<M> {
                 from,
                 class,
                 msg,
+                src_inc,
+                dst_inc,
             },
         );
     }
@@ -360,19 +455,24 @@ impl<M: 'static> Sim<M> {
         self.now = ev.at;
         self.stats.events += 1;
         match ev.kind {
-            EventKind::Start(node) => {
-                if !self.nodes[node].crashed {
+            EventKind::Start { node, inc } => {
+                let slot = &self.nodes[node];
+                if !slot.crashed && slot.inc == inc {
                     self.dispatch(node, |p, ctx| p.on_start(ctx));
                 }
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer { node, token, inc } => {
                 let slot = &self.nodes[node];
                 if slot.crashed {
                     return true;
                 }
+                if slot.inc != inc {
+                    self.stats.restart_drops += 1;
+                    return true;
+                }
                 let free = slot.busy_until.max(slot.paused_until);
                 if free > self.now {
-                    self.push(free, EventKind::Timer { node, token });
+                    self.push(free, EventKind::Timer { node, token, inc });
                 } else {
                     self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
                 }
@@ -382,9 +482,18 @@ impl<M: 'static> Sim<M> {
                 from,
                 class,
                 msg,
+                src_inc,
+                dst_inc,
             } => {
                 let slot = &self.nodes[node];
                 if slot.crashed {
+                    return true;
+                }
+                // Either endpoint restarting tears down the RC connection:
+                // in-flight messages of the old incarnation are lost.
+                let src_stale = self.nodes.get(from).is_some_and(|s| s.inc != src_inc);
+                if slot.inc != dst_inc || src_stale {
+                    self.stats.restart_drops += 1;
                     return true;
                 }
                 match class {
@@ -411,6 +520,8 @@ impl<M: 'static> Sim<M> {
                                     from,
                                     class,
                                     msg,
+                                    src_inc,
+                                    dst_inc,
                                 },
                             );
                         } else {
@@ -436,9 +547,37 @@ impl<M: 'static> Sim<M> {
             EventKind::CrashAt(node) => {
                 self.nodes[node].crashed = true;
             }
-            EventKind::DeschedTick(node) => {
+            EventKind::RestartAt(node) => {
+                let has_factory = self.nodes[node].factory.is_some();
+                if self.nodes[node].crashed && has_factory {
+                    let slot = &mut self.nodes[node];
+                    slot.inc += 1;
+                    slot.proc = Some(slot.factory.as_mut().expect("factory")());
+                    slot.crashed = false;
+                    slot.busy_until = self.now;
+                    slot.paused_until = self.now;
+                    let inc = slot.inc;
+                    self.net.reset_node(node);
+                    self.probe.count(node, Counter::Restarts, 1);
+                    self.push(self.now, EventKind::Start { node, inc });
+                    if let Some(profile) = self.nodes[node].desched {
+                        let next = self.sample_interval(profile);
+                        self.push(self.now + next, EventKind::DeschedTick { node, inc });
+                    }
+                }
+            }
+            EventKind::PartitionAt(groups) => {
+                self.net.set_partition(&groups);
+            }
+            EventKind::HealAt => {
+                self.net.heal_partition();
+            }
+            EventKind::FlapAt { src, dst, until } => {
+                self.net.flap_link(src, dst, until);
+            }
+            EventKind::DeschedTick { node, inc } => {
                 let slot = &self.nodes[node];
-                if slot.crashed {
+                if slot.crashed || slot.inc != inc {
                     return true;
                 }
                 if let Some(profile) = slot.desched {
@@ -446,7 +585,7 @@ impl<M: 'static> Sim<M> {
                     let slot = &mut self.nodes[node];
                     slot.paused_until = slot.paused_until.max(self.now + pause);
                     let next = self.sample_interval(profile);
-                    self.push(self.now + next, EventKind::DeschedTick(node));
+                    self.push(self.now + next, EventKind::DeschedTick { node, inc });
                 }
             }
         }
@@ -515,6 +654,13 @@ impl<M: 'static> Sim<M> {
                         continue;
                     }
                     let post = self.now + at_cpu;
+                    if self.net.is_cut(node, dst, post) {
+                        // The RC connection is severed: the post is lost at
+                        // the source, nothing reaches the wire.
+                        self.stats.partition_drops += 1;
+                        self.probe.count(node, Counter::PartitionDrops, 1);
+                        continue;
+                    }
                     let info = self.net.route(&mut self.rng, node, dst, post, wire_bytes);
                     self.probe.count(node, Counter::MsgsSent, 1);
                     self.probe
@@ -545,6 +691,8 @@ impl<M: 'static> Sim<M> {
                             });
                         }
                     }
+                    let src_inc = self.nodes[node].inc;
+                    let dst_inc = self.nodes.get(dst).map_or(0, |s| s.inc);
                     self.push(
                         info.delivered,
                         EventKind::Deliver {
@@ -552,6 +700,8 @@ impl<M: 'static> Sim<M> {
                             from: node,
                             class,
                             msg,
+                            src_inc,
+                            dst_inc,
                         },
                     );
                 }
@@ -567,9 +717,10 @@ impl<M: 'static> Sim<M> {
                             self.rng.random_range(0..=timer_jitter.as_nanos() as u64),
                         )
                     };
+                    let inc = self.nodes[node].inc;
                     self.push(
                         self.now + at_cpu + delay + jitter,
-                        EventKind::Timer { node, token },
+                        EventKind::Timer { node, token, inc },
                     );
                 }
             }
@@ -837,6 +988,156 @@ mod tests {
             long_gaps >= 3,
             "expected descheduling gaps, got {long_gaps}"
         );
+    }
+
+    #[test]
+    fn restart_does_not_resurrect_pre_crash_timers_or_deliveries() {
+        // A node with a periodic timer crashes with a timer and a delivery in
+        // flight, then reboots: the fresh incarnation must see neither.
+        struct Ticker {
+            fired: Vec<SimTime>,
+            got: Vec<u32>,
+        }
+        impl Process<u32> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_timer(Duration::from_micros(10), 7);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u32>, _: NodeId, msg: u32) {
+                self.got.push(msg);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<u32>, _t: u64) {
+                self.fired.push(ctx.now());
+                ctx.set_timer(Duration::from_micros(10), 7);
+            }
+        }
+        let mut s = sim();
+        let a = s.add_node(Box::new(Ticker {
+            fired: vec![],
+            got: vec![],
+        }));
+        s.set_restart_factory(a, || {
+            Box::new(Ticker {
+                fired: vec![],
+                got: vec![],
+            })
+        });
+        // Timer armed at 20us fires at 30us; crash at 25us leaves it queued.
+        s.crash_at(a, SimTime::from_micros(25));
+        // A delivery posted pre-crash and landing post-restart must vanish.
+        s.inject(a, a, DeliveryClass::Dma, Duration::from_micros(40), 99);
+        s.restart_at(a, SimTime::from_micros(30));
+        s.run_until(SimTime::from_micros(55));
+        let t = s.node::<Ticker>(a);
+        // Fresh state: only the new incarnation's timers (armed at 30us,
+        // fired at 40us and 50us), no resurrected 30us timer, no stale msg.
+        assert_eq!(
+            t.fired,
+            vec![SimTime::from_micros(40), SimTime::from_micros(50)]
+        );
+        assert!(t.got.is_empty(), "stale delivery resurrected: {:?}", t.got);
+        assert_eq!(s.incarnation(a), 1);
+        assert!(s.stats().restart_drops >= 2, "timer+delivery dropped");
+        assert_eq!(s.counter(a, Counter::Restarts), 1);
+    }
+
+    #[test]
+    fn restart_requires_crash_and_factory() {
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo {
+            got: vec![],
+            cpu: Duration::ZERO,
+        }));
+        // No factory: restart of a crashed node is a no-op.
+        s.crash(a);
+        s.restart_at(a, SimTime::from_micros(5));
+        s.run_until(SimTime::from_micros(10));
+        assert!(s.is_crashed(a));
+        assert_eq!(s.incarnation(a), 0);
+        // With a factory but not crashed: also a no-op.
+        let mut s = sim();
+        let a = s.add_node(Box::new(Echo {
+            got: vec![],
+            cpu: Duration::ZERO,
+        }));
+        s.set_restart_factory(a, || {
+            Box::new(Echo {
+                got: vec![],
+                cpu: Duration::ZERO,
+            })
+        });
+        s.restart_at(a, SimTime::from_micros(5));
+        s.run_until(SimTime::from_micros(10));
+        assert_eq!(s.incarnation(a), 0);
+    }
+
+    #[test]
+    fn partition_drops_cross_group_sends_and_heals() {
+        struct Spammer {
+            peer: NodeId,
+        }
+        impl Process<u32> for Spammer {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u32>, _: u64) {
+                ctx.send(self.peer, DeliveryClass::Dma, 64, 1);
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+        }
+        struct Sink {
+            got: Vec<SimTime>,
+        }
+        impl Process<u32> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<u32>, _: NodeId, _: u32) {
+                self.got.push(ctx.now());
+            }
+        }
+        let mut s = sim();
+        let _a = s.add_node(Box::new(Spammer { peer: 1 }));
+        let b = s.add_node(Box::new(Sink { got: vec![] }));
+        s.partition(vec![vec![0], vec![1]], SimTime::from_micros(95));
+        s.heal(SimTime::from_micros(205));
+        s.run_until(SimTime::from_micros(300));
+        let got = &s.node::<Sink>(b).got;
+        // Sends at 10..90us land; 100..200us are cut; 210us+ land again.
+        assert!(got.iter().any(|&t| t < SimTime::from_micros(95)));
+        assert!(!got
+            .iter()
+            .any(|&t| t > SimTime::from_micros(105) && t < SimTime::from_micros(205)));
+        assert!(got.iter().any(|&t| t > SimTime::from_micros(210)));
+        assert_eq!(s.counter(0, Counter::PartitionDrops), 11); // 100..200us
+        assert_eq!(s.stats().partition_drops, 11);
+    }
+
+    #[test]
+    fn flap_window_drops_one_direction_only() {
+        struct Pair {
+            peer: NodeId,
+            got: u32,
+        }
+        impl Process<u32> for Pair {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u32>, _: NodeId, _: u32) {
+                self.got += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<u32>, _: u64) {
+                ctx.send(self.peer, DeliveryClass::Dma, 64, 1);
+                ctx.set_timer(Duration::from_micros(10), 0);
+            }
+        }
+        let mut s = sim();
+        let a = s.add_node(Box::new(Pair { peer: 1, got: 0 }));
+        let b = s.add_node(Box::new(Pair { peer: 0, got: 0 }));
+        s.flap_link(0, 1, SimTime::from_micros(5), Duration::from_micros(1_000));
+        s.run_until(SimTime::from_millis(1));
+        // 0→1 fully flapped out; 1→0 untouched.
+        assert_eq!(s.node::<Pair>(b).got, 0);
+        assert!(s.node::<Pair>(a).got > 50);
+        assert!(s.counter(0, Counter::PartitionDrops) > 50);
+        assert_eq!(s.counter(1, Counter::PartitionDrops), 0);
     }
 
     #[test]

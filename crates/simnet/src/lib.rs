@@ -17,9 +17,16 @@
 //!   descheduled (this is how one-sided RDMA writes land in registered memory
 //!   without waking the remote CPU), while [`DeliveryClass::Cpu`] messages
 //!   queue behind the destination's busy time (kernel TCP);
-//! * **fault injection**: crash, pause (the election experiment puts a leader
-//!   to sleep for five seconds), descheduling profiles for "long-latency"
-//!   nodes, and per-link extra latency for transient network hiccups.
+//! * **fault injection**: crash and crash→restart (a rebooted node gets a
+//!   fresh process from a per-node factory, reset NIC state, and a new
+//!   incarnation so pre-crash in-flight deliveries are dropped), pause (the
+//!   election experiment puts a leader to sleep for five seconds),
+//!   descheduling profiles for "long-latency" nodes, per-link extra latency
+//!   for transient network hiccups, directed partitions
+//!   ([`Sim::partition`] / [`Sim::heal`]) that model RC connection breakage,
+//!   and per-link flap/drop-burst windows ([`Sim::flap_link`]). Every fault
+//!   flows through the ordinary event queue, so traced and replayed runs
+//!   stay bit-identical.
 //!
 //! Protocol nodes are sans-IO state machines implementing [`Process`]; all
 //! effects flow through [`Ctx`], so protocol logic contains no wall-clock

@@ -89,7 +89,7 @@ impl Default for LinkOverride {
     }
 }
 
-/// Mutable network state: NIC queues, link overrides, FIFO clamps.
+/// Mutable network state: NIC queues, link overrides, FIFO clamps, cuts.
 pub(crate) struct Network {
     default_link: LinkParams,
     loopback: LinkParams,
@@ -97,6 +97,13 @@ pub(crate) struct Network {
     nics: Vec<NicState>,
     overrides: HashMap<(NodeId, NodeId), LinkOverride>,
     fifo_clamp: HashMap<(NodeId, NodeId), SimTime>,
+    /// Active partition: group index per node. Two nodes can talk iff they
+    /// are in the same group; nodes with no assigned group (e.g. a client
+    /// outside the partitioned fabric) can reach everyone.
+    partition: HashMap<NodeId, u32>,
+    /// Directed per-link drop windows (flap / drop-burst injection): sends on
+    /// (src, dst) are dropped while `post < until`.
+    flaps: HashMap<(NodeId, NodeId), SimTime>,
     /// Total bytes placed on the wire (after min-size clamping).
     pub wire_bytes: u64,
     /// Total packets sent.
@@ -112,6 +119,8 @@ impl Network {
             nics: Vec::new(),
             overrides: HashMap::new(),
             fifo_clamp: HashMap::new(),
+            partition: HashMap::new(),
+            flaps: HashMap::new(),
             wire_bytes: 0,
             packets: 0,
         }
@@ -130,6 +139,51 @@ impl Network {
         let o = self.overrides.entry((src, dst)).or_default();
         o.extra_latency = extra;
         o.extra_until = until;
+    }
+
+    /// Install a partition: each inner vec is one connected group. Replaces
+    /// any previous partition.
+    pub fn set_partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.partition.clear();
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                self.partition.insert(m, g as u32);
+            }
+        }
+    }
+
+    /// Remove any active partition.
+    pub fn heal_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    /// Open a directed drop window on (src, dst) until `until`.
+    pub fn flap_link(&mut self, src: NodeId, dst: NodeId, until: SimTime) {
+        let u = self.flaps.entry((src, dst)).or_insert(SimTime::ZERO);
+        *u = (*u).max(until);
+    }
+
+    /// Whether a send posted at `post` on (src, dst) is cut by a partition or
+    /// an active flap window. Loopback is never cut.
+    pub fn is_cut(&self, src: NodeId, dst: NodeId, post: SimTime) -> bool {
+        if src == dst {
+            return false;
+        }
+        if let (Some(&gs), Some(&gd)) = (self.partition.get(&src), self.partition.get(&dst)) {
+            if gs != gd {
+                return true;
+            }
+        }
+        matches!(self.flaps.get(&(src, dst)), Some(&until) if post < until)
+    }
+
+    /// Forget all per-node NIC and connection state for `node` (its NIC
+    /// queues and the FIFO clamps of every RC connection it participates in).
+    /// Called on restart: the rebooted node comes back with fresh hardware
+    /// state and re-established connections.
+    pub fn reset_node(&mut self, node: NodeId) {
+        self.nics[node] = NicState::default();
+        self.fifo_clamp.retain(|&(s, d), _| s != node && d != node);
     }
 
     fn link_for(&self, src: NodeId, dst: NodeId, at: SimTime) -> (LinkParams, Duration) {
@@ -355,6 +409,44 @@ mod tests {
             let elapsed = d.as_nanos() - post.as_nanos();
             assert!((1_052..=1_552).contains(&elapsed), "elapsed {elapsed}");
         }
+    }
+
+    #[test]
+    fn partition_cuts_only_cross_group_links() {
+        let mut n = net();
+        n.set_partition(&[vec![0, 1], vec![2]]);
+        assert!(!n.is_cut(0, 1, SimTime::ZERO));
+        assert!(n.is_cut(0, 2, SimTime::ZERO));
+        assert!(n.is_cut(2, 1, SimTime::ZERO));
+        // Node 3 is outside the partitioned fabric: reachable both ways.
+        assert!(!n.is_cut(3, 2, SimTime::ZERO));
+        assert!(!n.is_cut(0, 3, SimTime::ZERO));
+        // Loopback survives any cut.
+        assert!(!n.is_cut(2, 2, SimTime::ZERO));
+        n.heal_partition();
+        assert!(!n.is_cut(0, 2, SimTime::ZERO));
+    }
+
+    #[test]
+    fn flap_window_is_directed_and_expires() {
+        let mut n = net();
+        n.flap_link(0, 1, SimTime::from_micros(10));
+        assert!(n.is_cut(0, 1, SimTime::from_micros(5)));
+        assert!(!n.is_cut(1, 0, SimTime::from_micros(5)));
+        assert!(!n.is_cut(0, 1, SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn reset_node_clears_nic_and_fifo_state() {
+        let mut n = net();
+        let mut r = rng();
+        n.route(&mut r, 1, 0, SimTime::ZERO, 4096);
+        n.route(&mut r, 1, 2, SimTime::ZERO, 4096);
+        n.route(&mut r, 2, 1, SimTime::ZERO, 4096);
+        n.reset_node(1);
+        // A packet posted at t=0 after the reset sees a quiet NIC again.
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        assert_eq!(d.as_nanos(), 26 + 1_500 + 26);
     }
 
     #[test]

@@ -71,11 +71,25 @@ pub enum Counter {
     ViewChanges,
     /// Client-side retransmissions.
     Retransmits,
+    /// Messages dropped at the sender because a partition or link flap cut
+    /// the (src, dst) connection.
+    PartitionDrops,
+    /// Times this node rebooted via [`Sim::restart_at`](crate::Sim::restart_at).
+    Restarts,
+    /// Recovery-diff frame bytes sent to re-synchronize peers (election and
+    /// rejoin diffs).
+    RejoinDiffBytes,
+    /// Inbound RDMA ops dropped by the NIC's rkey/bounds check — a peer
+    /// wrote through a stale view of this node's region table (e.g. after a
+    /// reboot re-registered fewer regions). The resync handshake replaces
+    /// the stream, so these are survivable, but a nonzero count outside a
+    /// fault window indicates a protocol bug.
+    RkeyDrops,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 23;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -98,6 +112,10 @@ impl Counter {
         Counter::HeartbeatMisses,
         Counter::ViewChanges,
         Counter::Retransmits,
+        Counter::PartitionDrops,
+        Counter::Restarts,
+        Counter::RejoinDiffBytes,
+        Counter::RkeyDrops,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -122,6 +140,10 @@ impl Counter {
             Counter::HeartbeatMisses => "heartbeat_misses",
             Counter::ViewChanges => "view_changes",
             Counter::Retransmits => "retransmits",
+            Counter::PartitionDrops => "partition_drops",
+            Counter::Restarts => "restarts",
+            Counter::RejoinDiffBytes => "rejoin_diff_bytes",
+            Counter::RkeyDrops => "rkey_drops",
         }
     }
 }

@@ -7,6 +7,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison.
 
+pub use ::bench;
 pub use abcast;
 pub use acuerdo;
 pub use apus;

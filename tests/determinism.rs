@@ -69,3 +69,25 @@ fn tcp_systems_are_deterministic_too() {
     };
     assert_eq!(run(9), run(9));
 }
+
+#[test]
+fn chaos_schedules_and_runs_replay_bit_identically() {
+    // The chaos harness is part of the reproducibility story: a failing seed
+    // printed as a repro command must replay the exact same execution —
+    // schedule, fault timing, delivery histories, and every counter.
+    use acuerdo_repro::bench::chaos::{run_chaos, Proto, Schedule, CHAOS_N};
+    let horizon = SimTime::from_millis(20);
+    let s1 = Schedule::generate(42, CHAOS_N, horizon, true);
+    let s2 = Schedule::generate(42, CHAOS_N, horizon, true);
+    assert_eq!(s1, s2, "schedule generation is not deterministic");
+    assert!(!s1.faults.is_empty());
+
+    let r1 = run_chaos(Proto::Acuerdo, 42, horizon);
+    let r2 = run_chaos(Proto::Acuerdo, 42, horizon);
+    assert_eq!(
+        r1.to_json(),
+        r2.to_json(),
+        "chaos run diverged between replays of the same seed"
+    );
+    assert!(r1.safety.is_none());
+}

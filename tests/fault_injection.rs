@@ -6,7 +6,7 @@ use acuerdo_repro::abcast::WindowClient;
 use acuerdo_repro::acuerdo::{
     self, check_cluster, current_leader, AcWire, AcuerdoConfig, AcuerdoNode, Role,
 };
-use acuerdo_repro::simnet::{DeschedProfile, SimTime};
+use acuerdo_repro::simnet::{Counter, DeschedProfile, SimTime};
 use std::time::Duration;
 
 fn fast_failover_cfg(n: usize) -> AcuerdoConfig {
@@ -226,4 +226,117 @@ fn slow_node_descheduling_storm_acuerdo_vs_derecho() {
         ac.msgs_per_sec(),
         dc.msgs_per_sec()
     );
+}
+
+#[test]
+fn minority_partition_then_heal_keeps_total_order_acuerdo() {
+    // Cut replicas {3,4} off from the majority (and the client), let the
+    // quorum keep committing, then heal: the minority must catch back up and
+    // every live history must still be totally ordered.
+    let cfg = fast_failover_cfg(5);
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(90, &cfg, 8, 10, Duration::ZERO);
+    sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(2));
+    sim.partition(
+        vec![vec![3, 4], vec![0, 1, 2, client]],
+        SimTime::from_millis(4),
+    );
+    sim.heal(SimTime::from_millis(12));
+    sim.run_until(SimTime::from_micros(11_900));
+    let majority_at_heal = sim.node::<AcuerdoNode>(0).delivered_count;
+    let minority_at_heal = sim.node::<AcuerdoNode>(3).delivered_count;
+    assert!(
+        majority_at_heal > minority_at_heal + 100,
+        "partition did not isolate the minority: {majority_at_heal} vs {minority_at_heal}"
+    );
+    sim.run_until(SimTime::from_millis(28));
+    for &id in &[3usize, 4] {
+        assert!(
+            sim.node::<AcuerdoNode>(id).delivered_count > majority_at_heal,
+            "node {id} never caught up past the partition point"
+        );
+    }
+    let drops: u64 = ids
+        .iter()
+        .map(|&id| sim.counter(id, Counter::PartitionDrops))
+        .sum();
+    assert!(drops > 0, "partition dropped nothing");
+    check_cluster(&sim, &ids).unwrap();
+}
+
+#[test]
+fn minority_partition_then_heal_keeps_total_order_raft() {
+    use acuerdo_repro::raft::{self, RaftConfig, RaftNode, RfWire};
+    let cfg = RaftConfig {
+        n: 5,
+        ..RaftConfig::default()
+    };
+    let (mut sim, ids, client) =
+        raft::cluster_with_client(91, &cfg, 4, 10, Duration::from_millis(5));
+    sim.node_mut::<WindowClient<RfWire>>(client).retransmit = Some(Duration::from_millis(10));
+    sim.partition(
+        vec![vec![3, 4], vec![0, 1, 2, client]],
+        SimTime::from_millis(40),
+    );
+    sim.heal(SimTime::from_millis(90));
+    sim.run_until(SimTime::from_micros(89_900));
+    let majority_at_heal = sim.node::<RaftNode>(0).delivered_count;
+    sim.run_until(SimTime::from_millis(200));
+    for &id in &[3usize, 4] {
+        assert!(
+            sim.node::<RaftNode>(id).delivered_count > majority_at_heal,
+            "raft node {id} never caught up past the partition point"
+        );
+    }
+    raft::check_cluster(&sim, &ids).unwrap();
+}
+
+#[test]
+fn crashed_leader_restarts_and_rejoins_via_multipart_diff() {
+    // The rebooted ex-leader comes back with an empty log and must be
+    // re-seeded from the first entry via the rejoin diff — forced here to
+    // span several parts by shrinking `max_diff_part` far below the log size.
+    let cfg = AcuerdoConfig {
+        retain_log: true,
+        max_diff_part: 256,
+        ..fast_failover_cfg(3)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(92, &cfg, 8, 10, Duration::ZERO);
+    acuerdo::enable_restarts(&mut sim, &cfg, &ids);
+    {
+        let c = sim.node_mut::<WindowClient<AcWire>>(client);
+        c.retransmit = Some(Duration::from_millis(2));
+        c.replicas = ids.clone();
+    }
+    sim.run_until(SimTime::from_millis(3));
+    let old_leader = current_leader(&sim, &ids).expect("initial leader");
+    let committed_before_crash = sim.node::<AcuerdoNode>(old_leader).delivered_count;
+    assert!(committed_before_crash > 100, "no load before the crash");
+    sim.crash(old_leader);
+    sim.restart_at(old_leader, SimTime::from_millis(4));
+    sim.run_until(SimTime::from_millis(20));
+
+    let new_leader = current_leader(&sim, &ids).expect("replacement leader");
+    assert_ne!(new_leader, old_leader);
+    let rejoined = sim.node::<AcuerdoNode>(old_leader);
+    assert_eq!(
+        rejoined.role(),
+        Role::Follower,
+        "ex-leader failed to rejoin"
+    );
+    assert!(
+        rejoined.delivered_count >= committed_before_crash,
+        "rejoin diff did not re-seed the full log: {} < {}",
+        rejoined.delivered_count,
+        committed_before_crash
+    );
+    // The whole history came through the diff path, in several parts.
+    let snap = sim.metrics();
+    assert_eq!(snap.total(Counter::Restarts), 1);
+    assert!(
+        snap.total(Counter::RejoinDiffBytes) > cfg.max_diff_part as u64,
+        "rejoin diff was not multi-part: {} bytes <= {} per part",
+        snap.total(Counter::RejoinDiffBytes),
+        cfg.max_diff_part
+    );
+    check_cluster(&sim, &ids).unwrap();
 }

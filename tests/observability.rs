@@ -99,3 +99,65 @@ fn traced_run_yields_timeline_and_counters() {
     assert!(tl.contains("commit"), "no commit instants in timeline");
     assert!(tl.contains("nic"), "no NIC lanes in timeline");
 }
+
+#[test]
+fn tracing_does_not_perturb_a_chaos_schedule() {
+    // Zero-perturbation must survive the full fault vocabulary: replay a
+    // seeded chaos schedule (crash, restart, partition, pause, link delay,
+    // CPU scaling) with tracing on and off and demand bit-identical outcomes.
+    use acuerdo_repro::bench::chaos::Schedule;
+
+    fn run_chaos_schedule(seed: u64, traced: bool) -> Outcome {
+        let n = 5;
+        let cfg = AcuerdoConfig {
+            fail_timeout: Duration::from_micros(400),
+            retain_log: true,
+            ..AcuerdoConfig::stable(n)
+        };
+        let horizon = SimTime::from_millis(15);
+        let (mut sim, ids, client) =
+            acuerdo::cluster_with_client(seed, &cfg, 8, 10, Duration::ZERO);
+        acuerdo::enable_restarts(&mut sim, &cfg, &ids);
+        sim.set_tracing(traced);
+        {
+            let c = sim.node_mut::<WindowClient<AcWire>>(client);
+            c.retransmit = Some(Duration::from_millis(1));
+            c.replicas = ids.clone();
+        }
+        let sched = Schedule::generate(seed, n, horizon, true);
+        for tf in &sched.faults {
+            if tf.at > sim.now() {
+                sim.run_until(tf.at);
+            }
+            tf.apply(&mut sim, n);
+        }
+        sim.run_until(horizon);
+        let r = sim.node::<WindowClient<AcWire>>(client).result();
+        let snap = sim.metrics();
+        Outcome {
+            histories: acuerdo::histories(&sim, &ids),
+            completed: r.completed,
+            payload_bytes: r.payload_bytes,
+            samples: r.latency.count(),
+            mean_us: r.latency.mean_us(),
+            p50_us: r.latency.p50_us(),
+            p99_us: r.latency.p99_us(),
+            counters_json: snap.to_json(),
+            distinct_counters: snap.distinct_nonzero(),
+            event_count: sim.trace_events().len(),
+            timeline: traced.then(|| chrome_trace_json(sim.trace_events())),
+        }
+    }
+
+    let traced = run_chaos_schedule(11, true);
+    let untraced = run_chaos_schedule(11, false);
+    assert_identical(&traced, &untraced);
+    assert!(traced.event_count > 0, "chaos run recorded no events");
+    assert_eq!(untraced.event_count, 0);
+    // The fault machinery itself showed up in the counters.
+    assert!(
+        traced.distinct_counters >= 10,
+        "only {} distinct counters nonzero under chaos",
+        traced.distinct_counters
+    );
+}
