@@ -7,9 +7,18 @@
 //!
 //! The checker runs over recorded delivery histories (header + payload) from
 //! every correct node after a simulation.
+//!
+//! Alongside the post-hoc history checker, [`Auditor`] is an **online**
+//! invariant monitor: each protocol node owns one and feeds it
+//! `(epoch, accept point, commit point)` observations from its poll /
+//! commit path. Violations are surfaced immediately as counters
+//! ([`Counter::AuditEpochRegress`] and friends) and trace events, so a chaos
+//! schedule that drives a node backwards is caught *while it happens*, not
+//! only at the final history comparison.
 
-use crate::types::MsgHdr;
+use crate::types::{Epoch, MsgHdr};
 use bytes::Bytes;
+use simnet::{msg_span, Counter, Ctx, Event};
 use std::collections::HashSet;
 
 /// A violated atomic-broadcast property.
@@ -85,6 +94,108 @@ pub fn check_histories(
         }
     }
     Ok(())
+}
+
+/// Violations found by one [`Auditor`] observation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The node's epoch moved backwards.
+    pub epoch_regress: bool,
+    /// The node's commit point moved below its high-water mark.
+    pub commit_regress: bool,
+    /// The node's commit point is ahead of its accept point.
+    pub commit_ahead_accept: bool,
+}
+
+impl AuditReport {
+    /// No violation observed.
+    pub fn is_clean(&self) -> bool {
+        !(self.epoch_regress || self.commit_regress || self.commit_ahead_accept)
+    }
+}
+
+fn hdr_arg(h: MsgHdr) -> u64 {
+    msg_span(h.epoch.round, h.epoch.ldr, h.cnt)
+}
+
+/// Online invariant auditor, one per protocol node (part of node state, so a
+/// restarted node starts a fresh auditor — "restart is amnesia" applies to
+/// the monitor exactly as it does to the monitored log).
+///
+/// Continuously asserts, against per-node high-water marks:
+///
+/// 1. **epoch monotonicity** — the epoch/term/view a node participates in
+///    never decreases;
+/// 2. **no commit regression** — the commit point never drops below any
+///    previously observed commit point;
+/// 3. **commit ≤ accept** — a node never commits past what it has accepted
+///    into its log (callers pass the node's true accept point; for a leader
+///    that is its own proposal point, since proposing *is* accepting).
+///
+/// Observations are plain comparisons: no CPU charge, no randomness, no
+/// scheduling — safe to call from the hottest poll loop.
+#[derive(Clone, Debug, Default)]
+pub struct Auditor {
+    epoch_hw: Epoch,
+    commit_hw: MsgHdr,
+}
+
+impl Auditor {
+    /// A fresh auditor with zeroed high-water marks.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// Check one observation against the high-water marks and update them.
+    /// Pure state machine — the counter/trace surfacing lives in
+    /// [`Auditor::observe`]; unit tests drive this directly.
+    pub fn check(&mut self, epoch: Epoch, accepted: MsgHdr, committed: MsgHdr) -> AuditReport {
+        let report = AuditReport {
+            epoch_regress: epoch < self.epoch_hw,
+            commit_regress: committed < self.commit_hw,
+            commit_ahead_accept: committed > accepted,
+        };
+        self.epoch_hw = self.epoch_hw.max(epoch);
+        self.commit_hw = self.commit_hw.max(committed);
+        report
+    }
+
+    /// [`check`](Auditor::check), surfacing each violation as an
+    /// always-on counter bump plus a (tracing-gated) timeline event.
+    pub fn observe<M>(
+        &mut self,
+        ctx: &mut Ctx<M>,
+        epoch: Epoch,
+        accepted: MsgHdr,
+        committed: MsgHdr,
+    ) -> AuditReport {
+        let report = self.check(epoch, accepted, committed);
+        if report.epoch_regress {
+            ctx.count(Counter::AuditEpochRegress, 1);
+            ctx.trace(
+                Event::new("audit_epoch_regress")
+                    .a(((epoch.round as u64) << 32) | epoch.ldr as u64)
+                    .b(((self.epoch_hw.round as u64) << 32) | self.epoch_hw.ldr as u64),
+            );
+        }
+        if report.commit_regress {
+            ctx.count(Counter::AuditCommitRegress, 1);
+            ctx.trace(
+                Event::new("audit_commit_regress")
+                    .a(hdr_arg(committed))
+                    .b(hdr_arg(self.commit_hw)),
+            );
+        }
+        if report.commit_ahead_accept {
+            ctx.count(Counter::AuditCommitAheadAccept, 1);
+            ctx.trace(
+                Event::new("audit_commit_ahead_accept")
+                    .a(hdr_arg(committed))
+                    .b(hdr_arg(accepted)),
+            );
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +282,59 @@ mod tests {
         let a = vec![entry(1, b"a"), entry(2, b"b"), entry(3, b"c")];
         let b = vec![entry(1, b"a"), entry(3, b"c")];
         assert!(check_histories(&[a, b], None).is_err());
+    }
+
+    #[test]
+    fn auditor_clean_progress_stays_clean() {
+        let mut a = Auditor::new();
+        let e = Epoch::new(1, 0);
+        for cnt in 1..50u32 {
+            let acc = MsgHdr::new(e, cnt + 1); // accept runs ahead of commit
+            let com = MsgHdr::new(e, cnt);
+            assert!(a.check(e, acc, com).is_clean(), "cnt {cnt}");
+        }
+        // An epoch bump with commit carried over is clean too.
+        let e2 = Epoch::new(2, 1);
+        assert!(a
+            .check(e2, MsgHdr::new(e2, 3), MsgHdr::new(e2, 0))
+            .is_clean());
+    }
+
+    #[test]
+    fn auditor_detects_epoch_regression() {
+        let mut a = Auditor::new();
+        assert!(a
+            .check(Epoch::new(3, 1), MsgHdr::ZERO, MsgHdr::ZERO)
+            .is_clean());
+        let r = a.check(Epoch::new(2, 9), MsgHdr::ZERO, MsgHdr::ZERO);
+        assert!(r.epoch_regress);
+        assert!(!r.commit_regress && !r.commit_ahead_accept);
+    }
+
+    #[test]
+    fn auditor_detects_commit_regression() {
+        let mut a = Auditor::new();
+        let e = Epoch::new(1, 0);
+        assert!(a
+            .check(e, MsgHdr::new(e, 10), MsgHdr::new(e, 10))
+            .is_clean());
+        // Deliberately injected regression: the commit point falls back.
+        let r = a.check(e, MsgHdr::new(e, 10), MsgHdr::new(e, 4));
+        assert!(r.commit_regress);
+        // The high-water mark is sticky: still regressed on the next tick.
+        let r = a.check(e, MsgHdr::new(e, 10), MsgHdr::new(e, 9));
+        assert!(r.commit_regress);
+        // Recovering past the high-water mark clears it.
+        let r = a.check(e, MsgHdr::new(e, 12), MsgHdr::new(e, 11));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn auditor_detects_commit_ahead_of_accept() {
+        let mut a = Auditor::new();
+        let e = Epoch::new(1, 0);
+        let r = a.check(e, MsgHdr::new(e, 3), MsgHdr::new(e, 5));
+        assert!(r.commit_ahead_accept);
+        assert!(!r.commit_regress);
     }
 }

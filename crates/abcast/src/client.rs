@@ -11,7 +11,9 @@
 use crate::stats::{LatencyHist, RunResult};
 use crate::workload::payload;
 use bytes::Bytes;
-use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
+use simnet::{
+    client_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::time::Duration;
@@ -154,6 +156,7 @@ impl<M: ClientPort> WindowClient<M> {
         self.outstanding.insert(id, (ctx.now_cpu(), body.clone()));
         let dst = self.targets[(id % self.targets.len() as u64) as usize];
         ctx.use_cpu(CLIENT_SEND_CPU);
+        ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 0);
         ctx.send(
             dst,
             DeliveryClass::Cpu,
@@ -179,6 +182,7 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
         let Some((sent_at, body)) = self.outstanding.remove(&resp.id) else {
             return; // duplicate response to a retransmitted request
         };
+        ctx.span(client_span(ctx.id(), resp.id), SpanStage::ClientResp, 0);
         self.total_completed += 1;
         if self.measuring {
             self.completed += 1;
@@ -294,8 +298,9 @@ impl<M: ClientPort> Process<M> for OpenLoopClient<M> {
         ctx.set_timer(self.interval, 0);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<M>, _from: NodeId, msg: M) {
-        if msg.response().is_some() {
+    fn on_message(&mut self, ctx: &mut Ctx<M>, _from: NodeId, msg: M) {
+        if let Some(resp) = msg.response() {
+            ctx.span(client_span(ctx.id(), resp.id), SpanStage::ClientResp, 0);
             self.responses += 1;
         }
     }
@@ -306,6 +311,7 @@ impl<M: ClientPort> Process<M> for OpenLoopClient<M> {
         self.sent += 1;
         let body = payload(id, self.payload_size);
         ctx.use_cpu(CLIENT_SEND_CPU);
+        ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 0);
         ctx.send(
             self.target,
             DeliveryClass::Cpu,

@@ -12,20 +12,26 @@
 //!   table of §4.3 in the `kvstore` crate);
 //! * [`check`]: executable versions of the §2.2 correctness properties —
 //!   Integrity, No Duplication, Total Order — applied to recorded delivery
-//!   histories;
-//! * [`stats`]: log-bucketed latency histograms and run summaries;
+//!   histories, plus the online invariant [`Auditor`] every protocol node
+//!   feeds from its poll/commit path;
+//! * [`stats`]: log-bucketed latency histograms, per-stage commit-latency
+//!   anatomy ([`StageHist`]), and run summaries;
+//! * [`spans`]: assembly of recorded lifecycle span marks into per-message
+//!   lifecycles (`submit → … → client_resp`);
 //! * [`workload`]: payload generators, including the YCSB-load zipfian
 //!   (θ = 0.99) key distribution of §4.3.
 
 pub mod app;
 pub mod check;
 pub mod client;
+pub mod spans;
 pub mod stats;
 pub mod types;
 pub mod workload;
 
 pub use app::{App, DeliveryLog};
-pub use check::{check_histories, Violation};
+pub use check::{check_histories, AuditReport, Auditor, Violation};
 pub use client::{ClientPort, ClientReq, ClientResp, OpenLoopClient, WindowClient};
-pub use stats::{LatencyHist, RunResult};
+pub use spans::{hdr_span, Lifecycle};
+pub use stats::{LatencyHist, RunResult, StageClass, StageHist};
 pub use types::{Epoch, MsgHdr, Vote};

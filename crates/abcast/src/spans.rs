@@ -1,0 +1,292 @@
+//! Lifecycle assembly: turn recorded [`TraceEvent::Span`] marks into
+//! per-message lifecycles and per-stage commit-latency anatomy.
+//!
+//! A message's lifecycle starts in **client space** (the `submit` mark keyed
+//! by [`simnet::client_span`]) and continues in **message space** once the
+//! ordering node assigns it a slot (ids from [`simnet::msg_span`]). The two
+//! spaces are joined by the `leader_recv` mark, whose `arg` carries the
+//! client-space id. Stages with batched / last-write-wins acknowledgement
+//! ([`SpanStage::covering`]) emit one mark for the *latest* message; assembly
+//! inherits such marks downward to every lower count of the same epoch, the
+//! exact implicit-ack rule the protocol itself relies on.
+
+use crate::stats::StageHist;
+use crate::types::MsgHdr;
+use simnet::{msg_span, msg_span_parts, SpanStage, TraceEvent};
+use std::collections::{HashMap, HashSet};
+
+/// The message-space span id of a delivered header.
+pub fn hdr_span(h: &MsgHdr) -> u64 {
+    msg_span(h.epoch.round, h.epoch.ldr, h.cnt)
+}
+
+/// One assembled message lifecycle: the first (earliest) mark of each stage.
+#[derive(Clone, Debug)]
+pub struct Lifecycle {
+    /// Canonical id: the client-space id when the lifecycle was joined by a
+    /// `leader_recv` mark, otherwise the message-space id (e.g. recovery
+    /// diffs, which no client submitted).
+    pub id: u64,
+    /// The message-space id, if the message was ordered.
+    pub msg_id: Option<u64>,
+    /// Nanosecond timestamp of each stage (`marks[s as usize]`), `None` if
+    /// the stage never happened.
+    pub marks: [Option<u64>; SpanStage::COUNT],
+}
+
+impl Lifecycle {
+    /// The timestamp of one stage.
+    pub fn mark(&self, s: SpanStage) -> Option<u64> {
+        self.marks[s as usize]
+    }
+
+    /// Whether every stage of the vocabulary is present.
+    pub fn complete(&self) -> bool {
+        self.marks.iter().all(|m| m.is_some())
+    }
+
+    /// Whether present marks are non-decreasing in stage order.
+    pub fn monotone(&self) -> bool {
+        let mut prev = 0u64;
+        for m in self.marks.iter().flatten() {
+            if *m < prev {
+                return false;
+            }
+            prev = *m;
+        }
+        true
+    }
+
+    /// End-to-end `submit → client_resp` latency, when both ends exist.
+    pub fn total_ns(&self) -> Option<u64> {
+        match (self.marks[0], self.marks[SpanStage::COUNT - 1]) {
+            (Some(s), Some(r)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    }
+}
+
+// Epoch grouping key for covering-mark inheritance.
+fn epoch_key(round: u32, ldr: u32) -> u64 {
+    ((round as u64) << 16) | ldr as u64
+}
+
+/// Assemble lifecycles from a recorded timeline. Non-span events are
+/// ignored, so the whole `Sim::take_trace` output can be passed directly.
+pub fn collect(events: &[TraceEvent]) -> Vec<Lifecycle> {
+    // Pass 1: the space join (msg id -> client id, via leader_recv args).
+    let mut join: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        if let TraceEvent::Span {
+            id,
+            stage: SpanStage::LeaderRecv,
+            arg,
+            ..
+        } = *e
+        {
+            if msg_span_parts(id).is_some() && arg != 0 && arg >> 63 == 0 {
+                join.entry(id).or_insert(arg);
+            }
+        }
+    }
+    let canon = |id: u64| -> u64 { *join.get(&id).unwrap_or(&id) };
+
+    // Pass 2: exact marks per (canonical id, stage), covering marks per
+    // (stage, epoch), and the set of every id seen.
+    let mut exact: HashMap<(u64, usize), u64> = HashMap::new();
+    let mut covering: HashMap<(usize, u64), Vec<(u32, u64)>> = HashMap::new();
+    let mut ids: HashSet<u64> = HashSet::new();
+    for e in events {
+        let TraceEvent::Span { at, id, stage, .. } = *e else {
+            continue;
+        };
+        let ns = at.as_nanos();
+        ids.insert(id);
+        if stage.covering() {
+            if let Some((r, l, c)) = msg_span_parts(id) {
+                covering
+                    .entry((stage as usize, epoch_key(r, l)))
+                    .or_default()
+                    .push((c, ns));
+                continue;
+            }
+        }
+        exact
+            .entry((canon(id), stage as usize))
+            .and_modify(|v| *v = (*v).min(ns))
+            .or_insert(ns);
+    }
+
+    // Sort each covering chain by count and precompute suffix minima, so
+    // "earliest mark with count >= c in this epoch" is a binary search.
+    let mut suffix: HashMap<(usize, u64), (Vec<u32>, Vec<u64>)> = HashMap::new();
+    for (key, mut chain) in covering {
+        chain.sort_unstable();
+        let cnts: Vec<u32> = chain.iter().map(|&(c, _)| c).collect();
+        let mut mins: Vec<u64> = chain.iter().map(|&(_, at)| at).collect();
+        for i in (0..mins.len().saturating_sub(1)).rev() {
+            mins[i] = mins[i].min(mins[i + 1]);
+        }
+        suffix.insert(key, (cnts, mins));
+    }
+    let inherited = |stage: SpanStage, r: u32, l: u32, c: u32| -> Option<u64> {
+        let (cnts, mins) = suffix.get(&(stage as usize, epoch_key(r, l)))?;
+        let i = cnts.partition_point(|&x| x < c);
+        mins.get(i).copied()
+    };
+
+    // Pass 3: one lifecycle per canonical id.
+    let mut canon_ids: Vec<u64> = ids.iter().map(|&id| canon(id)).collect();
+    canon_ids.sort_unstable();
+    canon_ids.dedup();
+    let mut rev: HashMap<u64, u64> = HashMap::new(); // client id -> msg id
+    for (&m, &c) in &join {
+        rev.entry(c).or_insert(m);
+        let slot = rev.get_mut(&c).unwrap();
+        *slot = (*slot).min(m);
+    }
+    canon_ids
+        .into_iter()
+        .map(|cid| {
+            let msg_id = if msg_span_parts(cid).is_some() {
+                Some(cid)
+            } else {
+                rev.get(&cid).copied()
+            };
+            let mut marks = [None; SpanStage::COUNT];
+            for (i, stage) in SpanStage::ALL.iter().enumerate() {
+                let mut best = exact.get(&(cid, i)).copied();
+                if stage.covering() {
+                    if let Some((r, l, c)) = msg_id.and_then(msg_span_parts) {
+                        let inh = inherited(*stage, r, l, c);
+                        best = match (best, inh) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                    }
+                }
+                marks[i] = best;
+            }
+            Lifecycle {
+                id: cid,
+                msg_id,
+                marks,
+            }
+        })
+        .collect()
+}
+
+/// Accumulate the per-stage anatomy of a set of lifecycles.
+pub fn stage_hist(lifecycles: &[Lifecycle]) -> StageHist {
+    let mut sh = StageHist::new();
+    for l in lifecycles {
+        sh.record_lifecycle(&l.marks);
+    }
+    sh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Epoch;
+    use simnet::{client_span, SimTime};
+
+    fn span(at: u64, node: usize, id: u64, stage: SpanStage, arg: u64) -> TraceEvent {
+        TraceEvent::Span {
+            at: SimTime::from_nanos(at),
+            node,
+            id,
+            stage,
+            arg,
+        }
+    }
+
+    #[test]
+    fn joins_client_and_message_spaces() {
+        let cid = client_span(3, 7);
+        let mid = msg_span(1, 0, 4);
+        let events = vec![
+            span(100, 3, cid, SpanStage::Submit, 0),
+            span(2_000, 0, mid, SpanStage::LeaderRecv, cid),
+            span(9_000, 3, cid, SpanStage::ClientResp, 0),
+        ];
+        let lifes = collect(&events);
+        assert_eq!(lifes.len(), 1);
+        let l = &lifes[0];
+        assert_eq!(l.id, cid);
+        assert_eq!(l.msg_id, Some(mid));
+        assert_eq!(l.mark(SpanStage::Submit), Some(100));
+        assert_eq!(l.mark(SpanStage::LeaderRecv), Some(2_000));
+        assert_eq!(l.total_ns(), Some(8_900));
+        assert!(l.monotone());
+        assert!(!l.complete());
+    }
+
+    #[test]
+    fn covering_marks_inherit_downward_within_epoch() {
+        let cid5 = client_span(9, 5);
+        let cid6 = client_span(9, 6);
+        let m5 = msg_span(1, 0, 5);
+        let m6 = msg_span(1, 0, 6);
+        let other_epoch = msg_span(2, 1, 9);
+        let events = vec![
+            span(10, 9, cid5, SpanStage::Submit, 0),
+            span(20, 9, cid6, SpanStage::Submit, 0),
+            span(100, 0, m5, SpanStage::LeaderRecv, cid5),
+            span(110, 0, m6, SpanStage::LeaderRecv, cid6),
+            // One batched ack covering counts <= 6 in epoch (1, 0).
+            span(500, 1, m6, SpanStage::AckVisible, 0),
+            // A covering mark in another epoch must not leak in.
+            span(50, 2, other_epoch, SpanStage::AckVisible, 0),
+        ];
+        let lifes = collect(&events);
+        let by_msg: HashMap<u64, &Lifecycle> = lifes
+            .iter()
+            .filter_map(|l| l.msg_id.map(|m| (m, l)))
+            .collect();
+        // cnt 5 inherits the cnt-6 ack; cnt 6 has it directly.
+        assert_eq!(by_msg[&m5].mark(SpanStage::AckVisible), Some(500));
+        assert_eq!(by_msg[&m6].mark(SpanStage::AckVisible), Some(500));
+        // The other epoch's lifecycle keeps its own mark.
+        assert_eq!(by_msg[&other_epoch].mark(SpanStage::AckVisible), Some(50));
+        // Nothing covers a count above the marked one.
+        let m7 = msg_span(1, 0, 7);
+        let events2 = vec![
+            span(100, 0, m7, SpanStage::LeaderRecv, 0),
+            span(500, 1, m6, SpanStage::AckVisible, 0),
+        ];
+        let lifes2 = collect(&events2);
+        let l7 = lifes2.iter().find(|l| l.msg_id == Some(m7)).unwrap();
+        assert_eq!(l7.mark(SpanStage::AckVisible), None);
+    }
+
+    #[test]
+    fn hdr_span_matches_msg_span_packing() {
+        let h = MsgHdr::new(Epoch::new(3, 1), 17);
+        assert_eq!(msg_span_parts(hdr_span(&h)), Some((3, 1, 17)));
+    }
+
+    #[test]
+    fn stage_hist_from_lifecycles_counts_totals() {
+        let cid = client_span(4, 1);
+        let mid = msg_span(1, 0, 1);
+        let mut events = vec![span(0, 4, cid, SpanStage::Submit, 0)];
+        let ts = [1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000];
+        for (i, stage) in SpanStage::ALL[1..8].iter().enumerate() {
+            let arg = if *stage == SpanStage::LeaderRecv {
+                cid
+            } else {
+                0
+            };
+            events.push(span(ts[i], 0, mid, *stage, arg));
+        }
+        events.push(span(9_000, 4, cid, SpanStage::ClientResp, 0));
+        let lifes = collect(&events);
+        assert_eq!(lifes.len(), 1);
+        assert!(lifes[0].complete(), "marks: {:?}", lifes[0].marks);
+        assert!(lifes[0].monotone());
+        let sh = stage_hist(&lifes);
+        assert_eq!(sh.totals_count(), 1);
+        assert_eq!(sh.transition(SpanStage::ClientResp).count(), 1);
+    }
+}

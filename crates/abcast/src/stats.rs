@@ -1,6 +1,6 @@
 //! Latency histograms and run summaries.
 
-use simnet::SimTime;
+use simnet::{SimTime, SpanStage};
 use std::time::Duration;
 
 /// Number of logarithmic buckets: covers ~100 ns to ~17 minutes with 5%
@@ -136,6 +136,243 @@ impl LatencyHist {
     }
 }
 
+/// Which share of a commit's latency a stage transition belongs to, for the
+/// quorum-wait vs. wire vs. CPU anatomy of §4.1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StageClass {
+    /// Time on the wire (client hop, replication write propagation,
+    /// response hop).
+    Wire,
+    /// Time waiting for replica acknowledgements to become visible and for
+    /// the quorum rule to fire.
+    QuorumWait,
+    /// Time in protocol CPU (ordering, commit bookkeeping, delivery).
+    Cpu,
+}
+
+impl StageClass {
+    /// Stable snake_case name (JSON key / table label).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageClass::Wire => "wire",
+            StageClass::QuorumWait => "quorum_wait",
+            StageClass::Cpu => "cpu",
+        }
+    }
+
+    /// The class of the transition that *ends* at `to`.
+    pub fn of_transition(to: SpanStage) -> StageClass {
+        match to {
+            SpanStage::Submit => StageClass::Wire, // unused: nothing ends at Submit
+            SpanStage::LeaderRecv => StageClass::Wire,
+            SpanStage::RingWrite => StageClass::Cpu,
+            SpanStage::FollowerAccept => StageClass::Wire,
+            SpanStage::AckVisible => StageClass::QuorumWait,
+            SpanStage::Quorum => StageClass::QuorumWait,
+            SpanStage::Commit => StageClass::Cpu,
+            SpanStage::Deliver => StageClass::Cpu,
+            SpanStage::ClientResp => StageClass::Wire,
+        }
+    }
+}
+
+/// Per-stage commit-latency anatomy: one [`LatencyHist`] per lifecycle stage
+/// transition, plus the quorum-wait / wire / CPU class roll-up and the
+/// end-to-end total.
+///
+/// A transition is indexed by the stage it *ends* at (`submit → leader_recv`
+/// lives under `leader_recv`). When a lifecycle is missing an intermediate
+/// mark the delta between its neighboring present marks is attributed to the
+/// transition ending at the later mark, so per-stage sums still add up to
+/// the total.
+#[derive(Clone, Default)]
+pub struct StageHist {
+    transitions: Vec<LatencyHist>, // SpanStage::COUNT - 1 entries, lazily sized
+    classes: Vec<LatencyHist>,     // Wire, QuorumWait, Cpu
+    /// End-to-end `submit → client_resp` latency.
+    pub total: LatencyHist,
+}
+
+impl StageHist {
+    /// An empty anatomy.
+    pub fn new() -> Self {
+        StageHist {
+            transitions: (1..SpanStage::COUNT).map(|_| LatencyHist::new()).collect(),
+            classes: (0..3).map(|_| LatencyHist::new()).collect(),
+            total: LatencyHist::new(),
+        }
+    }
+
+    fn class_slot(c: StageClass) -> usize {
+        match c {
+            StageClass::Wire => 0,
+            StageClass::QuorumWait => 1,
+            StageClass::Cpu => 2,
+        }
+    }
+
+    /// Record the duration of the transition ending at `to` (`to` must not
+    /// be [`SpanStage::Submit`], which starts a lifecycle).
+    pub fn record_transition(&mut self, to: SpanStage, d: Duration) {
+        if self.transitions.is_empty() {
+            *self = StageHist::new();
+        }
+        let idx = (to as usize).saturating_sub(1);
+        self.transitions[idx].record(d);
+        self.classes[Self::class_slot(StageClass::of_transition(to))].record(d);
+    }
+
+    /// Record one assembled lifecycle: `marks[i]` is the nanosecond
+    /// timestamp of `SpanStage::ALL[i]`, `None` if the stage never happened.
+    /// Every adjacent pair of present marks becomes one transition sample;
+    /// a present `submit` and `client_resp` become a total sample.
+    pub fn record_lifecycle(&mut self, marks: &[Option<u64>; SpanStage::COUNT]) {
+        let mut prev: Option<u64> = None;
+        for (i, &mark) in marks.iter().enumerate() {
+            let Some(at) = mark else { continue };
+            if let Some(p) = prev {
+                self.record_transition(
+                    SpanStage::ALL[i],
+                    Duration::from_nanos(at.saturating_sub(p)),
+                );
+            }
+            prev = Some(at);
+        }
+        if let (Some(s), Some(r)) = (marks[0], marks[SpanStage::COUNT - 1]) {
+            self.total.record(Duration::from_nanos(r.saturating_sub(s)));
+        }
+    }
+
+    /// The histogram of the transition ending at `to` (empty hist for
+    /// [`SpanStage::Submit`]).
+    pub fn transition(&self, to: SpanStage) -> &LatencyHist {
+        static EMPTY: std::sync::OnceLock<LatencyHist> = std::sync::OnceLock::new();
+        if self.transitions.is_empty() || to == SpanStage::Submit {
+            return EMPTY.get_or_init(LatencyHist::new);
+        }
+        &self.transitions[(to as usize) - 1]
+    }
+
+    /// The roll-up histogram for one latency class.
+    pub fn class(&self, c: StageClass) -> &LatencyHist {
+        static EMPTY: std::sync::OnceLock<LatencyHist> = std::sync::OnceLock::new();
+        if self.classes.is_empty() {
+            return EMPTY.get_or_init(LatencyHist::new);
+        }
+        &self.classes[Self::class_slot(c)]
+    }
+
+    /// Number of complete (submit → client_resp) lifecycles recorded.
+    pub fn totals_count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Merge another anatomy into this one.
+    pub fn merge(&mut self, other: &StageHist) {
+        if other.transitions.is_empty() {
+            return;
+        }
+        if self.transitions.is_empty() {
+            *self = StageHist::new();
+        }
+        for (a, b) in self.transitions.iter_mut().zip(other.transitions.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.classes.iter_mut().zip(other.classes.iter()) {
+            a.merge(b);
+        }
+        self.total.merge(&other.total);
+    }
+
+    fn hist_json(h: &LatencyHist) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"max_us\":{:.3}}}",
+            h.count(),
+            h.mean_us(),
+            h.p50_us(),
+            h.p99_us(),
+            h.max_us()
+        )
+    }
+
+    /// Render as JSON for the metrics sidecar: per-transition stats keyed by
+    /// the ending stage, the class roll-up, and the end-to-end total.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"stages\":{");
+        for (i, to) in SpanStage::ALL.iter().enumerate().skip(1) {
+            if i > 1 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                to.name(),
+                Self::hist_json(self.transition(*to))
+            ));
+        }
+        out.push_str("},\"classes\":{");
+        for (i, c) in [StageClass::Wire, StageClass::QuorumWait, StageClass::Cpu]
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                c.name(),
+                Self::hist_json(self.class(*c))
+            ));
+        }
+        out.push_str(&format!("}},\"total\":{}}}", Self::hist_json(&self.total)));
+        out
+    }
+
+    /// Render a human-readable per-stage table (for fig8 / table1 output).
+    pub fn table(&self, label: &str) -> String {
+        let mut out = format!(
+            "stage anatomy [{label}] ({} complete lifecycles)\n  {:<18} {:>8} {:>10} {:>10} {:>10}\n",
+            self.totals_count(),
+            "transition",
+            "count",
+            "mean_us",
+            "p50_us",
+            "p99_us"
+        );
+        for to in SpanStage::ALL.iter().skip(1) {
+            let h = self.transition(*to);
+            out.push_str(&format!(
+                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                format!("-> {}", to.name()),
+                h.count(),
+                h.mean_us(),
+                h.p50_us(),
+                h.p99_us()
+            ));
+        }
+        for c in [StageClass::Wire, StageClass::QuorumWait, StageClass::Cpu] {
+            let h = self.class(c);
+            out.push_str(&format!(
+                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                format!("class {}", c.name()),
+                h.count(),
+                h.mean_us(),
+                h.p50_us(),
+                h.p99_us()
+            ));
+        }
+        let t = &self.total;
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+            "total",
+            t.count(),
+            t.mean_us(),
+            t.p50_us(),
+            t.p99_us()
+        ));
+        out
+    }
+}
+
 /// Summary of one measured run: completed messages, bytes, and latency
 /// statistics over the measurement window.
 #[derive(Clone)]
@@ -229,6 +466,53 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert!(a.max_us() >= 1000.0);
         assert!((a.mean_us() - 505.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stage_hist_records_adjacent_transitions_and_total() {
+        let mut sh = StageHist::new();
+        let mut marks = [None; SpanStage::COUNT];
+        // submit=0, leader_recv=1000, ring_write missing, follower_accept=5000,
+        // ..., client_resp=20000.
+        marks[SpanStage::Submit as usize] = Some(0);
+        marks[SpanStage::LeaderRecv as usize] = Some(1_000);
+        marks[SpanStage::FollowerAccept as usize] = Some(5_000);
+        marks[SpanStage::ClientResp as usize] = Some(20_000);
+        sh.record_lifecycle(&marks);
+        assert_eq!(sh.transition(SpanStage::LeaderRecv).count(), 1);
+        // The gap over the missing ring_write lands on follower_accept.
+        assert_eq!(sh.transition(SpanStage::RingWrite).count(), 0);
+        assert_eq!(sh.transition(SpanStage::FollowerAccept).count(), 1);
+        assert_eq!(sh.totals_count(), 1);
+        assert!((sh.total.mean_us() - 20.0).abs() < 1e-9);
+        // Classes roll up every recorded transition.
+        let class_total: u64 = [StageClass::Wire, StageClass::QuorumWait, StageClass::Cpu]
+            .iter()
+            .map(|&c| sh.class(c).count())
+            .sum();
+        assert_eq!(class_total, 3);
+    }
+
+    #[test]
+    fn stage_hist_merge_and_json() {
+        let mut a = StageHist::new();
+        let mut b = StageHist::new();
+        a.record_transition(SpanStage::Quorum, Duration::from_micros(5));
+        b.record_transition(SpanStage::Quorum, Duration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.transition(SpanStage::Quorum).count(), 2);
+        let json = a.to_json();
+        for s in SpanStage::ALL.iter().skip(1) {
+            assert!(json.contains(s.name()), "missing {}", s.name());
+        }
+        assert!(json.contains("quorum_wait"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Default (empty) StageHist merges and renders without panicking.
+        let mut d = StageHist::default();
+        d.merge(&a);
+        assert_eq!(d.transition(SpanStage::Quorum).count(), 2);
+        let _ = StageHist::default().to_json();
+        let _ = StageHist::default().table("empty");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the log-bucketed latency histogram: merge
+//! commutativity, quantile monotonicity, and the upper-bound guarantee at
+//! bucket edges.
+
+use abcast::LatencyHist;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn hist_of(samples: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h
+}
+
+// Everything observable about a histogram, for equality comparison.
+fn fingerprint(h: &LatencyHist) -> (u64, f64, f64, f64, f64, f64, f64) {
+    (
+        h.count(),
+        h.mean_us(),
+        h.p50_us(),
+        h.quantile_us(0.90),
+        h.p99_us(),
+        h.min_us(),
+        h.max_us(),
+    )
+}
+
+// Exact (rank-based) quantile over the raw samples, in nanoseconds.
+fn true_quantile_ns(samples: &mut [u64], q: f64) -> u64 {
+    samples.sort_unstable();
+    let target = ((samples.len() as f64) * q).ceil().max(1.0) as usize;
+    samples[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(1u64..10_000_000_000, 1..200),
+        b in prop::collection::vec(1u64..10_000_000_000, 1..200),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn merging_an_empty_hist_changes_nothing(
+        a in prop::collection::vec(1u64..10_000_000_000, 1..200),
+    ) {
+        let ha = hist_of(&a);
+        let mut merged = ha.clone();
+        merged.merge(&LatencyHist::new());
+        prop_assert_eq!(fingerprint(&merged), fingerprint(&ha));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..500),
+    ) {
+        let h = hist_of(&samples);
+        let p50 = h.p50_us();
+        let p90 = h.quantile_us(0.90);
+        let p99 = h.p99_us();
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= h.max_us() + 1e-9, "p99 {p99} > max {}", h.max_us());
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_true_quantile(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..300),
+        qi in 1u32..100,
+    ) {
+        let q = qi as f64 / 100.0;
+        let h = hist_of(&samples);
+        let reported_ns = h.quantile_us(q) * 1_000.0;
+        let exact_ns = true_quantile_ns(&mut samples.clone(), q) as f64;
+        // The reported value is the *upper* bucket edge (clamped to the
+        // max sample): never below the exact rank quantile, and never more
+        // than one bucket width (5%) above it.
+        prop_assert!(
+            reported_ns >= exact_ns * (1.0 - 1e-9),
+            "reported {reported_ns} below exact {exact_ns}"
+        );
+        prop_assert!(
+            reported_ns <= exact_ns * 1.05 * (1.0 + 1e-9) || reported_ns <= h.max_us() * 1_000.0,
+            "reported {reported_ns} too far above exact {exact_ns}"
+        );
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly_at_any_quantile(
+        ns in 1u64..10_000_000_000,
+        qi in 0u32..=100,
+    ) {
+        // At a bucket edge (or anywhere else) the upper-edge rule would
+        // overshoot a lone sample; the clamp to the largest recorded sample
+        // must bring it back exactly.
+        let h = hist_of(&[ns]);
+        let q = qi as f64 / 100.0;
+        let got = h.quantile_us(q) * 1_000.0;
+        prop_assert!((got - ns as f64).abs() < 1e-6, "got {got}, want {ns}");
+    }
+}

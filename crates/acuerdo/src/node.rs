@@ -43,12 +43,14 @@
 use crate::config::AcuerdoConfig;
 use crate::msg::{self, Frame};
 use abcast::client::RESP_WIRE;
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
+use abcast::{hdr_span, App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
 use bytes::Bytes;
 use rdma_prims::{RingError, RingReceiver, RingSender, Sst};
 use rdma_sim::{Endpoint, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
+use simnet::{
+    client_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound::{Excluded, Included};
 use std::time::Duration;
@@ -200,6 +202,11 @@ pub struct AcuerdoNode {
     elect_hb_seen: Vec<SimTime>,
     /// Peers that sent a Hello since we last built them a diff.
     hello_from: Vec<bool>,
+    /// Highest Accept_SST cell observed per peer, for `ack_visible`
+    /// lifecycle marks (leader-side; cells are read anyway for commits).
+    ack_seen: Vec<MsgHdr>,
+    /// Online invariant monitor (fed every poll; see [`abcast::Auditor`]).
+    audit: Auditor,
 
     /// The replicated application messages are delivered to.
     pub app: Box<dyn App>,
@@ -294,6 +301,8 @@ impl AcuerdoNode {
             elect_hb_base: vec![0; n],
             elect_hb_seen: vec![SimTime::ZERO; n],
             hello_from: vec![false; n],
+            ack_seen: vec![MsgHdr::ZERO; n],
+            audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             elections_won: 0,
@@ -373,6 +382,11 @@ impl AcuerdoNode {
         ctx.use_cpu(cpu::CLIENT_INGEST);
         self.count += 1;
         let hdr = MsgHdr::new(self.e_new, self.count);
+        ctx.span(
+            hdr_span(&hdr),
+            SpanStage::LeaderRecv,
+            client_span(from, req.id),
+        );
         self.log.insert(hdr, req.payload);
         self.origin.insert(hdr, (from, req.id));
         self.flush_all(ctx);
@@ -429,6 +443,7 @@ impl AcuerdoNode {
                 .send_to(ctx, &mut self.ep, self.peers[j], &frame)
             {
                 Ok(seq) => {
+                    ctx.span(hdr_span(&hdr), SpanStage::RingWrite, self.peers[j] as u64);
                     self.out[j].sent.push_back((hdr, seq));
                     self.out[j].next_cnt += 1;
                 }
@@ -456,6 +471,7 @@ impl AcuerdoNode {
                             self.log.insert(hdr, payload);
                             self.accepted = hdr;
                             self.last_leader_activity = ctx.now();
+                            ctx.span(hdr_span(&hdr), SpanStage::FollowerAccept, j as u64);
                             ctx.count(Counter::Accepts, 1);
                             ctx.trace(
                                 Event::new("accept")
@@ -580,6 +596,23 @@ impl AcuerdoNode {
         self.commit_sst.read(&self.ep, j)
     }
 
+    /// Note Accept_SST cells that advanced since the last poll, marking the
+    /// newly visible acknowledgment on each message's lifecycle. Acks are
+    /// cumulative (one cell covers every earlier count of its epoch), so a
+    /// single `ack_visible` mark per advance suffices — lifecycle assembly
+    /// inherits it downward exactly as the commit rule does.
+    fn observe_acks(&mut self, ctx: &mut Ctx<AcWire>) {
+        for k in 0..self.cfg.n {
+            let a = self.accept_sst.read(&self.ep, k);
+            if a > self.ack_seen[k] {
+                if a.cnt != 0 {
+                    ctx.span(hdr_span(&a), SpanStage::AckVisible, k as u64);
+                }
+                self.ack_seen[k] = a;
+            }
+        }
+    }
+
     fn commit_ready(&self) -> bool {
         match self.role {
             Role::Leader => {
@@ -614,6 +647,8 @@ impl AcuerdoNode {
                     break;
                 };
                 let hdr = self.next;
+                ctx.span(hdr_span(&hdr), SpanStage::Quorum, 0);
+                ctx.span(hdr_span(&hdr), SpanStage::Commit, 0);
                 self.deliver(ctx, hdr, payload);
                 self.committed = hdr;
             } else {
@@ -625,6 +660,8 @@ impl AcuerdoNode {
                     .map(|(h, p)| (*h, p.clone()))
                     .collect();
                 for (h, p) in pending {
+                    ctx.span(hdr_span(&h), SpanStage::Quorum, 0);
+                    ctx.span(hdr_span(&h), SpanStage::Commit, 0);
                     self.deliver(ctx, h, p);
                     self.committed = h;
                 }
@@ -641,6 +678,7 @@ impl AcuerdoNode {
         ctx.use_cpu(DELIVER_COST);
         self.app.deliver(hdr, &payload);
         self.delivered_count += 1;
+        ctx.span(hdr_span(&hdr), SpanStage::Deliver, 0);
         ctx.count(Counter::Commits, 1);
         ctx.trace(
             Event::new("commit")
@@ -1079,7 +1117,16 @@ impl Process<AcWire> for AcuerdoNode {
             TOK_POLL => {
                 ctx.use_cpu(cpu::POLL_IDLE);
                 self.accept_frames(ctx);
+                if self.role == Role::Leader {
+                    self.observe_acks(ctx);
+                }
                 self.commit_step(ctx);
+                // Audit accept point: the log holds everything this node has
+                // accepted — by ring frame, by recovery diff, or (at the
+                // leader) by proposing, which `self.accepted` alone misses.
+                let log_top = self.log.keys().next_back().copied().unwrap_or(MsgHdr::ZERO);
+                self.audit
+                    .observe(ctx, self.e_cur, self.accepted.max(log_top), self.committed);
                 if self.role == Role::Leader {
                     self.reuse_slots();
                     self.flush_all(ctx);

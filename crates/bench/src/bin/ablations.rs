@@ -74,6 +74,7 @@ fn main() {
                 spec,
                 &sat.point,
                 &sat_metrics,
+                None,
             ));
         }
         let slow_spec = RunSpec {

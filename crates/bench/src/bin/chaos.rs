@@ -13,7 +13,7 @@
 //! protocols) or convergence failure (Acuerdo only — baselines without a
 //! rejoin path may safely stall and are merely reported).
 
-use bench::chaos::{run_chaos, Proto};
+use bench::chaos::{run_chaos, run_chaos_traced, Proto};
 use bench::write_metrics_file;
 use simnet::SimTime;
 use std::process::exit;
@@ -24,12 +24,14 @@ struct Args {
     seeds: u64,
     max_time_ms: u64,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() {
     eprintln!(
         "usage: chaos [--proto acuerdo|raft|zab|paxos|derecho|all] [--seed N]\n\
-         \x20            [--seeds N] [--max-time-ms MS] [--metrics-out FILE]"
+         \x20            [--seeds N] [--max-time-ms MS] [--metrics-out FILE]\n\
+         \x20            [--trace-out FILE]   (single --proto + --seed only)"
     );
 }
 
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
         seeds: 20,
         max_time_ms: 50,
         metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -68,6 +71,7 @@ fn parse_args() -> Args {
             "--seeds" => out.seeds = parse_num(&need(&mut args, "--seeds")),
             "--max-time-ms" => out.max_time_ms = parse_num(&need(&mut args, "--max-time-ms")),
             "--metrics-out" => out.metrics_out = Some(need(&mut args, "--metrics-out")),
+            "--trace-out" => out.trace_out = Some(need(&mut args, "--trace-out")),
             "--help" | "-h" => {
                 usage();
                 exit(0);
@@ -96,13 +100,28 @@ fn main() {
         Some(s) => vec![s],
         None => (1..=args.seeds).collect(),
     };
+    if args.trace_out.is_some() && (args.protos.len() != 1 || args.seed.is_none()) {
+        // A Chrome trace document holds one run; require an exact repro.
+        eprintln!("--trace-out needs a single --proto and an explicit --seed");
+        exit(2);
+    }
 
     let mut records = Vec::new();
     let mut fatal = 0usize;
     let mut stalled = 0usize;
     for &proto in &args.protos {
         for &seed in &seed_list {
-            let r = run_chaos(proto, seed, horizon);
+            let r = if let Some(path) = &args.trace_out {
+                let (r, events) = run_chaos_traced(proto, seed, horizon);
+                std::fs::write(path, simnet::chrome_trace_json(&events)).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(2);
+                });
+                println!("wrote {path} ({} events)", events.len());
+                r
+            } else {
+                run_chaos(proto, seed, horizon)
+            };
             let verdict = if r.fatal() {
                 "FAIL"
             } else if !r.converged {

@@ -7,9 +7,14 @@
 //! cargo run --release -p bench --bin fig8 -- --full         # paper-scale sweeps
 //! cargo run --release -p bench --bin fig8 -- --csv          # machine-readable
 //! cargo run --release -p bench --bin fig8 -- --metrics-out fig8.metrics.json
+//! cargo run --release -p bench --bin fig8 -- --trace-out fig8.trace.json
 //! ```
 
-use bench::{run_broadcast_metrics, run_record_json, sweep, write_metrics_file, RunSpec, System};
+use abcast::spans;
+use bench::{
+    record_path, run_broadcast_metrics, run_broadcast_traced, run_record_json, sweep,
+    write_metrics_file, RunSpec, System,
+};
 
 struct Args {
     nodes: Vec<usize>,
@@ -18,6 +23,7 @@ struct Args {
     csv: bool,
     seed: u64,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse() -> Args {
@@ -28,6 +34,7 @@ fn parse() -> Args {
         csv: false,
         seed: 42,
         metrics_out: None,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -48,6 +55,10 @@ fn parse() -> Args {
             "--metrics-out" => {
                 i += 1;
                 a.metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
+            }
+            "--trace-out" => {
+                i += 1;
+                a.trace_out = Some(argv.get(i).expect("--trace-out PATH").clone());
             }
             "--full" => a.full = true,
             "--csv" => a.csv = true,
@@ -81,21 +92,43 @@ fn main() {
                     RunSpec::quick(system)
                 };
                 let pts = sweep(system, n, size, max_log2, args.seed, spec);
-                if args.metrics_out.is_some() {
+                if args.metrics_out.is_some() || args.trace_out.is_some() {
                     // Re-run the saturated point to capture its counters
-                    // (same seed, so the run is bit-identical to the sweep's).
+                    // (same seed, so the run is bit-identical to the sweep's;
+                    // tracing never perturbs scheduling).
                     let w = pts.last().map_or(1, |p| p.window);
-                    let (p, m) = run_broadcast_metrics(system, n, size, w, args.seed, spec);
-                    records.push(run_record_json(
-                        &panel,
-                        system.name(),
-                        n,
-                        size,
-                        args.seed,
-                        spec,
-                        &p,
-                        &m,
-                    ));
+                    let label = format!("{panel}_{}", system.name());
+                    let (p, m, stages) = if args.trace_out.is_some() {
+                        let (p, m, events) =
+                            run_broadcast_traced(system, n, size, w, args.seed, spec);
+                        let hist = spans::stage_hist(&spans::collect(&events));
+                        if let Some(base) = &args.trace_out {
+                            let path = record_path(base, &label);
+                            std::fs::write(&path, simnet::chrome_trace_json(&events))
+                                .expect("write trace file");
+                            eprintln!("wrote {path} ({} events)", events.len());
+                        }
+                        if !args.csv {
+                            print!("\n{}", hist.table(&label));
+                        }
+                        (p, m, Some(hist))
+                    } else {
+                        let (p, m) = run_broadcast_metrics(system, n, size, w, args.seed, spec);
+                        (p, m, None)
+                    };
+                    if args.metrics_out.is_some() {
+                        records.push(run_record_json(
+                            &panel,
+                            system.name(),
+                            n,
+                            size,
+                            args.seed,
+                            spec,
+                            &p,
+                            &m,
+                            stages.as_ref(),
+                        ));
+                    }
                 }
                 if args.csv {
                     for p in &pts {

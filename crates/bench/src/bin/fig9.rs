@@ -4,13 +4,20 @@
 //! ```text
 //! cargo run --release -p bench --bin fig9
 //! cargo run --release -p bench --bin fig9 -- --full
+//! cargo run --release -p bench --bin fig9 -- --metrics-out fig9.metrics.json
+//! cargo run --release -p bench --bin fig9 -- --trace-out fig9.trace.json
 //! ```
 
-use bench::{ycsb_point, RunSpec, System};
+use abcast::spans;
+use bench::{
+    record_path, write_metrics_file, ycsb_point_metrics, ycsb_point_traced, RunSpec, System,
+};
 
 fn main() {
     let mut full = false;
     let mut seed = 42u64;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -20,6 +27,14 @@ fn main() {
                 i += 1;
                 seed = argv.get(i).expect("--seed N").parse().expect("--seed N");
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(argv.get(i).expect("--trace-out PATH").clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -28,6 +43,7 @@ fn main() {
         i += 1;
     }
     let systems = [System::Acuerdo, System::Etcd, System::Zookeeper];
+    let mut records: Vec<String> = Vec::new();
     println!("Figure 9: YCSB-load throughput (ops/sec) vs node count");
     println!("paper shape: acuerdo ~10x zookeeper, ~50x etcd, log-scale axis\n");
     println!(
@@ -51,7 +67,45 @@ fn main() {
                     measure: std::time::Duration::from_millis(if full { 1_500 } else { 400 }),
                 }
             };
-            vals.push(ycsb_point(s, n, seed, spec));
+            let label = format!("{}_n{n}", s.name());
+            let (ops, metrics, stages) = if trace_out.is_some() {
+                let (ops, metrics, events) = ycsb_point_traced(s, n, seed, spec);
+                let hist = spans::stage_hist(&spans::collect(&events));
+                if let Some(base) = &trace_out {
+                    let path = record_path(base, &label);
+                    std::fs::write(&path, simnet::chrome_trace_json(&events))
+                        .expect("write trace file");
+                    eprintln!("wrote {path} ({} events)", events.len());
+                }
+                (ops, metrics, Some(hist))
+            } else {
+                let (ops, metrics) = ycsb_point_metrics(s, n, seed, spec);
+                (ops, metrics, None)
+            };
+            if metrics_out.is_some() {
+                // ycsb points are ops/s of zero-payload commands; reuse the
+                // throughput field of the record for ops/s.
+                let point = bench::Point {
+                    window: if s == System::Etcd { 64 } else { 256 },
+                    mbps: 0.0,
+                    msgs_per_sec: ops,
+                    mean_us: 0.0,
+                    p50_us: 0.0,
+                    p99_us: 0.0,
+                };
+                records.push(bench::run_record_json(
+                    &label,
+                    s.name(),
+                    n,
+                    0,
+                    seed,
+                    spec,
+                    &point,
+                    &metrics,
+                    stages.as_ref(),
+                ));
+            }
+            vals.push(ops);
         }
         let (ac, et, zk) = (vals[0], vals[1], vals[2]);
         println!(
@@ -63,5 +117,9 @@ fn main() {
             ac / zk,
             ac / et
         );
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics_file(path, "fig9", seed, &records).expect("write metrics file");
+        eprintln!("wrote {path} ({} records)", records.len());
     }
 }

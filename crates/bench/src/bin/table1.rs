@@ -7,15 +7,21 @@
 //! cargo run --release -p bench --bin table1
 //! cargo run --release -p bench --bin table1 -- --elections 12 --seed 7
 //! cargo run --release -p bench --bin table1 -- --metrics-out table1.metrics.json
+//! cargo run --release -p bench --bin table1 -- --trace-out table1.trace.json
 //! ```
 
-use bench::{election_experiment_metrics, long_latency_count, write_metrics_file};
+use abcast::spans;
+use bench::{
+    election_experiment_metrics, election_experiment_traced, long_latency_count, record_path,
+    write_metrics_file,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut elections = 8usize;
     let mut seed = 42u64;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -31,6 +37,10 @@ fn main() {
                 i += 1;
                 metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(argv.get(i).expect("--trace-out PATH").clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -39,6 +49,7 @@ fn main() {
         i += 1;
     }
     let mut records: Vec<String> = Vec::new();
+    let mut stage_tables: Vec<String> = Vec::new();
 
     println!("Table 1: average Acuerdo election duration (ms), incl. diff transfer");
     println!("paper:    3 nodes: .3    5 nodes: 6.8    7 nodes: 12.1    9 nodes: 12.6");
@@ -48,7 +59,22 @@ fn main() {
         "nodes", "long-latency", "elections", "mean_ms", "min_ms", "max_ms"
     );
     for n in [3usize, 5, 7, 9] {
-        let (st, metrics) = election_experiment_metrics(n, elections, seed);
+        let (st, metrics, stages) = if trace_out.is_some() {
+            let (st, metrics, events) = election_experiment_traced(n, elections, seed);
+            let label = format!("n{n}");
+            let hist = spans::stage_hist(&spans::collect(&events));
+            if let Some(base) = &trace_out {
+                let path = record_path(base, &label);
+                std::fs::write(&path, simnet::chrome_trace_json(&events))
+                    .expect("write trace file");
+                eprintln!("wrote {path} ({} events)", events.len());
+            }
+            stage_tables.push(hist.table(&label));
+            (st, metrics, Some(hist))
+        } else {
+            let (st, metrics) = election_experiment_metrics(n, elections, seed);
+            (st, metrics, None)
+        };
         println!(
             "{:>7} {:>12} {:>10} {:>10.2} {:>10.2} {:>12.2}",
             n,
@@ -59,16 +85,24 @@ fn main() {
             st.max_ms
         );
         if metrics_out.is_some() {
+            let stages_json = match &stages {
+                Some(h) => format!(",\"stages\":{}", h.to_json()),
+                None => String::new(),
+            };
             records.push(format!(
                 "{{\"nodes\":{n},\"elections\":{},\"mean_ms\":{:.3},\"min_ms\":{:.3},\
-                 \"max_ms\":{:.3},\"metrics\":{}}}",
+                 \"max_ms\":{:.3},\"metrics\":{}{}}}",
                 st.count,
                 st.mean_ms,
                 st.min_ms,
                 st.max_ms,
-                metrics.to_json()
+                metrics.to_json(),
+                stages_json
             ));
         }
+    }
+    for t in &stage_tables {
+        print!("\n{t}");
     }
     if let Some(path) = &metrics_out {
         write_metrics_file(path, "table1", seed, &records).expect("write metrics file");

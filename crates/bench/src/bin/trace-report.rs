@@ -1,0 +1,68 @@
+//! Analyze a Chrome trace file written by any `--trace-out` flag (`fig8`,
+//! `fig9`, `table1`, `chaos`): reassemble message lifecycles, print the
+//! per-stage commit-latency anatomy with its quorum-wait / wire / CPU
+//! breakdown, sample the p50 and p99 critical paths, and list the heaviest
+//! network links.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig8 -- --trace-out fig8.trace.json
+//! cargo run --release -p bench --bin trace-report -- fig8.trace-3nodes-10B-acuerdo.json
+//! ```
+//!
+//! Exit status: 0 on a report, 1 when the trace contains no lifecycle stage
+//! marks (e.g. a file from an untraced run), 2 on usage or parse errors.
+
+use bench::report;
+use std::process::exit;
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut top = 8usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--top" => {
+                i += 1;
+                top = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--top needs a number");
+                    exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace-report [--top N] FILE.json");
+                exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: trace-report [--top N] FILE.json");
+                exit(2);
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    eprintln!("only one trace file per invocation");
+                    exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("usage: trace-report [--top N] FILE.json");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(2);
+    });
+    let events = report::parse_chrome_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        exit(2);
+    });
+    let r = report::build(&events);
+    if r.is_empty() {
+        eprintln!("{file}: no lifecycle stage marks in trace (untraced run?)");
+        exit(1);
+    }
+    print!("{}", report::render(&r, top));
+}

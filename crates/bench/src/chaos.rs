@@ -33,7 +33,7 @@ use paxos::{PaxosConfig, PaxosNode, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use simnet::{MetricsSnapshot, NodeId, Sim, SimTime};
+use simnet::{MetricsSnapshot, NodeId, Sim, SimTime, TraceEvent};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -493,6 +493,26 @@ const PAYLOAD: usize = 32;
 /// Baselines run their stock configuration (preset leader, no restarts) —
 /// crashed replicas stay down and the run may stall safely.
 pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
+    run_chaos_run(proto, seed, horizon, false).0
+}
+
+/// Like [`run_chaos`] but with event recording on, returning the full fault
+/// timeline (for `--trace-out`). Tracing only toggles recording, so the
+/// report is bit-identical to the untraced run at the same seed.
+pub fn run_chaos_traced(
+    proto: Proto,
+    seed: u64,
+    horizon: SimTime,
+) -> (ChaosReport, Vec<TraceEvent>) {
+    run_chaos_run(proto, seed, horizon, true)
+}
+
+fn run_chaos_run(
+    proto: Proto,
+    seed: u64,
+    horizon: SimTime,
+    traced: bool,
+) -> (ChaosReport, Vec<TraceEvent>) {
     let n = CHAOS_N;
     let schedule = Schedule::generate(seed, n, horizon, proto.restartable());
     let warmup = Duration::from_micros(100);
@@ -504,12 +524,14 @@ pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
             };
             let (mut sim, ids, client) =
                 acuerdo::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.set_tracing(traced);
             acuerdo::enable_restarts(&mut sim, &cfg, &ids);
             let c = sim.node_mut::<WindowClient<AcWire>>(client);
             c.retransmit = Some(Duration::from_millis(1));
             c.replicas = ids.clone();
             let (pre, hs) = drive(&mut sim, &schedule, |s| acuerdo::histories(s, &ids));
-            report(proto, schedule, pre, hs, sim.metrics())
+            let rep = report(proto, schedule, pre, hs, sim.metrics());
+            (rep, sim.take_trace())
         }
         Proto::Raft => {
             let cfg = RaftConfig {
@@ -518,10 +540,12 @@ pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
             };
             let (mut sim, ids, client) =
                 raft::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.set_tracing(traced);
             sim.node_mut::<WindowClient<RfWire>>(client).retransmit =
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, RaftNode));
-            report(proto, schedule, pre, hs, sim.metrics())
+            let rep = report(proto, schedule, pre, hs, sim.metrics());
+            (rep, sim.take_trace())
         }
         Proto::Zab => {
             let cfg = ZabConfig {
@@ -530,10 +554,12 @@ pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
             };
             let (mut sim, ids, client) =
                 zab::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.set_tracing(traced);
             sim.node_mut::<WindowClient<ZkWire>>(client).retransmit =
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, ZabNode));
-            report(proto, schedule, pre, hs, sim.metrics())
+            let rep = report(proto, schedule, pre, hs, sim.metrics());
+            (rep, sim.take_trace())
         }
         Proto::Paxos => {
             let cfg = PaxosConfig {
@@ -542,10 +568,12 @@ pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
             };
             let (mut sim, ids, client) =
                 paxos::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.set_tracing(traced);
             sim.node_mut::<WindowClient<PxWire>>(client).retransmit =
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, PaxosNode));
-            report(proto, schedule, pre, hs, sim.metrics())
+            let rep = report(proto, schedule, pre, hs, sim.metrics());
+            (rep, sim.take_trace())
         }
         Proto::Derecho => {
             let cfg = DerechoConfig {
@@ -554,12 +582,14 @@ pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
             };
             let (mut sim, ids, client) =
                 derecho::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
+            sim.set_tracing(traced);
             sim.node_mut::<WindowClient<DcWire>>(client).retransmit =
                 Some(Duration::from_millis(2));
             // Derecho's own histories() additionally excludes evicted
             // members — they are outside the virtual-synchrony contract.
             let (pre, hs) = drive(&mut sim, &schedule, |s| derecho::histories(s, &ids));
-            report(proto, schedule, pre, hs, sim.metrics())
+            let rep = report(proto, schedule, pre, hs, sim.metrics());
+            (rep, sim.take_trace())
         }
     }
 }

@@ -16,9 +16,11 @@
 //! rows/series; Criterion benches run scaled-down smoke points.
 
 pub mod chaos;
+pub mod json;
 pub mod plot;
+pub mod report;
 
-use abcast::{RunResult, WindowClient};
+use abcast::{RunResult, StageHist, WindowClient};
 use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
 use apus::{ApWire, ApusConfig};
 use dare::{DareConfig, DareWire};
@@ -26,7 +28,7 @@ use derecho::{DcWire, DerechoConfig, Mode};
 use kvstore::{ReplicatedMap, YcsbLoad};
 use paxos::{PaxosConfig, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
-use simnet::{MetricsSnapshot, NetParams, Sim, SimTime};
+use simnet::{MetricsSnapshot, NetParams, Sim, SimTime, TraceEvent};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -185,15 +187,45 @@ pub fn run_broadcast_metrics(
     seed: u64,
     spec: RunSpec,
 ) -> (Point, MetricsSnapshot) {
+    let (p, m, _) = run_broadcast_run(system, n, payload, window, seed, spec, false);
+    (p, m)
+}
+
+/// Like [`run_broadcast_metrics`] but with event recording on, returning the
+/// full timeline (for `--trace-out`). Tracing only toggles recording, never
+/// scheduling, so the point and counters are bit-identical to the untraced
+/// run at the same seed.
+pub fn run_broadcast_traced(
+    system: System,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> (Point, MetricsSnapshot, Vec<TraceEvent>) {
+    run_broadcast_run(system, n, payload, window, seed, spec, true)
+}
+
+fn run_broadcast_run(
+    system: System,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+    traced: bool,
+) -> (Point, MetricsSnapshot, Vec<TraceEvent>) {
     match system {
         System::Acuerdo => {
             let cfg = AcuerdoConfig::stable(n);
             let (mut sim, ids, client) =
                 acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             acuerdo::check_cluster(&sim, &ids).expect("acuerdo correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<AcWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
         System::DerechoLeader | System::DerechoAll => {
             let cfg = DerechoConfig {
@@ -207,10 +239,12 @@ pub fn run_broadcast_metrics(
             };
             let (mut sim, ids, client) =
                 derecho::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             derecho::check_cluster(&sim, &ids).expect("derecho correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<DcWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
         System::Apus => {
             let cfg = ApusConfig {
@@ -219,10 +253,12 @@ pub fn run_broadcast_metrics(
             };
             let (mut sim, ids, client) =
                 apus::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             apus::check_cluster(&sim, &ids).expect("apus correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<ApWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
         System::Libpaxos => {
             let cfg = PaxosConfig {
@@ -231,10 +267,12 @@ pub fn run_broadcast_metrics(
             };
             let (mut sim, ids, client) =
                 paxos::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             paxos::check_cluster(&sim, &ids).expect("paxos correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<PxWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
         System::Zookeeper => {
             let cfg = ZabConfig {
@@ -243,10 +281,12 @@ pub fn run_broadcast_metrics(
             };
             let (mut sim, ids, client) =
                 zab::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             zab::check_cluster(&sim, &ids).expect("zab correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<ZkWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
         System::Etcd => {
             let cfg = RaftConfig {
@@ -255,10 +295,12 @@ pub fn run_broadcast_metrics(
             };
             let (mut sim, ids, client) =
                 raft::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
+            sim.set_tracing(traced);
             finish(&mut sim, spec);
             raft::check_cluster(&sim, &ids).expect("raft correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<RfWire>>(client).result());
-            (p, sim.metrics())
+            let m = sim.metrics();
+            (p, m, sim.take_trace())
         }
     }
 }
@@ -333,6 +375,26 @@ pub fn election_experiment_metrics(
     elections: usize,
     seed: u64,
 ) -> (ElectionStats, MetricsSnapshot) {
+    let (st, m, _) = election_run(n, elections, seed, false);
+    (st, m)
+}
+
+/// Like [`election_experiment_metrics`] but with event recording on,
+/// returning the failover timeline for `--trace-out`.
+pub fn election_experiment_traced(
+    n: usize,
+    elections: usize,
+    seed: u64,
+) -> (ElectionStats, MetricsSnapshot, Vec<TraceEvent>) {
+    election_run(n, elections, seed, true)
+}
+
+fn election_run(
+    n: usize,
+    elections: usize,
+    seed: u64,
+    traced: bool,
+) -> (ElectionStats, MetricsSnapshot, Vec<TraceEvent>) {
     use abcast::OpenLoopClient;
     let cfg = AcuerdoConfig {
         n,
@@ -345,6 +407,7 @@ pub fn election_experiment_metrics(
         ..AcuerdoConfig::default()
     };
     let mut sim: Sim<AcWire> = Sim::new(seed, NetParams::rdma());
+    sim.set_tracing(traced);
     let ids = acuerdo::build_cluster(&mut sim, &cfg);
     let client = sim.add_node(Box::new(OpenLoopClient::<AcWire>::new(
         0,
@@ -402,7 +465,12 @@ pub fn election_experiment_metrics(
             durations.push(ready.saturating_since(*start).as_secs_f64() * 1e3);
         }
     }
-    (ElectionStats::from_durations(n, durations), sim.metrics())
+    let m = sim.metrics();
+    (
+        ElectionStats::from_durations(n, durations),
+        m,
+        sim.take_trace(),
+    )
 }
 
 /// How many "long-latency" replicas the Table 1 setup injects.
@@ -449,6 +517,39 @@ impl ElectionStats {
 /// every replica's table copy; the client is acknowledged at commit. Only
 /// the three systems of Figure 9 are supported.
 pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
+    ycsb_run(system, n, seed, spec, false).0
+}
+
+/// Like [`ycsb_point`] but also returns the counter snapshot (for
+/// `--metrics-out` sidecars).
+pub fn ycsb_point_metrics(
+    system: System,
+    n: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> (f64, MetricsSnapshot) {
+    let (ops, m, _) = ycsb_run(system, n, seed, spec, false);
+    (ops, m)
+}
+
+/// Like [`ycsb_point_metrics`] but with event recording on, returning the
+/// timeline for `--trace-out`.
+pub fn ycsb_point_traced(
+    system: System,
+    n: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> (f64, MetricsSnapshot, Vec<TraceEvent>) {
+    ycsb_run(system, n, seed, spec, true)
+}
+
+fn ycsb_run(
+    system: System,
+    n: usize,
+    seed: u64,
+    spec: RunSpec,
+    traced: bool,
+) -> (f64, MetricsSnapshot, Vec<TraceEvent>) {
     // etcd serialises a WAL fsync per entry; a 256-deep window would spend
     // tens of milliseconds just filling the pipe, so cap its concurrency the
     // way etcd clients do.
@@ -458,6 +559,7 @@ pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
             let cfg = AcuerdoConfig::stable(n);
             let (mut sim, ids, client) =
                 acuerdo::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            sim.set_tracing(traced);
             for &id in &ids {
                 sim.node_mut::<AcuerdoNode>(id).app = Box::<ReplicatedMap>::default();
             }
@@ -473,9 +575,12 @@ pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
                 })
                 .collect();
             assert!(applied.iter().all(|&a| a > 0), "table not replicated");
-            sim.node::<WindowClient<AcWire>>(client)
+            let ops = sim
+                .node::<WindowClient<AcWire>>(client)
                 .result()
-                .msgs_per_sec()
+                .msgs_per_sec();
+            let m = sim.metrics();
+            (ops, m, sim.take_trace())
         }
         System::Zookeeper => {
             let cfg = ZabConfig {
@@ -484,15 +589,19 @@ pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
             };
             let (mut sim, ids, client) =
                 zab::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            sim.set_tracing(traced);
             for &id in &ids {
                 sim.node_mut::<ZabNode>(id).app = Box::<ReplicatedMap>::default();
             }
             sim.node_mut::<WindowClient<ZkWire>>(client).payload_fn =
                 Some(YcsbLoad::new(seed).into_payload_fn());
             finish(&mut sim, spec);
-            sim.node::<WindowClient<ZkWire>>(client)
+            let ops = sim
+                .node::<WindowClient<ZkWire>>(client)
                 .result()
-                .msgs_per_sec()
+                .msgs_per_sec();
+            let m = sim.metrics();
+            (ops, m, sim.take_trace())
         }
         System::Etcd => {
             let cfg = RaftConfig {
@@ -501,15 +610,19 @@ pub fn ycsb_point(system: System, n: usize, seed: u64, spec: RunSpec) -> f64 {
             };
             let (mut sim, ids, client) =
                 raft::cluster_with_client(seed, &cfg, window, 0, spec.warmup);
+            sim.set_tracing(traced);
             for &id in &ids {
                 sim.node_mut::<RaftNode>(id).app = Box::<ReplicatedMap>::default();
             }
             sim.node_mut::<WindowClient<RfWire>>(client).payload_fn =
                 Some(YcsbLoad::new(seed).into_payload_fn());
             finish(&mut sim, spec);
-            sim.node::<WindowClient<RfWire>>(client)
+            let ops = sim
+                .node::<WindowClient<RfWire>>(client)
                 .result()
-                .msgs_per_sec()
+                .msgs_per_sec();
+            let m = sim.metrics();
+            (ops, m, sim.take_trace())
         }
         other => panic!("figure 9 does not include {other:?}"),
     }
@@ -641,7 +754,8 @@ pub fn ablation_point_metrics(
 
 /// One `--metrics-out` record: run metadata, the client-visible point, and
 /// the per-node counter snapshot, as one hand-rolled JSON object (DESIGN.md
-/// §6 keeps serde out of the tree).
+/// §6 keeps serde out of the tree). When the run was traced, `stages` adds
+/// the per-stage commit-latency anatomy under a `"stages"` member.
 #[allow(clippy::too_many_arguments)]
 pub fn run_record_json(
     label: &str,
@@ -652,12 +766,17 @@ pub fn run_record_json(
     spec: RunSpec,
     point: &Point,
     metrics: &MetricsSnapshot,
+    stages: Option<&StageHist>,
 ) -> String {
+    let stages_json = match stages {
+        Some(h) => format!(",\"stages\":{}", h.to_json()),
+        None => String::new(),
+    };
     format!(
         "{{\"label\":\"{}\",\"system\":\"{}\",\"nodes\":{},\"payload_bytes\":{},\
          \"seed\":{},\"warmup_ms\":{:.3},\"measure_ms\":{:.3},\"window\":{},\
          \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
-         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{}}}",
+         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{}{}}}",
         simnet::json_escape(label),
         simnet::json_escape(system),
         n,
@@ -671,8 +790,23 @@ pub fn run_record_json(
         point.mean_us,
         point.p50_us,
         point.p99_us,
-        metrics.to_json()
+        metrics.to_json(),
+        stages_json
     )
+}
+
+/// Derive a per-record output path from a `--trace-out` base: Chrome trace
+/// documents hold one run each (process ids are node ids), so
+/// `traces.json` + label `acuerdo-n3` → `traces-acuerdo-n3.json`.
+pub fn record_path(base: &str, label: &str) -> String {
+    let slug: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    match base.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{slug}.{ext}"),
+        _ => format!("{base}-{slug}"),
+    }
 }
 
 /// Assemble `records` into the metrics sidecar document and write it.

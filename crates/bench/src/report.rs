@@ -1,0 +1,337 @@
+//! Post-hoc trace analysis for the `trace-report` binary (and the
+//! observability tests): re-ingest a Chrome trace file written by
+//! [`simnet::chrome_trace_json`], reassemble message lifecycles, and render
+//! the commit-latency anatomy, critical-path samples, and per-link traffic.
+
+use crate::json::{self, Value};
+use abcast::spans::{collect, stage_hist};
+use abcast::{Lifecycle, StageHist};
+use simnet::{SimTime, SpanStage, TraceEvent};
+
+/// One (src → dst) traffic aggregate from the NIC egress lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Talker {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Packets serialized onto the wire.
+    pub packets: u64,
+    /// Wire bytes (after min-wire-size clamping).
+    pub bytes: u64,
+}
+
+/// Everything `trace-report` prints, exposed as data so tests can assert on
+/// it without scraping stdout.
+pub struct TraceReport {
+    /// Assembled lifecycles (one per canonical span id).
+    pub lifecycles: Vec<Lifecycle>,
+    /// Per-stage commit-latency anatomy over the assembled lifecycles.
+    pub stages: StageHist,
+    /// Raw stage-mark counts per [`SpanStage`] slot, straight off the
+    /// timeline (before any covering-mark inheritance). Their sum equals the
+    /// cluster's `span_marks` counter for the same run.
+    pub mark_counts: [u64; SpanStage::COUNT],
+    /// Per-link traffic, heaviest first.
+    pub talkers: Vec<Talker>,
+}
+
+impl TraceReport {
+    /// Total stage marks on the timeline.
+    pub fn total_marks(&self) -> u64 {
+        self.mark_counts.iter().sum()
+    }
+
+    /// Whether the trace carried no lifecycle information at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_marks() == 0
+    }
+}
+
+fn hex_u64(v: Option<&Value>) -> Option<u64> {
+    let s = v?.as_str()?;
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+fn us_to_time(us: f64) -> SimTime {
+    SimTime::from_nanos((us * 1_000.0).round() as u64)
+}
+
+/// Re-ingest a Chrome trace document into the [`TraceEvent`]s that matter for
+/// reporting: lifecycle stage marks and NIC egress slices. Other lanes
+/// (protocol instants, CPU busy, NIC ingress, flow arrows) are skipped.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("not a chrome trace: no traceEvents array")?;
+    let mut out = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let Some(name) = e.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        let node = e.get("pid").and_then(Value::as_u64).unwrap_or(0) as usize;
+        let ts = e.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+        if let Some(stage) = SpanStage::from_name(name) {
+            let args = e.get("args");
+            let Some(id) = hex_u64(args.and_then(|a| a.get("span"))) else {
+                continue;
+            };
+            let arg = hex_u64(args.and_then(|a| a.get("arg"))).unwrap_or(0);
+            out.push(TraceEvent::Span {
+                at: us_to_time(ts),
+                node,
+                id,
+                stage,
+                arg,
+            });
+        } else if name == "tx" {
+            let dur = e.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+            let args = e.get("args");
+            let bytes = args
+                .and_then(|a| a.get("bytes"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as u32;
+            let dst = args
+                .and_then(|a| a.get("dst"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize;
+            out.push(TraceEvent::NicEgress {
+                node,
+                start: us_to_time(ts),
+                end: us_to_time(ts + dur),
+                bytes,
+                dst,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Build the report from a recorded (or re-ingested) timeline.
+pub fn build(events: &[TraceEvent]) -> TraceReport {
+    let lifecycles = collect(events);
+    let stages = stage_hist(&lifecycles);
+    let mut mark_counts = [0u64; SpanStage::COUNT];
+    let mut links: std::collections::HashMap<(usize, usize), (u64, u64)> =
+        std::collections::HashMap::new();
+    for e in events {
+        match *e {
+            TraceEvent::Span { stage, .. } => mark_counts[stage as usize] += 1,
+            TraceEvent::NicEgress {
+                node, dst, bytes, ..
+            } => {
+                let slot = links.entry((node, dst)).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += bytes as u64;
+            }
+            _ => {}
+        }
+    }
+    let mut talkers: Vec<Talker> = links
+        .into_iter()
+        .map(|((src, dst), (packets, bytes))| Talker {
+            src,
+            dst,
+            packets,
+            bytes,
+        })
+        .collect();
+    talkers.sort_by(|a, b| {
+        b.bytes
+            .cmp(&a.bytes)
+            .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+    });
+    TraceReport {
+        lifecycles,
+        stages,
+        mark_counts,
+        talkers,
+    }
+}
+
+/// The complete lifecycle whose end-to-end latency sits at quantile `q`
+/// (`None` when no lifecycle has both ends).
+pub fn critical_path_sample(lifecycles: &[Lifecycle], q: f64) -> Option<&Lifecycle> {
+    let mut totals: Vec<(u64, &Lifecycle)> = lifecycles
+        .iter()
+        .filter_map(|l| l.total_ns().map(|t| (t, l)))
+        .collect();
+    if totals.is_empty() {
+        return None;
+    }
+    totals.sort_by_key(|&(t, _)| t);
+    let idx = ((totals.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    Some(totals[idx].1)
+}
+
+fn render_sample(out: &mut String, label: &str, l: &Lifecycle) {
+    let Some(start) = l
+        .mark(SpanStage::Submit)
+        .or_else(|| l.marks.iter().flatten().min().copied())
+    else {
+        return;
+    };
+    out.push_str(&format!(
+        "critical path [{label}] span {:#x} (total {:.2} us)\n",
+        l.id,
+        l.total_ns().unwrap_or(0) as f64 / 1_000.0
+    ));
+    let mut prev = start;
+    for stage in SpanStage::ALL {
+        if let Some(at) = l.mark(stage) {
+            out.push_str(&format!(
+                "  {:<16} +{:>9.2} us  (Δ {:>8.2} us)\n",
+                stage.name(),
+                (at - start) as f64 / 1_000.0,
+                at.saturating_sub(prev) as f64 / 1_000.0
+            ));
+            prev = at;
+        }
+    }
+}
+
+/// Render the whole report as the text `trace-report` prints.
+pub fn render(r: &TraceReport, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} stage marks over {} lifecycles ({} complete)\n\nmark counts:\n",
+        r.total_marks(),
+        r.lifecycles.len(),
+        r.lifecycles.iter().filter(|l| l.complete()).count()
+    ));
+    for (i, stage) in SpanStage::ALL.iter().enumerate() {
+        out.push_str(&format!("  {:<16} {:>8}\n", stage.name(), r.mark_counts[i]));
+    }
+    out.push('\n');
+    out.push_str(&r.stages.table("trace"));
+    out.push('\n');
+    for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
+        if let Some(l) = critical_path_sample(&r.lifecycles, q) {
+            render_sample(&mut out, label, l);
+        }
+    }
+    if !r.talkers.is_empty() {
+        out.push_str(&format!("\ntop talkers (of {} links):\n", r.talkers.len()));
+        out.push_str(&format!(
+            "  {:>4} {:>4} {:>10} {:>12}\n",
+            "src", "dst", "packets", "wire_bytes"
+        ));
+        for t in r.talkers.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>4} {:>4} {:>10} {:>12}\n",
+                t.src, t.dst, t.packets, t.bytes
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{client_span, msg_span};
+
+    fn span(at: u64, node: usize, id: u64, stage: SpanStage, arg: u64) -> TraceEvent {
+        TraceEvent::Span {
+            at: SimTime::from_nanos(at),
+            node,
+            id,
+            stage,
+            arg,
+        }
+    }
+
+    fn full_lifecycle(events: &mut Vec<TraceEvent>, client: usize, req: u64, cnt: u32, base: u64) {
+        let cid = client_span(client, req);
+        let mid = msg_span(1, 0, cnt);
+        events.push(span(base, client, cid, SpanStage::Submit, 0));
+        for (k, stage) in SpanStage::ALL[1..8].iter().enumerate() {
+            let arg = if *stage == SpanStage::LeaderRecv {
+                cid
+            } else {
+                0
+            };
+            events.push(span(base + 1_000 * (k as u64 + 1), 0, mid, *stage, arg));
+        }
+        events.push(span(base + 9_000, client, cid, SpanStage::ClientResp, 0));
+    }
+
+    #[test]
+    fn chrome_round_trip_preserves_spans_and_tx() {
+        let mut events = vec![TraceEvent::NicEgress {
+            node: 0,
+            start: SimTime::from_nanos(50),
+            end: SimTime::from_nanos(76),
+            bytes: 80,
+            dst: 2,
+        }];
+        full_lifecycle(&mut events, 5, 1, 1, 100);
+        let parsed = parse_chrome_trace(&simnet::chrome_trace_json(&events)).unwrap();
+        // Same number of spans + egress slices, and identical span payloads.
+        assert_eq!(parsed.len(), events.len());
+        let spans = |evs: &[TraceEvent]| {
+            evs.iter()
+                .filter_map(|e| match *e {
+                    TraceEvent::Span { at, id, stage, .. } => Some((at, id, stage as usize)),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(spans(&parsed), spans(&events));
+    }
+
+    #[test]
+    fn report_counts_and_anatomy() {
+        let mut events = Vec::new();
+        full_lifecycle(&mut events, 5, 1, 1, 0);
+        full_lifecycle(&mut events, 5, 2, 2, 50_000);
+        events.push(TraceEvent::NicEgress {
+            node: 0,
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(26),
+            bytes: 200,
+            dst: 1,
+        });
+        let r = build(&events);
+        assert_eq!(r.total_marks(), 18);
+        assert_eq!(r.mark_counts[SpanStage::Submit as usize], 2);
+        assert_eq!(r.lifecycles.len(), 2);
+        assert_eq!(r.stages.totals_count(), 2);
+        assert_eq!(r.talkers.len(), 1);
+        assert_eq!(r.talkers[0].bytes, 200);
+        assert!(!r.is_empty());
+        let text = render(&r, 8);
+        assert!(text.contains("stage anatomy"));
+        assert!(text.contains("critical path [p50]"));
+        assert!(text.contains("top talkers"));
+    }
+
+    #[test]
+    fn critical_path_picks_quantiles() {
+        let mut events = Vec::new();
+        full_lifecycle(&mut events, 5, 1, 1, 0); // total 9 us
+        let cid = client_span(5, 9);
+        events.push(span(0, 5, cid, SpanStage::Submit, 0));
+        events.push(span(90_000, 5, cid, SpanStage::ClientResp, 0)); // total 90 us
+        let lifes = collect(&events);
+        let p0 = critical_path_sample(&lifes, 0.0).unwrap();
+        let p99 = critical_path_sample(&lifes, 0.99).unwrap();
+        assert_eq!(p0.total_ns(), Some(9_000));
+        assert_eq!(p99.total_ns(), Some(90_000));
+        assert!(critical_path_sample(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn empty_trace_is_reported_empty() {
+        let r = build(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.lifecycles.len(), 0);
+        let text = render(&r, 8);
+        assert!(text.contains("0 stage marks"));
+    }
+}

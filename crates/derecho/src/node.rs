@@ -1,12 +1,14 @@
 //! The Derecho replica state machine.
 
 use abcast::client::RESP_WIRE;
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr};
+use abcast::{App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime};
+use simnet::{
+    client_span, msg_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
@@ -205,6 +207,13 @@ pub struct DerechoNode {
     hb_seen: Vec<(u64, SimTime)>,
     suspected: Vec<bool>,
 
+    /// Stability frontier already announced as a lifecycle mark, per sender.
+    stab_seen: Vec<u64>,
+    /// Header of the most recent application delivery (audit commit point).
+    committed_hdr: MsgHdr,
+    /// Online invariant monitor.
+    audit: Auditor,
+
     /// The replicated application.
     pub app: Box<dyn App>,
     /// Messages delivered to the application.
@@ -262,6 +271,9 @@ impl DerechoNode {
             row_push_seq: 0,
             hb_seen: vec![(0, SimTime::ZERO); n],
             suspected: vec![false; n],
+            stab_seen: vec![0; n],
+            committed_hdr: MsgHdr::ZERO,
+            audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             sent_data: 0,
@@ -345,6 +357,13 @@ impl DerechoNode {
         }
     }
 
+    /// Lifecycle span id of a frame — one covering-mark lane per sender
+    /// (sender in the `ldr` field, so stability marks inherit down the
+    /// sender's own sequence numbers).
+    fn dspan(sender: usize, seq: u64) -> u64 {
+        msg_span(0, sender as u32, seq as u32 + 1)
+    }
+
     /// Messages from `sender` stable at every member (virtual synchrony's
     /// commit rule: min over ALL active members).
     fn stability(&self, sender: usize) -> u64 {
@@ -370,6 +389,11 @@ impl DerechoNode {
             return;
         }
         ctx.use_cpu(cpu::CLIENT_INGEST);
+        ctx.span(
+            Self::dspan(self.me, self.my_sent),
+            SpanStage::LeaderRecv,
+            client_span(from, req.id),
+        );
         self.origin.insert(self.my_sent, (from, req.id));
         let body = Body::Data {
             client: from,
@@ -395,7 +419,12 @@ impl DerechoNode {
             while next < self.my_sent {
                 let frame = self.sent_frames[&next].clone();
                 match self.out_ring.send_to(ctx, &mut self.ep, m, &frame) {
-                    Ok(_) => next += 1,
+                    Ok(_) => {
+                        if frame[0] == 1 {
+                            ctx.span(Self::dspan(self.me, next), SpanStage::RingWrite, m as u64);
+                        }
+                        next += 1;
+                    }
                     Err(_) => break,
                 }
             }
@@ -436,9 +465,31 @@ impl DerechoNode {
                 ctx.use_cpu(cpu::FRAME_PROC);
                 if let Some(body) = decode_body(raw) {
                     if seq >= self.delivered_upto[s] {
+                        if matches!(body, Body::Data { .. }) {
+                            ctx.span(
+                                Self::dspan(s, seq),
+                                SpanStage::FollowerAccept,
+                                self.me as u64,
+                            );
+                        }
                         self.store[s].insert(seq, body);
                     }
                 }
+            }
+        }
+    }
+
+    /// Announce stability advances as covering lifecycle marks. Stability is
+    /// Derecho's quorum event — the SST min over all members — so one mark on
+    /// the frontier frame stands for every frame below it (`AckVisible` and
+    /// `Quorum` are [`SpanStage::covering`] stages).
+    fn observe_stability(&mut self, ctx: &mut Ctx<DcWire>) {
+        for s in 0..self.cfg.n {
+            let stab = self.stability(s);
+            if stab > self.stab_seen[s] {
+                ctx.span(Self::dspan(s, stab - 1), SpanStage::AckVisible, 0);
+                ctx.span(Self::dspan(s, stab - 1), SpanStage::Quorum, 0);
+                self.stab_seen[s] = stab;
             }
         }
     }
@@ -570,6 +621,7 @@ impl DerechoNode {
         } = body
         {
             ctx.use_cpu(DELIVER_COST);
+            ctx.span(Self::dspan(sender, seq), SpanStage::Commit, 0);
             let hdr = match self.cfg.mode {
                 Mode::AllSender => MsgHdr::new(Epoch::new(seq as u32, sender as u32), 1),
                 Mode::Leader => MsgHdr::new(
@@ -579,6 +631,8 @@ impl DerechoNode {
             };
             self.app.deliver(hdr, &payload);
             self.delivered_count += 1;
+            self.committed_hdr = hdr;
+            ctx.span(Self::dspan(sender, seq), SpanStage::Deliver, 0);
             ctx.count(simnet::Counter::Commits, 1);
             if sender == self.me && self.origin.remove(&seq).is_some() {
                 ctx.send(
@@ -753,11 +807,22 @@ impl Process<DcWire> for DerechoNode {
             TOK_POLL => {
                 ctx.use_cpu(cpu::POLL_IDLE);
                 self.drain_rings(ctx);
+                self.observe_stability(ctx);
                 self.make_nulls(ctx);
                 self.deliver_loop(ctx);
                 self.reuse_slots();
                 self.flush(ctx);
                 self.detect_failures(ctx);
+                // Audit: delivery happens only at SST stability, so the
+                // delivery frontier is both the accept and commit point of
+                // this one-sided protocol; delivered headers are monotone in
+                // both sending modes, and the view id is the node's epoch.
+                self.audit.observe(
+                    ctx,
+                    Epoch::new(self.view_id, 0),
+                    self.committed_hdr,
+                    self.committed_hdr,
+                );
                 ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
             }
             TOK_ROW => {

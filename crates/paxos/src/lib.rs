@@ -17,10 +17,14 @@
 //! failover is modeled; see DESIGN.md).
 
 use abcast::client::RESP_WIRE;
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use abcast::{
+    App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient,
+};
 use bytes::Bytes;
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim};
+use simnet::{
+    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SpanStage,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
@@ -107,6 +111,9 @@ pub struct PaxosNode {
     chosen: BTreeMap<u64, (u32, u64, Bytes)>,
     delivered: u64,
 
+    /// Online invariant monitor.
+    audit: Auditor,
+
     /// The replicated application.
     pub app: Box<dyn App>,
     /// Messages delivered to the application.
@@ -127,6 +134,7 @@ impl PaxosNode {
             origin: HashMap::new(),
             chosen: BTreeMap::new(),
             delivered: 0,
+            audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             dropped_requests: 0,
@@ -147,6 +155,37 @@ impl PaxosNode {
         ctx.send(dst, DeliveryClass::Cpu, wire, msg);
     }
 
+    /// Lifecycle span id of an instance — the same `(1, 0, inst + 1)`
+    /// packing as the delivered header.
+    fn pspan(inst: u64) -> u64 {
+        msg_span(1, 0, inst as u32 + 1)
+    }
+
+    /// Feed the invariant auditor. There are no ballot changes in this
+    /// stable-coordinator deployment, so the epoch is constant; accept and
+    /// commit points are instance counts (chosen-but-undelivered instances
+    /// sit in `chosen`, so its tail is the local accept frontier).
+    fn observe_audit(&mut self, ctx: &mut Ctx<PxWire>) {
+        let e = Epoch::new(1, 0);
+        let top = self
+            .chosen
+            .keys()
+            .next_back()
+            .map(|&i| i + 1)
+            .unwrap_or(self.delivered);
+        let acc = if self.me == 0 {
+            self.next_inst.max(top)
+        } else {
+            top
+        };
+        self.audit.observe(
+            ctx,
+            e,
+            MsgHdr::new(e, acc as u32),
+            MsgHdr::new(e, self.delivered as u32),
+        );
+    }
+
     fn on_request(&mut self, ctx: &mut Ctx<PxWire>, from: NodeId, req: ClientReq) {
         if self.me != 0 || self.proposals.len() >= self.cfg.max_backlog {
             self.dropped_requests += 1;
@@ -154,6 +193,11 @@ impl PaxosNode {
         }
         let inst = self.next_inst;
         self.next_inst += 1;
+        ctx.span(
+            Self::pspan(inst),
+            SpanStage::LeaderRecv,
+            client_span(from, req.id),
+        );
         self.origin.insert(inst, (from, req.id));
         self.proposals
             .insert(inst, (from as u32, req.id, req.payload.clone()));
@@ -171,6 +215,7 @@ impl PaxosNode {
                     value: req.payload.clone(),
                 },
             );
+            ctx.span(Self::pspan(inst), SpanStage::RingWrite, a as u64);
         }
         // A single-replica "cluster" chooses immediately.
         self.try_choose(ctx, inst);
@@ -178,6 +223,7 @@ impl PaxosNode {
 
     fn on_accept(&mut self, ctx: &mut Ctx<PxWire>, inst: u64, client: u32, id: u64, value: Bytes) {
         // Stable-ballot Multi-Paxos: the acceptor stores and acknowledges.
+        ctx.span(Self::pspan(inst), SpanStage::FollowerAccept, self.me as u64);
         self.chosen_candidate_store(inst, client, id, value);
         self.send(ctx, 0, 48, PxWire::Accepted { inst });
     }
@@ -192,6 +238,7 @@ impl PaxosNode {
     fn on_accepted(&mut self, ctx: &mut Ctx<PxWire>, inst: u64) {
         if let Some(c) = self.acks.get_mut(&inst) {
             *c += 1;
+            ctx.span(Self::pspan(inst), SpanStage::AckVisible, 0);
             if *c == self.quorum() {
                 self.try_choose(ctx, inst);
             }
@@ -210,6 +257,7 @@ impl PaxosNode {
             return;
         };
         self.acks.remove(&inst);
+        ctx.span(Self::pspan(inst), SpanStage::Quorum, 0);
         let wire = value.len() as u32 + 48;
         for l in 1..self.cfg.n {
             self.send(
@@ -233,9 +281,11 @@ impl PaxosNode {
         while let Some((client, id, value)) = self.chosen.remove(&self.delivered) {
             let inst = self.delivered;
             ctx.use_cpu(DELIVER_COST);
+            ctx.span(Self::pspan(inst), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(1, 0), inst as u32 + 1);
             self.app.deliver(hdr, &value);
             self.delivered_count += 1;
+            ctx.span(Self::pspan(inst), SpanStage::Deliver, 0);
             ctx.count(simnet::Counter::Commits, 1);
             self.delivered += 1;
             if self.me == 0 && self.origin.remove(&inst).is_some() {
@@ -247,6 +297,7 @@ impl PaxosNode {
                 );
             }
         }
+        self.observe_audit(ctx);
     }
 }
 

@@ -15,11 +15,15 @@
 //! Figure 9.
 
 use abcast::client::RESP_WIRE;
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use abcast::{
+    App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient,
+};
 use bytes::Bytes;
 use rand::Rng;
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use simnet::{
+    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime, SpanStage,
+};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -168,6 +172,9 @@ pub struct RaftNode {
     election_gen: u64,
     last_heard: SimTime,
 
+    /// Online invariant monitor.
+    audit: Auditor,
+
     /// The replicated application.
     pub app: Box<dyn App>,
     /// Messages applied to the application.
@@ -213,6 +220,7 @@ impl RaftNode {
             votes: 0,
             election_gen: 0,
             last_heard: SimTime::ZERO,
+            audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             elections_won: 0,
@@ -249,6 +257,26 @@ impl RaftNode {
         } else {
             self.log[idx as usize - 1].term
         }
+    }
+
+    /// Lifecycle span id of log position `idx`: the entry's own term plus
+    /// its index — every replica derives the same id for the same entry.
+    fn ispan(term: u32, idx: u64) -> u64 {
+        msg_span(term, 0, idx as u32)
+    }
+
+    /// Feed the invariant auditor one `(term, accept point, commit point)`
+    /// observation. The accept point is the log tip, the commit point the
+    /// last *applied* entry (committed entries are never truncated, so both
+    /// are monotone under Raft's conflict-suffix deletion).
+    fn observe_audit(&mut self, ctx: &mut Ctx<RfWire>) {
+        let tip = self.last_idx();
+        let acc = MsgHdr::new(Epoch::new(self.term_at(tip), 0), tip as u32);
+        let com = MsgHdr::new(
+            Epoch::new(self.term_at(self.last_applied), 0),
+            self.last_applied as u32,
+        );
+        self.audit.observe(ctx, Epoch::new(self.term, 0), acc, com);
     }
 
     fn send(&self, ctx: &mut Ctx<RfWire>, dst: NodeId, wire: u32, msg: RfWire) {
@@ -296,6 +324,11 @@ impl RaftNode {
             payload: req.payload,
         });
         let idx = self.last_idx();
+        ctx.span(
+            Self::ispan(self.term, idx),
+            SpanStage::LeaderRecv,
+            client_span(from, req.id),
+        );
         self.origin.insert(idx, (from, req.id));
         self.match_index[self.me] = idx;
         for j in 0..self.cfg.n {
@@ -316,6 +349,13 @@ impl RaftNode {
         let from = self.next_index[j];
         let to = (from + self.cfg.max_batch as u64 - 1).min(self.last_idx());
         let entries: Vec<Entry> = self.log[from as usize - 1..to as usize].to_vec();
+        for (k, e) in entries.iter().enumerate() {
+            ctx.span(
+                Self::ispan(e.term, from + k as u64),
+                SpanStage::RingWrite,
+                j as u64,
+            );
+        }
         let wire = 64
             + entries
                 .iter()
@@ -343,6 +383,8 @@ impl RaftNode {
             n -= 1;
         }
         if n > self.commit_index {
+            // One covering mark: the quorum index commits the whole prefix.
+            ctx.span(Self::ispan(self.term_at(n), n), SpanStage::Quorum, 0);
             self.commit_index = n;
             self.apply(ctx);
         }
@@ -354,9 +396,11 @@ impl RaftNode {
             let idx = self.last_applied;
             let e = self.log[idx as usize - 1].clone();
             ctx.use_cpu(DELIVER_COST);
+            ctx.span(Self::ispan(e.term, idx), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(e.term, 0), idx as u32);
             self.app.deliver(hdr, &e.payload);
             self.delivered_count += 1;
+            ctx.span(Self::ispan(e.term, idx), SpanStage::Deliver, 0);
             ctx.count(simnet::Counter::Commits, 1);
             if self.role == RaftRole::Leader {
                 if let Some((client, id)) = self.origin.remove(&idx) {
@@ -364,6 +408,7 @@ impl RaftNode {
                 }
             }
         }
+        self.observe_audit(ctx);
     }
 
     // ---- elections ----------------------------------------------------------
@@ -527,6 +572,11 @@ impl RaftNode {
             let mut idx = prev_idx;
             for e in entries {
                 idx += 1;
+                ctx.span(
+                    Self::ispan(e.term, idx),
+                    SpanStage::FollowerAccept,
+                    self.me as u64,
+                );
                 if idx <= self.last_idx() {
                     if self.term_at(idx) != e.term {
                         self.log.truncate(idx as usize - 1);
@@ -573,8 +623,18 @@ impl RaftNode {
         }
         self.in_flight[from] = false;
         if success {
-            self.match_index[from] = self.match_index[from].max(match_idx);
+            let prev_match = self.match_index[from];
+            self.match_index[from] = prev_match.max(match_idx);
             self.next_index[from] = self.match_index[from] + 1;
+            let m = self.match_index[from];
+            if m > prev_match && m <= self.last_idx() {
+                // Cumulative ack: one covering mark for the matched prefix.
+                ctx.span(
+                    Self::ispan(self.term_at(m), m),
+                    SpanStage::AckVisible,
+                    from as u64,
+                );
+            }
             self.advance_commit(ctx);
         } else {
             self.next_index[from] = match_idx.max(self.match_index[from]) + 1;

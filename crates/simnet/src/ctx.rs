@@ -1,7 +1,7 @@
 //! The effect context handed to [`Process`](crate::Process) handlers.
 
 use crate::time::SimTime;
-use crate::trace::{Counter, Event, Probe, TraceEvent};
+use crate::trace::{Counter, Event, Probe, SpanStage, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use std::time::Duration;
@@ -170,6 +170,27 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn count(&mut self, c: Counter, n: u64) {
         self.probe.count(self.self_id, c, n);
+    }
+
+    /// Mark that message `id` reached lifecycle `stage` on this node,
+    /// timestamped at [`Ctx::now_cpu`].
+    ///
+    /// The [`Counter::SpanMarks`] bump is unconditional (counters must match
+    /// between traced and untraced runs); the timeline record is gated like
+    /// [`Ctx::trace`], so with tracing off this is one array increment and a
+    /// branch — nothing that could perturb the run.
+    #[inline]
+    pub fn span(&mut self, id: u64, stage: SpanStage, arg: u64) {
+        self.probe.count(self.self_id, Counter::SpanMarks, 1);
+        if self.probe.enabled() {
+            self.probe.record(TraceEvent::Span {
+                at: self.now + self.cpu,
+                node: self.self_id,
+                id,
+                stage,
+                arg,
+            });
+        }
     }
 }
 

@@ -47,7 +47,8 @@ pub use params::NetParams;
 pub use threaded::ThreadedRunner;
 pub use time::SimTime;
 pub use trace::{
-    chrome_trace_json, json_escape, Counter, CounterSet, Event, MetricsSnapshot, Probe, TraceEvent,
+    chrome_trace_json, client_span, json_escape, msg_span, msg_span_parts, Counter, CounterSet,
+    Event, MetricsSnapshot, Probe, SpanStage, TraceEvent,
 };
 
 /// Identifier of a node (process) inside one simulation.

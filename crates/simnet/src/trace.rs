@@ -85,11 +85,21 @@ pub enum Counter {
     /// the stream, so these are survivable, but a nonzero count outside a
     /// fault window indicates a protocol bug.
     RkeyDrops,
+    /// Lifecycle stage marks emitted through [`Ctx::span`](crate::Ctx::span).
+    /// Bumped whether or not event recording is on, so traced and untraced
+    /// runs report identical counters.
+    SpanMarks,
+    /// Invariant auditor: a node's current epoch moved backwards.
+    AuditEpochRegress,
+    /// Invariant auditor: a node's commit point moved backwards.
+    AuditCommitRegress,
+    /// Invariant auditor: a node's commit point overtook its accept point.
+    AuditCommitAheadAccept,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 27;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -116,6 +126,10 @@ impl Counter {
         Counter::Restarts,
         Counter::RejoinDiffBytes,
         Counter::RkeyDrops,
+        Counter::SpanMarks,
+        Counter::AuditEpochRegress,
+        Counter::AuditCommitRegress,
+        Counter::AuditCommitAheadAccept,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -144,9 +158,28 @@ impl Counter {
             Counter::Restarts => "restarts",
             Counter::RejoinDiffBytes => "rejoin_diff_bytes",
             Counter::RkeyDrops => "rkey_drops",
+            Counter::SpanMarks => "span_marks",
+            Counter::AuditEpochRegress => "audit_epoch_regress",
+            Counter::AuditCommitRegress => "audit_commit_regress",
+            Counter::AuditCommitAheadAccept => "audit_commit_ahead_accept",
         }
     }
 }
+
+// A counter slot added to the enum but not to `ALL` (or vice versa) would
+// silently desync the registry: `CounterSet` rows would mis-size and JSON
+// exports would skip the slot. Fail the build instead.
+const _: () = {
+    assert!(Counter::ALL.len() == Counter::COUNT);
+    let mut i = 0;
+    while i < Counter::COUNT {
+        assert!(
+            Counter::ALL[i] as usize == i,
+            "ALL must list slots in order"
+        );
+        i += 1;
+    }
+};
 
 /// One node's counter registers.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -196,6 +229,122 @@ impl Event {
     pub fn b(mut self, v: u64) -> Self {
         self.b = v;
         self
+    }
+}
+
+/// A stage in a broadcast message's lifecycle, from client submission to the
+/// client seeing the response. Every protocol crate marks the same vocabulary
+/// (via [`Ctx::span`](crate::Ctx::span)) at its natural analog of each stage,
+/// so per-stage latency anatomy is comparable across protocols.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum SpanStage {
+    /// Client posted the request into the fabric.
+    Submit,
+    /// The leader (or sender/coordinator) ingested the request and assigned
+    /// it a slot in the total order.
+    LeaderRecv,
+    /// The ordered message was first written toward a replica (ring frame,
+    /// AppendEntries, Propose, Accept — whatever the protocol's replication
+    /// write is).
+    RingWrite,
+    /// A replica accepted the message into its log.
+    FollowerAccept,
+    /// A replica's acknowledgement covering the message became visible to
+    /// the committer (SST ack cell, AppendReply, Ack, Accepted).
+    AckVisible,
+    /// The committer established a quorum (or all-ack) for the message.
+    Quorum,
+    /// The commit point advanced past the message.
+    Commit,
+    /// The message was delivered to the application.
+    Deliver,
+    /// The client observed the response.
+    ClientResp,
+}
+
+impl SpanStage {
+    /// Number of lifecycle stages.
+    pub const COUNT: usize = 9;
+
+    /// All stages in lifecycle order.
+    pub const ALL: [SpanStage; SpanStage::COUNT] = [
+        SpanStage::Submit,
+        SpanStage::LeaderRecv,
+        SpanStage::RingWrite,
+        SpanStage::FollowerAccept,
+        SpanStage::AckVisible,
+        SpanStage::Quorum,
+        SpanStage::Commit,
+        SpanStage::Deliver,
+        SpanStage::ClientResp,
+    ];
+
+    /// Stable snake_case name (timeline label and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Submit => "submit",
+            SpanStage::LeaderRecv => "leader_recv",
+            SpanStage::RingWrite => "ring_write",
+            SpanStage::FollowerAccept => "follower_accept",
+            SpanStage::AckVisible => "ack_visible",
+            SpanStage::Quorum => "quorum",
+            SpanStage::Commit => "commit",
+            SpanStage::Deliver => "deliver",
+            SpanStage::ClientResp => "client_resp",
+        }
+    }
+
+    /// Inverse of [`name`](SpanStage::name) (used by trace ingestion).
+    pub fn from_name(s: &str) -> Option<SpanStage> {
+        SpanStage::ALL.iter().copied().find(|st| st.name() == s)
+    }
+
+    /// Whether marks of this stage are *covering*: protocols with batched /
+    /// last-write-wins acknowledgement (Acuerdo's SST cells, Raft's
+    /// `match_index`) emit one mark for the **latest** message and it covers
+    /// every earlier count in the same epoch. Lifecycle assembly inherits
+    /// covering marks downward.
+    pub fn covering(self) -> bool {
+        matches!(
+            self,
+            SpanStage::AckVisible | SpanStage::Quorum | SpanStage::Commit
+        )
+    }
+}
+
+const _: () = assert!(SpanStage::ALL.len() == SpanStage::COUNT);
+
+/// Pack a client-space span id: bit 63 clear, the client's node id in bits
+/// 48..63, the client's request sequence in bits 0..48.
+///
+/// A lifecycle starts in client space ([`SpanStage::Submit`]); the ordering
+/// node joins the two spaces by emitting its first message-space mark with
+/// `arg` set to the client-space id.
+pub fn client_span(node: NodeId, req: u64) -> u64 {
+    ((node as u64 & 0x7FFF) << 48) | (req & 0x0000_FFFF_FFFF_FFFF)
+}
+
+/// Pack a message-space span id: bit 63 set, epoch round in bits 48..63,
+/// leader/origin in bits 32..48, in-epoch count in bits 0..32. The packing is
+/// order-preserving within a run, and [`msg_span_parts`] recovers the fields
+/// so covering marks (see [`SpanStage::covering`]) can be inherited by lower
+/// counts of the same epoch.
+pub fn msg_span(round: u32, ldr: u32, cnt: u32) -> u64 {
+    (1u64 << 63) | ((round as u64 & 0x7FFF) << 48) | ((ldr as u64 & 0xFFFF) << 32) | cnt as u64
+}
+
+/// Decompose a message-space span id into `(round, ldr, cnt)`; `None` for
+/// client-space ids.
+pub fn msg_span_parts(id: u64) -> Option<(u32, u32, u32)> {
+    if id >> 63 == 1 {
+        Some((
+            ((id >> 48) & 0x7FFF) as u32,
+            ((id >> 32) & 0xFFFF) as u32,
+            id as u32,
+        ))
+    } else {
+        None
     }
 }
 
@@ -270,6 +419,21 @@ pub enum TraceEvent {
         /// Busy-interval end.
         end: SimTime,
     },
+    /// A lifecycle stage mark emitted through [`Ctx::span`](crate::Ctx::span):
+    /// message `id` reached `stage` on `node`.
+    Span {
+        /// Instant (dispatch time plus CPU charged so far).
+        at: SimTime,
+        /// Node where the stage happened.
+        node: NodeId,
+        /// Span id ([`client_span`] or [`msg_span`]).
+        id: u64,
+        /// Which lifecycle stage.
+        stage: SpanStage,
+        /// Stage-specific argument: the client-space id on the joining
+        /// [`SpanStage::LeaderRecv`] mark, otherwise a peer id or zero.
+        arg: u64,
+    },
 }
 
 /// The recording side of the observability layer, owned by the engine (or by
@@ -291,9 +455,25 @@ impl Probe {
         Probe::default()
     }
 
+    /// Grow the counter table so row `node` exists.
+    ///
+    /// This is the **single** growth path for counter rows — `add_node` and
+    /// `count` both route through it. Invariant: after `ensure_node(n)`,
+    /// `self.counters.len() > n` and every row in `0..=n` is zero-initialized
+    /// exactly once (existing rows are never touched), so probes outside an
+    /// engine — e.g. the threaded runner — can count against any node id
+    /// without panicking and without resetting earlier tallies.
+    #[inline]
+    fn ensure_node(&mut self, node: NodeId) {
+        if node >= self.counters.len() {
+            self.counters.resize(node + 1, CounterSet::default());
+        }
+    }
+
     /// Register a counter row for a newly spawned node.
     pub fn add_node(&mut self) {
-        self.counters.push(CounterSet::default());
+        let next = self.counters.len();
+        self.ensure_node(next);
     }
 
     /// Turn event recording on or off (counters are unaffected).
@@ -315,13 +495,11 @@ impl Probe {
         }
     }
 
-    /// Bump a per-node counter (always on; rows grow on demand so probes
-    /// outside an engine — e.g. the threaded runner — never panic).
+    /// Bump a per-node counter (always on; rows grow on demand through
+    /// [`ensure_node`](Probe::ensure_node)).
     #[inline]
     pub fn count(&mut self, node: NodeId, c: Counter, n: u64) {
-        if node >= self.counters.len() {
-            self.counters.resize(node + 1, CounterSet::default());
-        }
+        self.ensure_node(node);
         self.counters[node].vals[c as usize] += n;
     }
 
@@ -430,13 +608,60 @@ const TID_PROTO: u32 = 0;
 const TID_CPU: u32 = 1;
 const TID_NIC_TX: u32 = 2;
 const TID_NIC_RX: u32 = 3;
+const TID_SPAN: u32 = 4;
+
+// Nominal duration of a stage-mark slice (µs). Flow arrows must bind to a
+// slice, so stage marks render as short `X` slices rather than instants.
+const SPAN_SLICE_US: f64 = 0.2;
+
+// Position of a stage mark within its span's flow chain.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum FlowPos {
+    None,
+    Start,
+    Step,
+    End,
+}
+
+// For each event index, where that event sits in its span id's time-ordered
+// chain of stage marks. Spans with a single mark get no flow events.
+fn flow_positions(events: &[TraceEvent]) -> Vec<FlowPos> {
+    let mut chains: std::collections::HashMap<u64, Vec<(SimTime, usize)>> =
+        std::collections::HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let TraceEvent::Span { at, id, .. } = *e {
+            chains.entry(id).or_default().push((at, i));
+        }
+    }
+    let mut pos = vec![FlowPos::None; events.len()];
+    for chain in chains.values_mut() {
+        if chain.len() < 2 {
+            continue;
+        }
+        chain.sort();
+        for (k, &(_, i)) in chain.iter().enumerate() {
+            pos[i] = if k == 0 {
+                FlowPos::Start
+            } else if k == chain.len() - 1 {
+                FlowPos::End
+            } else {
+                FlowPos::Step
+            };
+        }
+    }
+    pos
+}
 
 /// Render a recorded timeline in the Chrome trace-event JSON format
 /// (open with [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
 ///
 /// Timestamps are virtual microseconds. Each simulated node becomes a
-/// "process" (`pid` = node id) with four named rows: protocol instants,
-/// CPU-busy spans, NIC egress spans, and NIC ingress spans.
+/// "process" (`pid` = node id) with five named rows: protocol instants,
+/// CPU-busy spans, NIC egress spans, NIC ingress spans, and message-lifecycle
+/// stage marks. Stage marks of the same span id are chained with flow events
+/// (`ph` `s`/`t`/`f`) so the viewer draws causal arrows across nodes; span
+/// ids render as hex strings because bit 63 of a message-space id does not
+/// survive a JSON `f64` number.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 256);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
@@ -456,7 +681,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             | TraceEvent::NicEgress { node, .. }
             | TraceEvent::NicIngress { node, .. }
             | TraceEvent::Deliver { node, .. }
-            | TraceEvent::CpuBusy { node, .. } => node,
+            | TraceEvent::CpuBusy { node, .. }
+            | TraceEvent::Span { node, .. } => node,
             TraceEvent::Send { src, dst, .. } => src.max(dst),
         })
         .max();
@@ -470,6 +696,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 (TID_CPU, "cpu"),
                 (TID_NIC_TX, "nic egress"),
                 (TID_NIC_RX, "nic ingress"),
+                (TID_SPAN, "lifecycle"),
             ] {
                 push(&mut out, format!(
                     "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
@@ -478,7 +705,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         }
     }
 
-    for e in events {
+    let flows = flow_positions(events);
+    for (i, e) in events.iter().enumerate() {
         let entry = match *e {
             TraceEvent::Proto { at, node, ev } => format!(
                 "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{node},\"tid\":{TID_PROTO},\"ts\":{:.3},\"name\":\"{}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
@@ -535,6 +763,31 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 ts_us(start),
                 ts_us(end) - ts_us(start)
             ),
+            TraceEvent::Span {
+                at,
+                node,
+                id,
+                stage,
+                arg,
+            } => {
+                let ts = ts_us(at);
+                let mut entry = format!(
+                    "{{\"ph\":\"X\",\"pid\":{node},\"tid\":{TID_SPAN},\"ts\":{ts:.3},\"dur\":{SPAN_SLICE_US},\"name\":\"{}\",\"args\":{{\"span\":\"{id:#x}\",\"arg\":\"{arg:#x}\"}}}}",
+                    stage.name()
+                );
+                let flow = match flows[i] {
+                    FlowPos::None => None,
+                    FlowPos::Start => Some("\"ph\":\"s\"".to_string()),
+                    FlowPos::Step => Some("\"ph\":\"t\"".to_string()),
+                    FlowPos::End => Some("\"ph\":\"f\",\"bp\":\"e\"".to_string()),
+                };
+                if let Some(ph) = flow {
+                    entry.push_str(&format!(
+                        ",{{{ph},\"cat\":\"lifecycle\",\"id\":\"{id:#x}\",\"pid\":{node},\"tid\":{TID_SPAN},\"ts\":{ts:.3},\"name\":\"lifecycle\"}}"
+                    ));
+                }
+                entry
+            }
         };
         push(&mut out, entry);
     }
@@ -590,6 +843,51 @@ mod tests {
     fn counter_names_are_unique_and_cover_all() {
         let names: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), Counter::COUNT);
+        // The span/auditor counters are part of the registry.
+        for c in [
+            Counter::SpanMarks,
+            Counter::AuditEpochRegress,
+            Counter::AuditCommitRegress,
+            Counter::AuditCommitAheadAccept,
+        ] {
+            assert!(names.contains(c.name()), "missing {}", c.name());
+        }
+    }
+
+    #[test]
+    fn span_stage_names_are_unique_and_round_trip() {
+        let names: std::collections::HashSet<_> = SpanStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), SpanStage::COUNT);
+        for s in SpanStage::ALL {
+            assert_eq!(SpanStage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(SpanStage::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn span_id_packing_round_trips() {
+        let c = client_span(3, 0x1234_5678);
+        assert_eq!(c >> 63, 0, "client space has bit 63 clear");
+        assert_eq!(msg_span_parts(c), None);
+        let m = msg_span(7, 2, 41);
+        assert_eq!(msg_span_parts(m), Some((7, 2, 41)));
+        // Order-preserving within an epoch: higher cnt, higher id.
+        assert!(msg_span(7, 2, 42) > m);
+        assert!(msg_span(8, 0, 0) > msg_span(7, 0xFFFF, u32::MAX));
+    }
+
+    #[test]
+    fn add_node_and_count_share_one_growth_path() {
+        let mut p = Probe::new();
+        p.add_node(); // row 0
+        p.count(0, Counter::Commits, 2);
+        p.count(3, Counter::Commits, 1); // grows 1..=3 on demand
+        p.add_node(); // row 4 — must not disturb rows 0..=3
+        let snap = p.snapshot();
+        assert_eq!(snap.nodes.len(), 5);
+        assert_eq!(snap.nodes[0].get(Counter::Commits), 2);
+        assert_eq!(snap.nodes[3].get(Counter::Commits), 1);
+        assert_eq!(snap.nodes[4].get(Counter::Commits), 0);
     }
 
     #[test]
@@ -620,6 +918,55 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"process_name\""));
         // Balanced braces / brackets (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_chains_span_marks_into_flows() {
+        let id = msg_span(1, 0, 5);
+        let events = vec![
+            TraceEvent::Span {
+                at: SimTime::from_nanos(100),
+                node: 0,
+                id,
+                stage: SpanStage::LeaderRecv,
+                arg: client_span(3, 5),
+            },
+            TraceEvent::Span {
+                at: SimTime::from_nanos(300),
+                node: 1,
+                id,
+                stage: SpanStage::FollowerAccept,
+                arg: 0,
+            },
+            TraceEvent::Span {
+                at: SimTime::from_nanos(900),
+                node: 0,
+                id,
+                stage: SpanStage::Commit,
+                arg: 0,
+            },
+            // A lone mark on a different span: slice only, no flow.
+            TraceEvent::Span {
+                at: SimTime::from_nanos(50),
+                node: 2,
+                id: client_span(2, 9),
+                stage: SpanStage::Submit,
+                arg: 0,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"leader_recv\""));
+        assert!(json.contains("\"name\":\"lifecycle\""));
+        // One start, one step, one end, all carrying the hex span id.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains(&format!("\"id\":\"{id:#x}\"")));
+        // The lone Submit mark produced no flow id of its own.
+        assert!(!json.contains(&format!("\"id\":\"{:#x}\"", client_span(2, 9))));
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);

@@ -20,10 +20,14 @@
 //! everything up to zxid").
 
 use abcast::client::RESP_WIRE;
-use abcast::{App, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient};
+use abcast::{
+    App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Violation, WindowClient,
+};
 use bytes::Bytes;
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use simnet::{
+    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime, SpanStage,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
@@ -171,6 +175,9 @@ pub struct ZabNode {
     // Failure detection.
     last_leader_seen: SimTime,
 
+    /// Online invariant monitor.
+    audit: Auditor,
+
     /// The replicated application.
     pub app: Box<dyn App>,
     /// Messages delivered to the application.
@@ -218,6 +225,7 @@ impl ZabNode {
             tally: HashMap::new(),
             looking_since: SimTime::ZERO,
             last_leader_seen: SimTime::ZERO,
+            audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
             elections_won: 0,
@@ -248,6 +256,18 @@ impl ZabNode {
         self.log.keys().next_back().copied().unwrap_or((0, 0))
     }
 
+    /// Lifecycle span id of a transaction. Zxids identify entries on their
+    /// own, so the leader field of the packed id is fixed at 0 — every node
+    /// derives the same id for the same entry in every epoch.
+    fn zspan(z: Zxid) -> u64 {
+        msg_span(z.0, 0, z.1)
+    }
+
+    /// The same zxid as an audit observation point.
+    fn zhdr(z: Zxid) -> MsgHdr {
+        MsgHdr::new(Epoch::new(z.0, 0), z.1)
+    }
+
     fn send(&self, ctx: &mut Ctx<ZkWire>, dst: NodeId, wire: u32, msg: ZkWire) {
         ctx.use_cpu(cpu::TCP_SEND);
         ctx.send(dst, DeliveryClass::Cpu, wire, msg);
@@ -268,6 +288,11 @@ impl ZabNode {
         ctx.use_cpu(cpu::ZK_ENTRY);
         self.counter += 1;
         let zxid = (self.epoch, self.counter);
+        ctx.span(
+            Self::zspan(zxid),
+            SpanStage::LeaderRecv,
+            client_span(from, req.id),
+        );
         self.log
             .insert(zxid, (from as u32, req.id, req.payload.clone()));
         self.origin.insert(zxid, (from, req.id));
@@ -286,6 +311,7 @@ impl ZabNode {
                         value: req.payload.clone(),
                     },
                 );
+                ctx.span(Self::zspan(zxid), SpanStage::RingWrite, f as u64);
             }
         }
         self.maybe_commit(ctx, zxid);
@@ -305,6 +331,7 @@ impl ZabNode {
         }
         self.last_leader_seen = ctx.now();
         self.log.insert(zxid, (client, id, value));
+        ctx.span(Self::zspan(zxid), SpanStage::FollowerAccept, self.me as u64);
         // Per-message acknowledgment — the cost Acuerdo's SST design avoids.
         self.send(ctx, from, 48, ZkWire::Ack { zxid });
     }
@@ -315,6 +342,7 @@ impl ZabNode {
         }
         if let Some(c) = self.acks.get_mut(&zxid) {
             *c += 1;
+            ctx.span(Self::zspan(zxid), SpanStage::AckVisible, 0);
         }
         self.maybe_commit(ctx, zxid);
     }
@@ -334,6 +362,8 @@ impl ZabNode {
             }
         }
         if new_committed > self.committed {
+            // One covering mark: the watermark commits the whole prefix.
+            ctx.span(Self::zspan(new_committed), SpanStage::Quorum, 0);
             self.committed = new_committed;
             for f in 0..self.cfg.n {
                 if f != self.me {
@@ -371,9 +401,11 @@ impl ZabNode {
             .collect();
         for (z, (client, id, value)) in pending {
             ctx.use_cpu(DELIVER_COST);
+            ctx.span(Self::zspan(z), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(z.0, self.leader_of_epoch(z.0)), z.1);
             self.app.deliver(hdr, &value);
             self.delivered_count += 1;
+            ctx.span(Self::zspan(z), SpanStage::Deliver, 0);
             ctx.count(simnet::Counter::Commits, 1);
             self.delivered = z;
             if self.role == ZabRole::Leading && self.origin.remove(&z).is_some() {
@@ -538,6 +570,15 @@ impl ZabNode {
     }
 
     fn tick(&mut self, ctx: &mut Ctx<ZkWire>) {
+        // `delivered` (not the raw watermark) is the audited commit point:
+        // a follower's watermark can momentarily outrun the entries it
+        // holds, but delivery never outruns the log.
+        self.audit.observe(
+            ctx,
+            Epoch::new(self.epoch, 0),
+            Self::zhdr(self.last_zxid()),
+            Self::zhdr(self.delivered),
+        );
         match self.role {
             ZabRole::Leading => {
                 for p in 0..self.cfg.n {

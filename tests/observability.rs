@@ -161,3 +161,84 @@ fn tracing_does_not_perturb_a_chaos_schedule() {
         traced.distinct_counters
     );
 }
+
+#[test]
+fn committed_messages_get_complete_monotone_lifecycles() {
+    // Every message the client saw commit must leave a joined-up lifecycle on
+    // the timeline: all nine stages present, in non-decreasing time order.
+    // (≥99% allowed: messages still in flight at the horizon are partial.)
+    use acuerdo_repro::abcast::spans;
+
+    let cfg = AcuerdoConfig::stable(3);
+    let (mut sim, _ids, client) = acuerdo::cluster_with_client(21, &cfg, 8, 10, Duration::ZERO);
+    sim.set_tracing(true);
+    sim.run_until(SimTime::from_millis(10));
+    let committed = sim.node::<WindowClient<AcWire>>(client).result().completed;
+    assert!(committed > 100, "only {committed} commits in 10ms");
+
+    let lifecycles = spans::collect(sim.trace_events());
+    let complete = lifecycles
+        .iter()
+        .filter(|l| l.complete() && l.monotone())
+        .count();
+    assert!(
+        complete as f64 >= 0.99 * committed as f64,
+        "{complete} complete monotone lifecycles for {committed} committed messages"
+    );
+}
+
+#[test]
+fn auditor_is_silent_on_clean_runs() {
+    // The online invariant auditor runs inside every instrumented protocol;
+    // on a fault-free run none of its violation counters may fire.
+    use acuerdo_repro::bench::{run_broadcast_metrics, RunSpec, System};
+    use acuerdo_repro::simnet::Counter;
+
+    for system in [
+        System::Acuerdo,
+        System::DerechoLeader,
+        System::DerechoAll,
+        System::Libpaxos,
+        System::Zookeeper,
+        System::Etcd,
+    ] {
+        let (_, m) = run_broadcast_metrics(system, 3, 10, 4, 13, RunSpec::quick(system));
+        for c in [
+            Counter::AuditEpochRegress,
+            Counter::AuditCommitRegress,
+            Counter::AuditCommitAheadAccept,
+        ] {
+            assert_eq!(
+                m.total(c),
+                0,
+                "{system:?}: auditor fired {} on a clean run",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_report_agrees_with_the_metrics_sidecar() {
+    // The offline pipeline (chrome export → re-parse → trace-report) must
+    // account for exactly the stage marks the online counters saw.
+    use acuerdo_repro::bench::{report, run_broadcast_traced, RunSpec, System};
+    use acuerdo_repro::simnet::Counter;
+
+    let spec = RunSpec::quick(System::Acuerdo);
+    let (_, metrics, events) = run_broadcast_traced(System::Acuerdo, 3, 10, 8, 5, spec);
+    let parsed = report::parse_chrome_trace(&chrome_trace_json(&events)).expect("parse own export");
+    let r = report::build(&parsed);
+    assert!(!r.is_empty(), "trace-report saw no stage marks");
+    assert_eq!(
+        r.total_marks(),
+        metrics.total(Counter::SpanMarks),
+        "trace-report mark total disagrees with the span_marks counter"
+    );
+    assert!(r.stages.totals_count() > 0, "empty stage anatomy");
+    assert!(
+        r.lifecycles.iter().any(|l| l.complete()),
+        "no complete lifecycle in the report"
+    );
+    assert!(!r.talkers.is_empty(), "no NIC traffic in the report");
+}
