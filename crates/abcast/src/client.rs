@@ -12,7 +12,7 @@ use crate::stats::{LatencyHist, RunResult};
 use crate::workload::payload;
 use bytes::Bytes;
 use simnet::{
-    client_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime, SpanStage,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -154,6 +154,7 @@ impl<M: ClientPort> WindowClient<M> {
             None => payload(id, self.payload_size),
         };
         self.outstanding.insert(id, (ctx.now_cpu(), body.clone()));
+        ctx.gauge(Gauge::RetransmitWindow, self.outstanding.len() as u64);
         let dst = self.targets[(id % self.targets.len() as u64) as usize];
         ctx.use_cpu(CLIENT_SEND_CPU);
         ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 0);
@@ -182,6 +183,7 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
         let Some((sent_at, body)) = self.outstanding.remove(&resp.id) else {
             return; // duplicate response to a retransmitted request
         };
+        ctx.gauge(Gauge::RetransmitWindow, self.outstanding.len() as u64);
         ctx.span(client_span(ctx.id(), resp.id), SpanStage::ClientResp, 0);
         self.total_completed += 1;
         if self.measuring {

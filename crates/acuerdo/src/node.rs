@@ -49,7 +49,7 @@ use rdma_prims::{RingError, RingReceiver, RingSender, Sst};
 use rdma_sim::{Endpoint, RdmaPkt, RegionId};
 use simnet::params::cpu;
 use simnet::{
-    client_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime, SpanStage,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound::{Excluded, Included};
@@ -673,6 +673,44 @@ impl AcuerdoNode {
         }
     }
 
+    /// Publish current gauge levels — epoch, commit/ack frontier lags, ring
+    /// occupancy — for the engine's time-series sampler. Plain stores (see
+    /// [`Ctx::gauge`]); the series is only materialized when sampling is on.
+    fn publish_gauges(&mut self, ctx: &mut Ctx<AcWire>) {
+        ctx.gauge(Gauge::Epoch, u64::from(self.e_cur.round));
+        let commit_lag = if self.accepted.epoch == self.committed.epoch {
+            u64::from(self.accepted.cnt.saturating_sub(self.committed.cnt))
+        } else {
+            u64::from(self.accepted.cnt)
+        };
+        ctx.gauge(Gauge::CommitFrontierLag, commit_lag);
+        if self.role == Role::Leader {
+            // Ack-frontier lag: how far the slowest peer's visible Accept_SST
+            // cell trails the leader's accept frontier.
+            let mut ack_lag = 0u64;
+            for k in 0..self.cfg.n {
+                let a = self.ack_seen[k];
+                let lag = if a.epoch == self.accepted.epoch {
+                    u64::from(self.accepted.cnt.saturating_sub(a.cnt))
+                } else {
+                    u64::from(self.accepted.cnt)
+                };
+                ack_lag = ack_lag.max(lag);
+            }
+            ctx.gauge(Gauge::AckFrontierLag, ack_lag);
+            // Occupancy of the fullest outbound ring lane.
+            let mut occ = 0u64;
+            for j in 0..self.cfg.n {
+                if j == self.me {
+                    continue;
+                }
+                let free = self.out_ring.free_space(self.peers[j]);
+                occ = occ.max((self.cfg.ring_bytes as u64).saturating_sub(free));
+            }
+            ctx.gauge(Gauge::RingOccupancy, occ);
+        }
+    }
+
     fn deliver(&mut self, ctx: &mut Ctx<AcWire>, hdr: MsgHdr, payload: Bytes) {
         self.frame_stall = None;
         ctx.use_cpu(DELIVER_COST);
@@ -1127,6 +1165,7 @@ impl Process<AcWire> for AcuerdoNode {
                 let log_top = self.log.keys().next_back().copied().unwrap_or(MsgHdr::ZERO);
                 self.audit
                     .observe(ctx, self.e_cur, self.accepted.max(log_top), self.committed);
+                self.publish_gauges(ctx);
                 if self.role == Role::Leader {
                     self.reuse_slots();
                     self.flush_all(ctx);

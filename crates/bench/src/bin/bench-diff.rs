@@ -1,0 +1,68 @@
+//! Compare a fresh `suite` document against a committed baseline with
+//! deterministic-sim-tight thresholds (counters exact, latencies within a
+//! formatting-noise epsilon) and fail loudly on any drift.
+//!
+//! ```text
+//! cargo run --release -p bench --bin suite -- --quick
+//! cargo run --release -p bench --bin bench-diff -- baselines/BENCH_quick.json BENCH_quick.json
+//! ```
+//!
+//! Exit status: 0 when the documents agree, 1 on any regression (each
+//! offending metric is printed), 2 on usage, parse, or comparability errors.
+
+use bench::diff::{diff_files, DiffOptions};
+use std::process::exit;
+
+fn usage() {
+    eprintln!("usage: bench-diff [--eps REL] BASELINE.json CURRENT.json");
+}
+
+fn main() {
+    let mut opts = DiffOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--eps" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--eps needs a value");
+                    exit(2);
+                });
+                opts.rel_eps = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--eps needs a number");
+                    exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                usage();
+                exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage();
+                exit(2);
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline, current] = files.as_slice() else {
+        usage();
+        exit(2);
+    };
+    let findings = diff_files(baseline, current, &opts).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {e}");
+        exit(2);
+    });
+    if findings.is_empty() {
+        println!("bench-diff: {current} matches {baseline}");
+        return;
+    }
+    eprintln!(
+        "bench-diff: {} regression finding(s) comparing {current} against {baseline}:",
+        findings.len()
+    );
+    for f in &findings {
+        eprintln!("  {f}");
+    }
+    exit(1);
+}

@@ -13,8 +13,8 @@
 //! protocols) or convergence failure (Acuerdo only — baselines without a
 //! rejoin path may safely stall and are merely reported).
 
-use bench::chaos::{run_chaos, run_chaos_traced, Proto};
-use bench::write_metrics_file;
+use bench::chaos::{run_chaos_full, Proto};
+use bench::{write_flightrec, write_metrics_file};
 use simnet::SimTime;
 use std::process::exit;
 
@@ -111,17 +111,15 @@ fn main() {
     let mut stalled = 0usize;
     for &proto in &args.protos {
         for &seed in &seed_list {
-            let r = if let Some(path) = &args.trace_out {
-                let (r, events) = run_chaos_traced(proto, seed, horizon);
+            let (r, events, flight) =
+                run_chaos_full(proto, seed, horizon, args.trace_out.is_some());
+            if let Some(path) = &args.trace_out {
                 std::fs::write(path, simnet::chrome_trace_json(&events)).unwrap_or_else(|e| {
                     eprintln!("cannot write {path}: {e}");
                     exit(2);
                 });
                 println!("wrote {path} ({} events)", events.len());
-                r
-            } else {
-                run_chaos(proto, seed, horizon)
-            };
+            }
             let verdict = if r.fatal() {
                 "FAIL"
             } else if !r.converged {
@@ -146,6 +144,12 @@ fn main() {
                     eprintln!("  safety violation: {v:?}");
                 }
                 eprintln!("  repro: {}", r.repro());
+                // The flight recorder is always on: the last-N events per
+                // node are available even though this run was not traced.
+                match write_flightrec(".", seed, &flight) {
+                    Ok(p) => eprintln!("  flight recorder: {p} ({} events)", flight.len()),
+                    Err(e) => eprintln!("  flight recorder dump failed: {e}"),
+                }
             } else if !r.converged {
                 stalled += 1;
             }

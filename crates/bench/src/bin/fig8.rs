@@ -99,14 +99,18 @@ fn main() {
                     let w = pts.last().map_or(1, |p| p.window);
                     let label = format!("{panel}_{}", system.name());
                     let (p, m, stages) = if args.trace_out.is_some() {
-                        let (p, m, events) =
+                        let (p, m, events, gauges) =
                             run_broadcast_traced(system, n, size, w, args.seed, spec);
                         let hist = spans::stage_hist(&spans::collect(&events));
                         if let Some(base) = &args.trace_out {
                             let path = record_path(base, &label);
-                            std::fs::write(&path, simnet::chrome_trace_json(&events))
+                            std::fs::write(&path, simnet::chrome_trace_json_full(&events, &gauges))
                                 .expect("write trace file");
-                            eprintln!("wrote {path} ({} events)", events.len());
+                            eprintln!(
+                                "wrote {path} ({} events, {} gauge samples)",
+                                events.len(),
+                                gauges.len()
+                            );
                         }
                         if !args.csv {
                             print!("\n{}", hist.table(&label));

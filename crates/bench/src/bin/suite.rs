@@ -1,0 +1,98 @@
+//! Run the perf-regression observatory's canonical pinned-seed matrix (five
+//! systems, fixed windows) and write one schema'd `BENCH_<label>.json`
+//! document: throughput/latency points, stage anatomy, counter totals, and
+//! gauge-series summaries per run. The simulator is deterministic, so the
+//! document is byte-identical across re-runs of the same configuration —
+//! compare against the committed baseline with `bench-diff`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin suite -- --quick --out baselines
+//! cargo run --release -p bench --bin suite -- --quick --slow 1.5 --label slowed
+//! ```
+//!
+//! Exit status: 0 on a written document, 2 on usage or I/O errors.
+
+use bench::suite::{run_suite, SuiteConfig};
+use std::process::exit;
+
+fn usage() {
+    eprintln!(
+        "usage: suite [--quick] [--out DIR] [--label NAME] [--seed N] [--slow SCALE]\n\
+         \x20  --quick        smoke-sized measurement windows (the CI matrix)\n\
+         \x20  --out DIR      output directory (default .)\n\
+         \x20  --label NAME   document name BENCH_<NAME>.json (default quick/full)\n\
+         \x20  --seed N       override the pinned seed (default 42)\n\
+         \x20  --slow SCALE   inject a leader CPU slowdown (regression demo)"
+    );
+}
+
+fn main() {
+    let mut cfg = SuiteConfig::new(false);
+    let mut quick = false;
+    let mut out_dir = ".".to_string();
+    let mut label: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_dir = need(&mut args, "--out"),
+            "--label" => label = Some(need(&mut args, "--label")),
+            "--seed" => {
+                cfg.seed = need(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a number");
+                    exit(2);
+                })
+            }
+            "--slow" => {
+                let v: f64 = need(&mut args, "--slow").parse().unwrap_or_else(|_| {
+                    eprintln!("--slow needs a scale factor");
+                    exit(2);
+                });
+                if !(v.is_finite() && v > 0.0) {
+                    eprintln!("--slow needs a positive scale factor");
+                    exit(2);
+                }
+                cfg.cpu_scale = Some(v);
+            }
+            "--help" | "-h" => {
+                usage();
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                exit(2);
+            }
+        }
+    }
+    if quick {
+        let seed = cfg.seed;
+        let scale = cfg.cpu_scale;
+        cfg = SuiteConfig::new(true);
+        cfg.seed = seed;
+        cfg.cpu_scale = scale;
+    }
+    let label = label.unwrap_or_else(|| if quick { "quick" } else { "full" }.to_string());
+    let path = format!("{}/BENCH_{label}.json", out_dir.trim_end_matches('/'));
+    let doc = run_suite(&cfg);
+    std::fs::write(&path, &doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(2);
+    });
+    println!(
+        "wrote {path} ({} systems x {} windows, seed {}{})",
+        bench::suite::SUITE_SYSTEMS.len(),
+        cfg.windows.len(),
+        cfg.seed,
+        match cfg.cpu_scale {
+            Some(s) => format!(", leader cpu x{s}"),
+            None => String::new(),
+        }
+    );
+}

@@ -51,18 +51,21 @@ fn main() {
         eprintln!("usage: trace-report [--top N] FILE.json");
         exit(2);
     };
-    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
-        eprintln!("cannot read {file}: {e}");
-        exit(2);
-    });
-    let events = report::parse_chrome_trace(&text).unwrap_or_else(|e| {
-        eprintln!("{file}: {e}");
+    let (events, gauges) = report::load_trace_file(&file).unwrap_or_else(|e| {
+        eprintln!("{e}");
         exit(2);
     });
     let r = report::build(&events);
     if r.is_empty() {
         eprintln!("{file}: no lifecycle stage marks in trace (untraced run?)");
+        if !gauges.is_empty() {
+            print!("{}", report::render_gauge_series(&gauges));
+        }
         exit(1);
     }
     print!("{}", report::render(&r, top));
+    if !gauges.is_empty() {
+        println!();
+        print!("{}", report::render_gauge_series(&gauges));
+    }
 }

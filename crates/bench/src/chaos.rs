@@ -493,7 +493,7 @@ const PAYLOAD: usize = 32;
 /// Baselines run their stock configuration (preset leader, no restarts) —
 /// crashed replicas stay down and the run may stall safely.
 pub fn run_chaos(proto: Proto, seed: u64, horizon: SimTime) -> ChaosReport {
-    run_chaos_run(proto, seed, horizon, false).0
+    run_chaos_full(proto, seed, horizon, false).0
 }
 
 /// Like [`run_chaos`] but with event recording on, returning the full fault
@@ -504,15 +504,30 @@ pub fn run_chaos_traced(
     seed: u64,
     horizon: SimTime,
 ) -> (ChaosReport, Vec<TraceEvent>) {
-    run_chaos_run(proto, seed, horizon, true)
+    let (rep, trace, _) = run_chaos_full(proto, seed, horizon, true);
+    (rep, trace)
 }
 
-fn run_chaos_run(
+/// Like [`run_chaos`] but also returning the flight recorder's contents —
+/// the always-on bounded ring of last-N events per node — so a failing seed
+/// can be dumped to `flightrec-<seed>.json` without re-running traced.
+pub fn run_chaos_recorded(
+    proto: Proto,
+    seed: u64,
+    horizon: SimTime,
+) -> (ChaosReport, Vec<TraceEvent>) {
+    let (rep, _, flight) = run_chaos_full(proto, seed, horizon, false);
+    (rep, flight)
+}
+
+/// The full-fat runner: report, trace timeline (empty unless `traced`), and
+/// the flight recorder's last-N-per-node ring contents.
+pub fn run_chaos_full(
     proto: Proto,
     seed: u64,
     horizon: SimTime,
     traced: bool,
-) -> (ChaosReport, Vec<TraceEvent>) {
+) -> (ChaosReport, Vec<TraceEvent>, Vec<TraceEvent>) {
     let n = CHAOS_N;
     let schedule = Schedule::generate(seed, n, horizon, proto.restartable());
     let warmup = Duration::from_micros(100);
@@ -531,7 +546,8 @@ fn run_chaos_run(
             c.replicas = ids.clone();
             let (pre, hs) = drive(&mut sim, &schedule, |s| acuerdo::histories(s, &ids));
             let rep = report(proto, schedule, pre, hs, sim.metrics());
-            (rep, sim.take_trace())
+            let flight = sim.flight_events();
+            (rep, sim.take_trace(), flight)
         }
         Proto::Raft => {
             let cfg = RaftConfig {
@@ -545,7 +561,8 @@ fn run_chaos_run(
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, RaftNode));
             let rep = report(proto, schedule, pre, hs, sim.metrics());
-            (rep, sim.take_trace())
+            let flight = sim.flight_events();
+            (rep, sim.take_trace(), flight)
         }
         Proto::Zab => {
             let cfg = ZabConfig {
@@ -559,7 +576,8 @@ fn run_chaos_run(
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, ZabNode));
             let rep = report(proto, schedule, pre, hs, sim.metrics());
-            (rep, sim.take_trace())
+            let flight = sim.flight_events();
+            (rep, sim.take_trace(), flight)
         }
         Proto::Paxos => {
             let cfg = PaxosConfig {
@@ -573,7 +591,8 @@ fn run_chaos_run(
                 Some(Duration::from_millis(2));
             let (pre, hs) = drive(&mut sim, &schedule, |s| live_histories!(s, ids, PaxosNode));
             let rep = report(proto, schedule, pre, hs, sim.metrics());
-            (rep, sim.take_trace())
+            let flight = sim.flight_events();
+            (rep, sim.take_trace(), flight)
         }
         Proto::Derecho => {
             let cfg = DerechoConfig {
@@ -589,7 +608,8 @@ fn run_chaos_run(
             // members — they are outside the virtual-synchrony contract.
             let (pre, hs) = drive(&mut sim, &schedule, |s| derecho::histories(s, &ids));
             let rep = report(proto, schedule, pre, hs, sim.metrics());
-            (rep, sim.take_trace())
+            let flight = sim.flight_events();
+            (rep, sim.take_trace(), flight)
         }
     }
 }

@@ -1,0 +1,283 @@
+//! Baseline comparison for the perf-regression observatory.
+//!
+//! Compares two `BENCH_*.json` documents (a committed baseline and a fresh
+//! [`crate::suite`] run) with deterministic-sim-tight thresholds: the
+//! simulator is bit-deterministic per seed, so counters, gauge extremes,
+//! sample counts, and lifecycle counts must match **exactly**; measured
+//! latencies and rates are floats serialized at fixed precision and are
+//! held to a small relative epsilon that only absorbs formatting noise.
+//! Anything looser would let real regressions hide; anything structural
+//! (missing run, extra member, length mismatch) is a finding too.
+//!
+//! There is exactly one JSON parser in the tree — [`crate::json`] — and
+//! this module reuses it rather than growing a second one.
+
+use crate::json::{self, Value};
+
+/// Comparison thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Relative epsilon for non-exact numeric members (latencies, rates).
+    pub rel_eps: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        // Points are serialized with 3-4 fractional digits; 0.2% relative
+        // covers rounding at the smallest values we print while staying far
+        // below any real perf change worth catching.
+        DiffOptions { rel_eps: 2e-3 }
+    }
+}
+
+/// Members whose value (and, for objects, whole subtree) must match
+/// exactly: deterministic counts and integer gauge extremes.
+const EXACT_KEYS: [&str; 9] = [
+    "metrics",
+    "window",
+    "nodes",
+    "seed",
+    "payload_bytes",
+    "samples",
+    "min",
+    "max",
+    "count",
+];
+
+/// Gauge p99 is an integer level pulled straight from the sorted samples —
+/// exact. (Stage `p99_us` is a latency and stays under the epsilon rule;
+/// the keys differ, so a simple name match suffices.)
+const EXACT_LEAVES: [&str; 1] = ["p99"];
+
+/// Compare two parsed suite documents. Returns the list of findings, one
+/// line each, empty when the documents agree within thresholds. `Err` means
+/// the documents are not comparable at all (different schema or matrix
+/// configuration) — that is an operator error, not a regression.
+pub fn diff_docs(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<String>, String> {
+    for key in [
+        "schema",
+        "mode",
+        "seed",
+        "nodes",
+        "payload_bytes",
+        "sample_every_us",
+    ] {
+        let b = base
+            .get(key)
+            .ok_or_else(|| format!("baseline: missing \"{key}\""))?;
+        let c = cur
+            .get(key)
+            .ok_or_else(|| format!("current: missing \"{key}\""))?;
+        if b != c {
+            return Err(format!(
+                "documents are not comparable: \"{key}\" is {b:?} in the baseline but {c:?} in the current run"
+            ));
+        }
+    }
+    let mut out = Vec::new();
+    // The injected-slowdown knob is a physics change: a baseline must never
+    // carry one, and comparing a slowed run against a clean baseline is the
+    // walkthrough's whole point — so it is a finding, not an error.
+    let b_scale = base.get("cpu_scale").cloned().unwrap_or(Value::Null);
+    let c_scale = cur.get("cpu_scale").cloned().unwrap_or(Value::Null);
+    if b_scale != c_scale {
+        out.push(format!(
+            "cpu_scale: baseline {b_scale:?}, current {c_scale:?}"
+        ));
+    }
+    let bruns = runs_by_label(base, "baseline")?;
+    let cruns = runs_by_label(cur, "current")?;
+    for (label, bv) in &bruns {
+        match cruns.iter().find(|(l, _)| l == label) {
+            None => out.push(format!("run {label}: missing from current")),
+            Some((_, cv)) => diff_value(&format!("runs[{label}]"), false, bv, cv, opts, &mut out),
+        }
+    }
+    for (label, _) in &cruns {
+        if !bruns.iter().any(|(l, _)| l == label) {
+            out.push(format!("run {label}: not in baseline"));
+        }
+    }
+    Ok(out)
+}
+
+/// Read, parse, and compare two document files.
+pub fn diff_files(
+    baseline: &str,
+    current: &str,
+    opts: &DiffOptions,
+) -> Result<Vec<String>, String> {
+    let b = json::read_doc(baseline)?;
+    let c = json::read_doc(current)?;
+    diff_docs(&b, &c, opts)
+}
+
+fn runs_by_label<'a>(doc: &'a Value, which: &str) -> Result<Vec<(String, &'a Value)>, String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{which}: missing \"runs\" array"))?;
+    runs.iter()
+        .map(|r| {
+            r.get("label")
+                .and_then(Value::as_str)
+                .map(|l| (l.to_string(), r))
+                .ok_or_else(|| format!("{which}: run without a \"label\""))
+        })
+        .collect()
+}
+
+fn diff_value(
+    path: &str,
+    exact: bool,
+    b: &Value,
+    c: &Value,
+    opts: &DiffOptions,
+    out: &mut Vec<String>,
+) {
+    match (b, c) {
+        (Value::Obj(bkv), Value::Obj(ckv)) => {
+            for (k, bv) in bkv {
+                match c.get(k) {
+                    None => out.push(format!("{path}.{k}: missing from current")),
+                    Some(cv) => diff_value(
+                        &format!("{path}.{k}"),
+                        exact || EXACT_KEYS.contains(&k.as_str()),
+                        bv,
+                        cv,
+                        opts,
+                        out,
+                    ),
+                }
+            }
+            for (k, _) in ckv {
+                if b.get(k).is_none() {
+                    out.push(format!("{path}.{k}: not in baseline"));
+                }
+            }
+        }
+        (Value::Arr(ba), Value::Arr(ca)) => {
+            if ba.len() != ca.len() {
+                out.push(format!(
+                    "{path}: length {} in baseline, {} in current",
+                    ba.len(),
+                    ca.len()
+                ));
+                return;
+            }
+            for (i, (bv, cv)) in ba.iter().zip(ca).enumerate() {
+                diff_value(&format!("{path}[{i}]"), exact, bv, cv, opts, out);
+            }
+        }
+        (Value::Num(bn), Value::Num(cn)) => {
+            let leaf = path.rsplit('.').next().unwrap_or(path);
+            let must_be_exact = exact || EXACT_LEAVES.contains(&leaf);
+            let ok = if must_be_exact {
+                bn == cn
+            } else {
+                rel_close(*bn, *cn, opts.rel_eps)
+            };
+            if !ok {
+                out.push(format!("{path}: baseline {bn}, current {cn}"));
+            }
+        }
+        _ => {
+            if b != c {
+                out.push(format!("{path}: baseline {b:?}, current {c:?}"));
+            }
+        }
+    }
+}
+
+fn rel_close(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps * a.abs().max(b.abs()) + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(mean: f64, commits: u64, scale: &str) -> Value {
+        json::parse(&format!(
+            "{{\"schema\":\"acuerdo-bench-suite-v1\",\"mode\":\"quick\",\"seed\":42,\
+             \"nodes\":3,\"payload_bytes\":64,\"sample_every_us\":100,\"cpu_scale\":{scale},\
+             \"runs\":[{{\"label\":\"acuerdo-w1\",\"window\":1,\"mean_us\":{mean},\
+             \"metrics\":{{\"totals\":{{\"commits\":{commits}}}}}}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = doc(5.25, 1000, "null");
+        assert_eq!(
+            diff_docs(&a, &a, &DiffOptions::default()).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn latency_epsilon_absorbs_formatting_noise_only() {
+        let a = doc(5.25, 1000, "null");
+        let close = doc(5.2501, 1000, "null");
+        assert!(diff_docs(&a, &close, &DiffOptions::default())
+            .unwrap()
+            .is_empty());
+        let slow = doc(7.9, 1000, "null");
+        let findings = diff_docs(&a, &slow, &DiffOptions::default()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].contains("runs[acuerdo-w1].mean_us"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn counters_are_exact() {
+        let a = doc(5.25, 1000, "null");
+        let off_by_one = doc(5.25, 999, "null");
+        let findings = diff_docs(&a, &off_by_one, &DiffOptions::default()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].contains("metrics.totals.commits"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn injected_slowdown_is_a_finding_not_an_error() {
+        let a = doc(5.25, 1000, "null");
+        let b = doc(5.25, 1000, "1.5");
+        let findings = diff_docs(&a, &b, &DiffOptions::default()).unwrap();
+        assert!(findings.iter().any(|f| f.starts_with("cpu_scale")));
+    }
+
+    #[test]
+    fn different_matrices_refuse_to_compare() {
+        let a = doc(5.25, 1000, "null");
+        let mut b = doc(5.25, 1000, "null");
+        if let Value::Obj(kv) = &mut b {
+            for (k, v) in kv.iter_mut() {
+                if k == "seed" {
+                    *v = Value::Num(7.0);
+                }
+            }
+        }
+        assert!(diff_docs(&a, &b, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn missing_and_extra_runs_are_findings() {
+        let a = doc(5.25, 1000, "null");
+        let empty = json::parse(
+            "{\"schema\":\"acuerdo-bench-suite-v1\",\"mode\":\"quick\",\"seed\":42,\
+             \"nodes\":3,\"payload_bytes\":64,\"sample_every_us\":100,\"cpu_scale\":null,\
+             \"runs\":[]}",
+        )
+        .unwrap();
+        let gone = diff_docs(&a, &empty, &DiffOptions::default()).unwrap();
+        assert!(gone.iter().any(|f| f.contains("missing from current")));
+        let added = diff_docs(&empty, &a, &DiffOptions::default()).unwrap();
+        assert!(added.iter().any(|f| f.contains("not in baseline")));
+    }
+}

@@ -63,6 +63,14 @@ impl Value {
     }
 }
 
+/// Read and parse one JSON document from a file, tagging errors with the
+/// path (shared by `bench-diff`, `trace-report`, and the tests — every
+/// consumer of our own exports goes through this one reader).
+pub fn read_doc(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Parse one JSON document (trailing whitespace allowed, nothing else).
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {

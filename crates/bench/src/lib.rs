@@ -16,9 +16,11 @@
 //! rows/series; Criterion benches run scaled-down smoke points.
 
 pub mod chaos;
+pub mod diff;
 pub mod json;
 pub mod plot;
 pub mod report;
+pub mod suite;
 
 use abcast::{RunResult, StageHist, WindowClient};
 use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
@@ -28,7 +30,7 @@ use derecho::{DcWire, DerechoConfig, Mode};
 use kvstore::{ReplicatedMap, YcsbLoad};
 use paxos::{PaxosConfig, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
-use simnet::{MetricsSnapshot, NetParams, Sim, SimTime, TraceEvent};
+use simnet::{GaugeSample, MetricsSnapshot, NetParams, Sim, SimTime, TraceEvent};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -163,6 +165,34 @@ fn finish<M: 'static>(sim: &mut Sim<M>, spec: RunSpec) {
     sim.run_until(SimTime::ZERO + spec.warmup + spec.measure);
 }
 
+/// Observability settings for a benchmark run. Tracing and gauge sampling
+/// are zero-perturbation: whatever combination is enabled, the measured
+/// point and counters are bit-identical to a bare run at the same seed.
+/// `cpu_scale` is the opposite — a deliberate physics change used to inject
+/// a slowdown for the regression walkthrough.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Observe {
+    /// Record the full trace-event timeline.
+    pub traced: bool,
+    /// Sample gauge time series at this sim-time cadence.
+    pub sample_every: Option<Duration>,
+    /// Scale node 0's CPU charges (node 0 is the leader in every Figure 8
+    /// system at a stable epoch).
+    pub cpu_scale: Option<f64>,
+}
+
+impl Observe {
+    fn apply<M: 'static>(&self, sim: &mut Sim<M>) {
+        sim.set_tracing(self.traced);
+        if let Some(every) = self.sample_every {
+            sim.set_gauge_sampling(every);
+        }
+        if let Some(scale) = self.cpu_scale {
+            sim.set_cpu_scale(0, scale);
+        }
+    }
+}
+
 /// Run one Figure 8 point: `system` on `n` replicas, fixed `payload` bytes,
 /// closed-loop `window`.
 pub fn run_broadcast(
@@ -187,14 +217,20 @@ pub fn run_broadcast_metrics(
     seed: u64,
     spec: RunSpec,
 ) -> (Point, MetricsSnapshot) {
-    let (p, m, _) = run_broadcast_run(system, n, payload, window, seed, spec, false);
+    let (p, m, _, _) =
+        run_broadcast_run(system, n, payload, window, seed, spec, Observe::default());
     (p, m)
 }
 
-/// Like [`run_broadcast_metrics`] but with event recording on, returning the
-/// full timeline (for `--trace-out`). Tracing only toggles recording, never
-/// scheduling, so the point and counters are bit-identical to the untraced
-/// run at the same seed.
+/// Gauge-series sampling cadence used by every traced surface (`--trace-out`
+/// bins and the `suite` matrix): one sample per node per 100 µs of sim time.
+pub const SAMPLE_EVERY: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// Like [`run_broadcast_metrics`] but with event recording and gauge
+/// sampling on, returning the full timeline and gauge series (for
+/// `--trace-out`, exported together via `chrome_trace_json_full`).
+/// Observability only toggles recording, never scheduling, so the point and
+/// counters are bit-identical to the untraced run at the same seed.
 pub fn run_broadcast_traced(
     system: System,
     n: usize,
@@ -202,8 +238,35 @@ pub fn run_broadcast_traced(
     window: usize,
     seed: u64,
     spec: RunSpec,
-) -> (Point, MetricsSnapshot, Vec<TraceEvent>) {
-    run_broadcast_run(system, n, payload, window, seed, spec, true)
+) -> (Point, MetricsSnapshot, Vec<TraceEvent>, Vec<GaugeSample>) {
+    run_broadcast_run(
+        system,
+        n,
+        payload,
+        window,
+        seed,
+        spec,
+        Observe {
+            traced: true,
+            sample_every: Some(SAMPLE_EVERY),
+            cpu_scale: None,
+        },
+    )
+}
+
+/// Like [`run_broadcast_traced`] but with full observability control:
+/// tracing, gauge-series sampling, and an injected leader CPU slowdown.
+/// Also returns the sampled gauge series.
+pub fn run_broadcast_observed(
+    system: System,
+    n: usize,
+    payload: usize,
+    window: usize,
+    seed: u64,
+    spec: RunSpec,
+    obs: Observe,
+) -> (Point, MetricsSnapshot, Vec<TraceEvent>, Vec<GaugeSample>) {
+    run_broadcast_run(system, n, payload, window, seed, spec, obs)
 }
 
 fn run_broadcast_run(
@@ -213,19 +276,19 @@ fn run_broadcast_run(
     window: usize,
     seed: u64,
     spec: RunSpec,
-    traced: bool,
-) -> (Point, MetricsSnapshot, Vec<TraceEvent>) {
+    obs: Observe,
+) -> (Point, MetricsSnapshot, Vec<TraceEvent>, Vec<GaugeSample>) {
     match system {
         System::Acuerdo => {
             let cfg = AcuerdoConfig::stable(n);
             let (mut sim, ids, client) =
                 acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             acuerdo::check_cluster(&sim, &ids).expect("acuerdo correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<AcWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::DerechoLeader | System::DerechoAll => {
             let cfg = DerechoConfig {
@@ -239,12 +302,12 @@ fn run_broadcast_run(
             };
             let (mut sim, ids, client) =
                 derecho::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             derecho::check_cluster(&sim, &ids).expect("derecho correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<DcWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::Apus => {
             let cfg = ApusConfig {
@@ -253,12 +316,12 @@ fn run_broadcast_run(
             };
             let (mut sim, ids, client) =
                 apus::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             apus::check_cluster(&sim, &ids).expect("apus correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<ApWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::Libpaxos => {
             let cfg = PaxosConfig {
@@ -267,12 +330,12 @@ fn run_broadcast_run(
             };
             let (mut sim, ids, client) =
                 paxos::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             paxos::check_cluster(&sim, &ids).expect("paxos correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<PxWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::Zookeeper => {
             let cfg = ZabConfig {
@@ -281,12 +344,12 @@ fn run_broadcast_run(
             };
             let (mut sim, ids, client) =
                 zab::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             zab::check_cluster(&sim, &ids).expect("zab correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<ZkWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::Etcd => {
             let cfg = RaftConfig {
@@ -295,12 +358,12 @@ fn run_broadcast_run(
             };
             let (mut sim, ids, client) =
                 raft::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
-            sim.set_tracing(traced);
+            obs.apply(&mut sim);
             finish(&mut sim, spec);
             raft::check_cluster(&sim, &ids).expect("raft correctness");
             let p = Point::from_result(window, &sim.node::<WindowClient<RfWire>>(client).result());
             let m = sim.metrics();
-            (p, m, sim.take_trace())
+            (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
     }
 }
@@ -793,6 +856,29 @@ pub fn run_record_json(
         metrics.to_json(),
         stages_json
     )
+}
+
+/// Whether the online invariant auditor fired at least once during the run
+/// the snapshot describes.
+pub fn audit_fired(m: &MetricsSnapshot) -> bool {
+    use simnet::Counter;
+    m.total(Counter::AuditEpochRegress) > 0
+        || m.total(Counter::AuditCommitRegress) > 0
+        || m.total(Counter::AuditCommitAheadAccept) > 0
+}
+
+/// Dump flight-recorder contents (the always-on last-N events per node) as
+/// a loadable Chrome trace document named `flightrec-<seed>.json` under
+/// `dir`. Returns the written path.
+pub fn write_flightrec(dir: &str, seed: u64, events: &[TraceEvent]) -> std::io::Result<String> {
+    let name = format!("flightrec-{seed}.json");
+    let path = if dir.is_empty() || dir == "." {
+        name
+    } else {
+        format!("{}/{name}", dir.trim_end_matches('/'))
+    };
+    std::fs::write(&path, simnet::chrome_trace_json(events))?;
+    Ok(path)
 }
 
 /// Derive a per-record output path from a `--trace-out` base: Chrome trace

@@ -6,7 +6,7 @@
 use crate::json::{self, Value};
 use abcast::spans::{collect, stage_hist};
 use abcast::{Lifecycle, StageHist};
-use simnet::{SimTime, SpanStage, TraceEvent};
+use simnet::{Gauge, GaugeSample, SimTime, SpanStage, TraceEvent};
 
 /// One (src → dst) traffic aggregate from the NIC egress lane.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,14 +61,30 @@ fn us_to_time(us: f64) -> SimTime {
 /// reporting: lifecycle stage marks and NIC egress slices. Other lanes
 /// (protocol instants, CPU busy, NIC ingress, flow arrows) are skipped.
 pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    parse_chrome_trace_full(text).map(|(events, _)| events)
+}
+
+/// Read and re-ingest a Chrome trace file, tagging errors with the path —
+/// the one loader shared by `trace-report` and the tests.
+pub fn load_trace_file(path: &str) -> Result<(Vec<TraceEvent>, Vec<GaugeSample>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_chrome_trace_full(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Like [`parse_chrome_trace`] but also re-ingesting the gauge counter
+/// tracks (`"ph":"C"` entries) written by
+/// [`simnet::chrome_trace_json_full`].
+pub fn parse_chrome_trace_full(text: &str) -> Result<(Vec<TraceEvent>, Vec<GaugeSample>), String> {
     let doc = json::parse(text)?;
     let events = doc
         .get("traceEvents")
         .and_then(Value::as_array)
         .ok_or("not a chrome trace: no traceEvents array")?;
     let mut out = Vec::new();
+    let mut samples = Vec::new();
     for e in events {
-        if e.get("ph").and_then(Value::as_str) != Some("X") {
+        let ph = e.get("ph").and_then(Value::as_str);
+        if ph != Some("X") && ph != Some("C") {
             continue;
         }
         let Some(name) = e.get("name").and_then(Value::as_str) else {
@@ -76,6 +92,22 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
         };
         let node = e.get("pid").and_then(Value::as_u64).unwrap_or(0) as usize;
         let ts = e.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+        if ph == Some("C") {
+            if let Some(gauge) = Gauge::from_name(name) {
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                samples.push(GaugeSample {
+                    at: us_to_time(ts),
+                    node,
+                    gauge,
+                    value,
+                });
+            }
+            continue;
+        }
         if let Some(stage) = SpanStage::from_name(name) {
             let args = e.get("args");
             let Some(id) = hex_u64(args.and_then(|a| a.get("span"))) else {
@@ -109,7 +141,97 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
             });
         }
     }
-    Ok(out)
+    Ok((out, samples))
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render one coarse text sparkline: the time range bucketed into at most
+/// `width` bins, each showing the mean sampled value of its bin scaled
+/// against the series maximum.
+fn sparkline(samples: &[(u64, u64)], width: usize) -> String {
+    let Some(&(t0, _)) = samples.first() else {
+        return String::new();
+    };
+    let t1 = samples.last().map(|&(t, _)| t).unwrap_or(t0);
+    let span = (t1 - t0).max(1);
+    let bins = width.max(1);
+    let mut sum = vec![0u128; bins];
+    let mut cnt = vec![0u64; bins];
+    for &(t, v) in samples {
+        let b = ((t - t0) as u128 * bins as u128 / (span as u128 + 1)) as usize;
+        sum[b] += u128::from(v);
+        cnt[b] += 1;
+    }
+    let means: Vec<f64> = sum
+        .iter()
+        .zip(&cnt)
+        .map(|(&s, &c)| {
+            if c == 0 {
+                f64::NAN
+            } else {
+                s as f64 / c as f64
+            }
+        })
+        .collect();
+    let max = means
+        .iter()
+        .copied()
+        .filter(|m| !m.is_nan())
+        .fold(0.0, f64::max);
+    means
+        .iter()
+        .map(|&m| {
+            if m.is_nan() {
+                ' '
+            } else if max <= 0.0 {
+                SPARK[0]
+            } else {
+                SPARK[((m / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Render the gauge time-series summary: per gauge (registry order, only
+/// gauges that sampled), min/mean/max/p99 of the levels across all nodes
+/// plus a coarse sparkline of the cluster-mean level over time.
+pub fn render_gauge_series(samples: &[GaugeSample]) -> String {
+    if samples.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let nodes = samples.iter().map(|s| s.node).max().unwrap_or(0) + 1;
+    out.push_str(&format!(
+        "gauge series ({} samples, {} nodes):\n",
+        samples.len(),
+        nodes
+    ));
+    for g in Gauge::ALL {
+        let mut series: Vec<(u64, u64)> = samples
+            .iter()
+            .filter(|s| s.gauge == g)
+            .map(|s| (s.at.as_nanos(), s.value))
+            .collect();
+        if series.is_empty() {
+            continue;
+        }
+        series.sort_unstable();
+        let mut vals: Vec<u64> = series.iter().map(|&(_, v)| v).collect();
+        vals.sort_unstable();
+        let count = vals.len();
+        let sum: u128 = vals.iter().map(|&v| u128::from(v)).sum();
+        out.push_str(&format!(
+            "  {:<20} min {:>6}  mean {:>10.1}  max {:>8}  p99 {:>8}  {}\n",
+            g.name(),
+            vals[0],
+            sum as f64 / count as f64,
+            vals[count - 1],
+            vals[(count * 99).div_ceil(100) - 1],
+            sparkline(&series, 32)
+        ));
+    }
+    out
 }
 
 /// Build the report from a recorded (or re-ingested) timeline.

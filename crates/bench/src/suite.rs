@@ -1,0 +1,210 @@
+//! The perf-regression observatory's run matrix.
+//!
+//! One canonical, pinned-seed sweep across the five per-class Figure 8
+//! representatives, exported as a schema'd `BENCH_<label>.json` document.
+//! Every knob — seed, replica count, payload, windows, sampling cadence —
+//! is pinned by [`SuiteConfig`], and the simulator is deterministic, so two
+//! runs of the same config produce **byte-identical** documents. That is
+//! what lets [`crate::diff`] hold counters to exact equality and latencies
+//! to a formatting-noise epsilon when comparing against the committed
+//! baseline.
+
+use crate::{run_broadcast_observed, run_record_json, Observe, RunSpec, System};
+use abcast::spans;
+use simnet::{Gauge, GaugeSample};
+use std::time::Duration;
+
+/// Document schema tag; bump when the document shape changes so `bench-diff`
+/// refuses to compare across shapes.
+pub const SCHEMA: &str = "acuerdo-bench-suite-v1";
+
+/// The five systems of the canonical matrix: one representative per
+/// protocol class (Acuerdo, Derecho single-sender, Multi-Paxos, Zab, Raft).
+pub const SUITE_SYSTEMS: [System; 5] = [
+    System::Acuerdo,
+    System::DerechoLeader,
+    System::Libpaxos,
+    System::Zookeeper,
+    System::Etcd,
+];
+
+/// Pinned suite parameters.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Smoke-sized measurement windows (CI `perf-gate`) vs the full spec.
+    pub quick: bool,
+    /// Simulation seed shared by every run of the matrix.
+    pub seed: u64,
+    /// Replica count.
+    pub n: usize,
+    /// Payload bytes.
+    pub payload: usize,
+    /// Client windows swept per system.
+    pub windows: Vec<usize>,
+    /// Gauge-series sampling cadence (sim time).
+    pub sample_every: Duration,
+    /// Injected leader CPU slowdown — the regression walkthrough's knob,
+    /// never set for a baseline.
+    pub cpu_scale: Option<f64>,
+}
+
+impl SuiteConfig {
+    /// The canonical matrix (this is the configuration the committed
+    /// baseline was produced with; change it and the baseline together).
+    pub fn new(quick: bool) -> SuiteConfig {
+        SuiteConfig {
+            quick,
+            seed: 42,
+            n: 3,
+            payload: 64,
+            windows: if quick { vec![1, 16] } else { vec![1, 8, 64] },
+            sample_every: crate::SAMPLE_EVERY,
+            cpu_scale: None,
+        }
+    }
+}
+
+/// Run the whole matrix and emit the complete `BENCH_*.json` document
+/// (newline-terminated).
+pub fn run_suite(cfg: &SuiteConfig) -> String {
+    let mut records = Vec::new();
+    for system in SUITE_SYSTEMS {
+        let spec = if cfg.quick {
+            RunSpec::quick(system)
+        } else {
+            RunSpec::for_system(system)
+        };
+        for &w in &cfg.windows {
+            let label = format!("{}-w{}", system.name(), w);
+            let (point, metrics, events, samples) = run_broadcast_observed(
+                system,
+                cfg.n,
+                cfg.payload,
+                w,
+                cfg.seed,
+                spec,
+                Observe {
+                    traced: true,
+                    sample_every: Some(cfg.sample_every),
+                    cpu_scale: cfg.cpu_scale,
+                },
+            );
+            let hist = spans::stage_hist(&spans::collect(&events));
+            let mut rec = run_record_json(
+                &label,
+                system.name(),
+                cfg.n,
+                cfg.payload,
+                cfg.seed,
+                spec,
+                &point,
+                &metrics,
+                Some(&hist),
+            );
+            // Splice the gauge-series summary in as the record's last member.
+            rec.pop();
+            rec.push_str(&format!(
+                ",\"gauge_series\":{}}}",
+                gauge_series_json(&samples)
+            ));
+            records.push(rec);
+        }
+    }
+    let cpu_scale = match cfg.cpu_scale {
+        Some(s) => format!("{s}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"mode\":\"{}\",\"seed\":{},\"nodes\":{},\
+         \"payload_bytes\":{},\"sample_every_us\":{},\"cpu_scale\":{cpu_scale},\
+         \"runs\":[{}]}}\n",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.n,
+        cfg.payload,
+        cfg.sample_every.as_micros(),
+        records.join(",")
+    )
+}
+
+/// Summarize a sampled gauge series as one JSON object: per gauge (in
+/// registry order, only gauges that produced samples), the sample count and
+/// the min/mean/max/p99 of the sampled levels across all nodes.
+pub fn gauge_series_json(samples: &[GaugeSample]) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for g in Gauge::ALL {
+        let mut vals: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.gauge == g)
+            .map(|s| s.value)
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_unstable();
+        let count = vals.len();
+        let sum: u128 = vals.iter().map(|&v| u128::from(v)).sum();
+        let mean = sum as f64 / count as f64;
+        let p99 = vals[(count * 99).div_ceil(100) - 1];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"samples\":{count},\"min\":{},\"max\":{},\"mean\":{mean:.3},\"p99\":{p99}}}",
+            g.name(),
+            vals[0],
+            vals[count - 1],
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn s(at: u64, node: usize, g: Gauge, v: u64) -> GaugeSample {
+        GaugeSample {
+            at: SimTime::from_nanos(at),
+            node,
+            gauge: g,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn gauge_series_summary_is_selective_and_ordered() {
+        let samples = vec![
+            s(0, 0, Gauge::InflightMsgs, 4),
+            s(100, 0, Gauge::InflightMsgs, 8),
+            s(100, 1, Gauge::Epoch, 2),
+        ];
+        let j = gauge_series_json(&samples);
+        let v = crate::json::parse(&j).unwrap();
+        let inflight = v.get("inflight_msgs").unwrap();
+        assert_eq!(inflight.get("samples").unwrap().as_u64(), Some(2));
+        assert_eq!(inflight.get("min").unwrap().as_u64(), Some(4));
+        assert_eq!(inflight.get("max").unwrap().as_u64(), Some(8));
+        assert_eq!(inflight.get("p99").unwrap().as_u64(), Some(8));
+        assert_eq!(
+            v.get("epoch").unwrap().get("mean").unwrap().as_f64(),
+            Some(2.0)
+        );
+        // Gauges that never sampled are absent entirely.
+        assert!(v.get("ring_occupancy").is_none());
+    }
+
+    #[test]
+    fn suite_config_is_pinned() {
+        let q = SuiteConfig::new(true);
+        assert_eq!(q.seed, 42);
+        assert_eq!(q.windows, vec![1, 16]);
+        assert!(q.cpu_scale.is_none());
+        let f = SuiteConfig::new(false);
+        assert_eq!(f.windows, vec![1, 8, 64]);
+    }
+}

@@ -7,7 +7,8 @@ use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
 use simnet::{
-    client_span, msg_span, Counter, Ctx, DeliveryClass, Event, NodeId, Process, SimTime, SpanStage,
+    client_span, msg_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime,
+    SpanStage,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
@@ -778,6 +779,28 @@ impl DerechoNode {
             self.hb_seen[m] = (self.row_hb(m), now);
         }
     }
+
+    /// Publish protocol-level gauge levels: view id as epoch, the worst
+    /// received-but-undelivered backlog across sender lanes, and the fullest
+    /// outbound ring lane's occupancy.
+    fn publish_gauges(&mut self, ctx: &mut Ctx<DcWire>) {
+        ctx.gauge(Gauge::Epoch, u64::from(self.view_id));
+        let mut lag = 0u64;
+        for s in 0..self.store.len() {
+            if let Some(&top) = self.store[s].keys().next_back() {
+                lag = lag.max((top + 1).saturating_sub(self.delivered_upto[s]));
+            }
+        }
+        ctx.gauge(Gauge::CommitFrontierLag, lag);
+        let mut occ = 0u64;
+        for &m in &self.members {
+            if m == self.me {
+                continue;
+            }
+            occ = occ.max((self.cfg.ring_bytes as u64).saturating_sub(self.out_ring.free_space(m)));
+        }
+        ctx.gauge(Gauge::RingOccupancy, occ);
+    }
 }
 
 impl Process<DcWire> for DerechoNode {
@@ -823,6 +846,7 @@ impl Process<DcWire> for DerechoNode {
                     self.committed_hdr,
                     self.committed_hdr,
                 );
+                self.publish_gauges(ctx);
                 ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
             }
             TOK_ROW => {

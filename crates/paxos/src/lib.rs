@@ -23,7 +23,7 @@ use abcast::{
 use bytes::Bytes;
 use simnet::params::cpu;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SpanStage,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
@@ -184,6 +184,8 @@ impl PaxosNode {
             MsgHdr::new(e, acc as u32),
             MsgHdr::new(e, self.delivered as u32),
         );
+        ctx.gauge(Gauge::Epoch, 1);
+        ctx.gauge(Gauge::CommitFrontierLag, acc.saturating_sub(self.delivered));
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<PxWire>, from: NodeId, req: ClientReq) {

@@ -22,7 +22,8 @@ use bytes::Bytes;
 use rand::Rng;
 use simnet::params::cpu;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime, SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
+    SpanStage,
 };
 use std::collections::HashMap;
 use std::time::Duration;
@@ -277,6 +278,15 @@ impl RaftNode {
             self.last_applied as u32,
         );
         self.audit.observe(ctx, Epoch::new(self.term, 0), acc, com);
+        ctx.gauge(Gauge::Epoch, u64::from(self.term));
+        ctx.gauge(
+            Gauge::CommitFrontierLag,
+            tip.saturating_sub(self.last_applied),
+        );
+        if self.role == RaftRole::Leader {
+            let min_match = self.match_index.iter().copied().min().unwrap_or(0);
+            ctx.gauge(Gauge::AckFrontierLag, tip.saturating_sub(min_match));
+        }
     }
 
     fn send(&self, ctx: &mut Ctx<RfWire>, dst: NodeId, wire: u32, msg: RfWire) {

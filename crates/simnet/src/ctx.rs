@@ -1,7 +1,7 @@
 //! The effect context handed to [`Process`](crate::Process) handlers.
 
 use crate::time::SimTime;
-use crate::trace::{Counter, Event, Probe, SpanStage, TraceEvent};
+use crate::trace::{Counter, Event, Gauge, Probe, SpanStage, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use std::time::Duration;
@@ -155,7 +155,7 @@ impl<'a, M> Ctx<'a, M> {
     /// flag. Traced and untraced runs of the same seed are bit-identical.
     #[inline]
     pub fn trace(&mut self, ev: Event) {
-        if self.probe.enabled() {
+        if self.probe.recording() {
             self.probe.record(TraceEvent::Proto {
                 at: self.now + self.cpu,
                 node: self.self_id,
@@ -172,6 +172,17 @@ impl<'a, M> Ctx<'a, M> {
         self.probe.count(self.self_id, c, n);
     }
 
+    /// Set this node's `g` gauge to its current level `v`. Gauges are always
+    /// on — a plain array store with the same zero-perturbation guarantee as
+    /// [`Ctx::count`]. Levels become a time series only when the engine's
+    /// sampler is enabled
+    /// ([`Sim::set_gauge_sampling`](crate::Sim::set_gauge_sampling)); the
+    /// protocol hot path never pays for series collection.
+    #[inline]
+    pub fn gauge(&mut self, g: Gauge, v: u64) {
+        self.probe.gauge_set(self.self_id, g, v);
+    }
+
     /// Mark that message `id` reached lifecycle `stage` on this node,
     /// timestamped at [`Ctx::now_cpu`].
     ///
@@ -182,7 +193,7 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn span(&mut self, id: u64, stage: SpanStage, arg: u64) {
         self.probe.count(self.self_id, Counter::SpanMarks, 1);
-        if self.probe.enabled() {
+        if self.probe.recording() {
             self.probe.record(TraceEvent::Span {
                 at: self.now + self.cpu,
                 node: self.self_id,

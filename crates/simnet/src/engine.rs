@@ -4,7 +4,7 @@ use crate::ctx::{Ctx, DeliveryClass, Effect};
 use crate::net::Network;
 use crate::params::NetParams;
 use crate::time::SimTime;
-use crate::trace::{Counter, MetricsSnapshot, Probe, TraceEvent};
+use crate::trace::{Counter, Gauge, GaugeSample, MetricsSnapshot, Probe, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -159,6 +159,10 @@ pub struct Sim<M> {
     halted: bool,
     stats: EngineStats,
     probe: Probe,
+    /// Gauge-sampling cadence; `None` disables the sampler.
+    sample_every: Option<Duration>,
+    /// Next sample instant when sampling is enabled.
+    next_sample: SimTime,
 }
 
 impl<M: 'static> Sim<M> {
@@ -175,6 +179,8 @@ impl<M: 'static> Sim<M> {
             halted: false,
             stats: EngineStats::default(),
             probe: Probe::new(),
+            sample_every: None,
+            next_sample: SimTime::ZERO,
         }
     }
 
@@ -250,7 +256,7 @@ impl<M: 'static> Sim<M> {
         self.probe.take_events()
     }
 
-    /// Snapshot every node's counters.
+    /// Snapshot every node's counters and final gauge levels.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.probe.snapshot()
     }
@@ -258,6 +264,57 @@ impl<M: 'static> Sim<M> {
     /// Read one node's counter.
     pub fn counter(&self, node: NodeId, c: Counter) -> u64 {
         self.probe.counter(node, c)
+    }
+
+    /// Enable periodic gauge sampling: every `every` of virtual time the
+    /// engine snapshots each node's gauge levels into a time series
+    /// ([`Sim::gauge_samples`]).
+    ///
+    /// Sampling happens between event dispatches — never through the event
+    /// queue and never in a protocol handler — so it draws no randomness,
+    /// charges no CPU, and consumes no event sequence numbers: sampled and
+    /// unsampled runs of the same seed are bit-identical. A zero interval is
+    /// ignored.
+    pub fn set_gauge_sampling(&mut self, every: Duration) {
+        if every.is_zero() {
+            return;
+        }
+        self.sample_every = Some(every);
+        self.next_sample = self.now + every;
+    }
+
+    /// The sampled gauge series so far (empty unless
+    /// [`Sim::set_gauge_sampling`] was called).
+    pub fn gauge_samples(&self) -> &[GaugeSample] {
+        self.probe.gauge_samples()
+    }
+
+    /// Take the sampled gauge series, leaving the buffer empty.
+    pub fn take_gauge_samples(&mut self) -> Vec<GaugeSample> {
+        self.probe.take_gauge_samples()
+    }
+
+    /// Read one node's current gauge level.
+    pub fn gauge(&self, node: NodeId, g: Gauge) -> u64 {
+        self.probe.gauge(node, g)
+    }
+
+    /// Turn the always-on bounded flight recorder off (or back on). Off also
+    /// clears the per-node rings.
+    pub fn set_flight_recorder(&mut self, on: bool) {
+        self.probe.set_flight_recorder(on);
+    }
+
+    /// Resize the per-node flight-recorder rings.
+    pub fn set_flight_capacity(&mut self, cap: usize) {
+        self.probe.set_flight_capacity(cap);
+    }
+
+    /// The flight-recorder contents: the last-N trace events of every node,
+    /// merged into global record order. Available even when tracing was off
+    /// for the run — this is the post-mortem channel.
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        self.probe.flight_events()
     }
 
     /// Immutable access to a node's state, downcast to its concrete type.
@@ -432,6 +489,7 @@ impl<M: 'static> Sim<M> {
             }
         }
         if !self.halted && self.now < deadline {
+            self.advance_samples(deadline);
             self.now = deadline;
         }
     }
@@ -452,8 +510,14 @@ impl<M: 'static> Sim<M> {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
+        self.advance_samples(ev.at);
         self.now = ev.at;
         self.stats.events += 1;
+        if let EventKind::Deliver { node, .. } = &ev.kind {
+            // The queued delivery is consumed whatever happens next (handled,
+            // deferred-and-requeued, or dropped as crashed/stale).
+            self.probe.gauge_add(*node, Gauge::InflightMsgs, -1);
+        }
         match ev.kind {
             EventKind::Start { node, inc } => {
                 let slot = &self.nodes[node];
@@ -611,7 +675,34 @@ impl<M: 'static> Sim<M> {
         Duration::from_nanos(self.rng.random_range(lo..=hi))
     }
 
+    /// Sample gauges at every elapsed cadence instant up to `upto`
+    /// (inclusive). Runs between dispatches only; touches neither the queue,
+    /// the RNG, nor any node, so it cannot perturb the run.
+    fn advance_samples(&mut self, upto: SimTime) {
+        let Some(every) = self.sample_every else {
+            return;
+        };
+        while self.next_sample <= upto {
+            let at = self.next_sample;
+            // NIC egress depth is derived from the network model's egress
+            // serialization frontier at the sample instant (it drains between
+            // events, so it must be computed here, not event-driven).
+            for node in 0..self.nodes.len() {
+                self.probe.gauge_set(
+                    node,
+                    Gauge::NicEgressDepth,
+                    self.net.egress_backlog(node, at),
+                );
+            }
+            self.probe.sample_gauges(at);
+            self.next_sample = at + every;
+        }
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        if let EventKind::Deliver { node, .. } = &kind {
+            self.probe.gauge_add(*node, Gauge::InflightMsgs, 1);
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event { at, seq, kind });
@@ -666,7 +757,7 @@ impl<M: 'static> Sim<M> {
                     self.probe
                         .count(node, Counter::WireBytes, u64::from(info.wire_bytes));
                     self.probe.count(node, Counter::Packets, 1);
-                    if self.probe.enabled() {
+                    if self.probe.recording() {
                         self.probe.record(TraceEvent::Send {
                             at: post,
                             src: node,
@@ -1151,6 +1242,73 @@ mod tests {
             let _ = s.node::<Pinger>(a);
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn gauge_sampler_and_flight_recorder_do_not_perturb() {
+        let run = |observed: bool| {
+            let mut s = sim();
+            let a = s.add_node(Box::new(Pinger {
+                peer: 1,
+                replies: vec![],
+            }));
+            let _ = s.add_node(Box::new(Echo {
+                got: vec![],
+                cpu: Duration::from_nanos(500),
+            }));
+            if observed {
+                s.set_gauge_sampling(Duration::from_micros(100));
+                s.set_flight_capacity(8);
+            } else {
+                s.set_flight_recorder(false);
+            }
+            s.run_until(SimTime::from_millis(1));
+            let series = s.gauge_samples().len();
+            let flight = s.flight_events().len();
+            (s.node::<Pinger>(a).replies.clone(), series, flight)
+        };
+        let (replies_on, series_on, flight_on) = run(true);
+        let (replies_off, series_off, flight_off) = run(false);
+        assert_eq!(replies_on, replies_off, "observability perturbed the run");
+        assert!(series_on > 0, "sampler produced no series");
+        assert!(flight_on > 0, "flight recorder stayed empty");
+        assert_eq!((series_off, flight_off), (0, 0));
+    }
+
+    #[test]
+    fn inflight_gauge_returns_to_zero_after_drain() {
+        let mut s = sim();
+        let _a = s.add_node(Box::new(Pinger {
+            peer: 1,
+            replies: vec![],
+        }));
+        let b = s.add_node(Box::new(Echo {
+            got: vec![],
+            cpu: Duration::ZERO,
+        }));
+        s.run_until(SimTime::from_millis(1));
+        assert_eq!(s.gauge(b, Gauge::InflightMsgs), 0);
+        assert_eq!(s.gauge(0, Gauge::InflightMsgs), 0);
+    }
+
+    #[test]
+    fn sampler_cadence_is_honored_when_idle() {
+        let mut s = sim();
+        s.add_node(Box::new(Echo {
+            got: vec![],
+            cpu: Duration::ZERO,
+        }));
+        s.set_gauge_sampling(Duration::from_micros(250));
+        s.run_until(SimTime::from_millis(1));
+        // Samples at 250/500/750/1000 µs; idle-advance covers the tail.
+        let at: Vec<u64> = s
+            .gauge_samples()
+            .iter()
+            .map(|g| g.at.as_nanos())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(at, vec![250_000, 500_000, 750_000, 1_000_000]);
     }
 
     #[test]

@@ -47,8 +47,9 @@ pub use params::NetParams;
 pub use threaded::ThreadedRunner;
 pub use time::SimTime;
 pub use trace::{
-    chrome_trace_json, client_span, json_escape, msg_span, msg_span_parts, Counter, CounterSet,
-    Event, MetricsSnapshot, Probe, SpanStage, TraceEvent,
+    chrome_trace_json, chrome_trace_json_full, client_span, json_escape, msg_span, msg_span_parts,
+    Counter, CounterSet, Event, Gauge, GaugeSample, GaugeSet, MetricsSnapshot, Probe, SpanStage,
+    TraceEvent, FLIGHT_RECORDER_DEPTH,
 };
 
 /// Identifier of a node (process) inside one simulation.

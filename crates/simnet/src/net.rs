@@ -130,6 +130,15 @@ impl Network {
         self.nics.push(NicState::default());
     }
 
+    /// Nanoseconds of serialization backlog at `node`'s egress NIC at
+    /// instant `at` (0 when the NIC is idle). Read by the engine's gauge
+    /// sampler for [`Gauge::NicEgressDepth`](crate::trace::Gauge).
+    pub fn egress_backlog(&self, node: NodeId, at: SimTime) -> u64 {
+        self.nics
+            .get(node)
+            .map_or(0, |n| n.egress_free.saturating_since(at).as_nanos() as u64)
+    }
+
     pub fn set_link(&mut self, src: NodeId, dst: NodeId, params: LinkParams) {
         self.overrides.entry((src, dst)).or_default().params = Some(params);
     }

@@ -1,6 +1,6 @@
 //! Zero-perturbation tracing and metrics for the simulated fabric.
 //!
-//! Two observability channels thread through the engine and every protocol
+//! Four observability channels thread through the engine and every protocol
 //! crate:
 //!
 //! * **Counters** ([`Counter`]) — per-node `u64` registers bumped through
@@ -8,6 +8,14 @@
 //!   itself (fabric layer). Counting is *always on*: a plain array increment
 //!   that charges no CPU, draws no randomness, and schedules no event, so it
 //!   cannot perturb a run.
+//! * **Gauges** ([`Gauge`]) — per-node instantaneous levels (inflight depth,
+//!   frontier lags, ring occupancy, …) written through
+//!   [`Ctx::gauge`](crate::Ctx::gauge) and by the engine, and periodically
+//!   *sampled* into a time series ([`GaugeSample`]) by the engine's
+//!   between-dispatch sampler
+//!   ([`Sim::set_gauge_sampling`](crate::Sim::set_gauge_sampling)) — never by
+//!   the protocol hot path and never through the event queue, so sampling
+//!   consumes no event sequence numbers and cannot perturb tie-breaks.
 //! * **Events** ([`TraceEvent`]) — a timeline of fabric spans (NIC egress /
 //!   ingress serialization, CPU-busy intervals) and protocol instants
 //!   ([`Event`] via [`Ctx::trace`](crate::Ctx::trace)), recorded only while
@@ -15,12 +23,17 @@
 //!   Recording appends to a buffer and nothing else — traced and untraced
 //!   runs of the same seed are bit-identical (`tests/observability.rs` proves
 //!   this).
+//! * **Flight recorder** — an always-on bounded ring of the last-N trace
+//!   events per node, kept even while tracing is off, so a failed run can be
+//!   dumped post-mortem ([`Probe::flight_events`]) without paying full-trace
+//!   memory on every run.
 //!
 //! Exports are hand-rolled JSON (the workspace deliberately avoids serde,
-//! DESIGN.md §6): [`chrome_trace_json`] renders the event timeline in the
+//! DESIGN.md §6): [`chrome_trace_json`] / [`chrome_trace_json_full`] render
+//! the event timeline (and gauge series, as Perfetto counter tracks) in the
 //! Chrome trace-event format that Perfetto and `chrome://tracing` open
 //! directly, keyed on virtual time; [`MetricsSnapshot::to_json`] renders the
-//! counter registry for per-run metrics sidecars.
+//! counter registry plus final gauge levels for per-run metrics sidecars.
 
 use crate::ctx::DeliveryClass;
 use crate::time::SimTime;
@@ -198,6 +211,117 @@ impl CounterSet {
     pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
         Counter::ALL.iter().map(|&c| (c, self.vals[c as usize]))
     }
+}
+
+/// Per-node time-series gauge slots: instantaneous *levels*, as opposed to
+/// the monotone [`Counter`] registers.
+///
+/// Protocols write their current level through
+/// [`Ctx::gauge`](crate::Ctx::gauge) at the points where the level changes
+/// (a plain array store, always on); the engine maintains the fabric gauges
+/// ([`Gauge::InflightMsgs`], [`Gauge::NicEgressDepth`]) itself. Levels become
+/// a time series only when the engine's sampler is enabled
+/// ([`Sim::set_gauge_sampling`](crate::Sim::set_gauge_sampling)), which runs
+/// between event dispatches — never in a handler, never through the event
+/// queue — so gauge collection preserves the zero-perturbation invariant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Messages posted into the fabric but not yet delivered to this node
+    /// (engine-maintained).
+    InflightMsgs,
+    /// Committer-side SST ack-frontier lag: accept frontier minus the
+    /// slowest peer's visible acknowledgement, in messages.
+    AckFrontierLag,
+    /// Commit-frontier lag: accept frontier minus commit/delivery frontier,
+    /// in messages.
+    CommitFrontierLag,
+    /// Occupancy of the fullest outbound ring-buffer lane, in bytes.
+    RingOccupancy,
+    /// NIC egress queue depth: nanoseconds of serialization backlog at this
+    /// node's egress NIC, computed by the engine at each sample instant.
+    NicEgressDepth,
+    /// Client retransmit window: outstanding unacknowledged requests.
+    RetransmitWindow,
+    /// Current epoch round / term / ballot / view id.
+    Epoch,
+}
+
+impl Gauge {
+    /// Number of gauge slots.
+    pub const COUNT: usize = 7;
+
+    /// All gauges, in slot order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::InflightMsgs,
+        Gauge::AckFrontierLag,
+        Gauge::CommitFrontierLag,
+        Gauge::RingOccupancy,
+        Gauge::NicEgressDepth,
+        Gauge::RetransmitWindow,
+        Gauge::Epoch,
+    ];
+
+    /// Stable snake_case name (counter-track label and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::InflightMsgs => "inflight_msgs",
+            Gauge::AckFrontierLag => "ack_frontier_lag",
+            Gauge::CommitFrontierLag => "commit_frontier_lag",
+            Gauge::RingOccupancy => "ring_occupancy",
+            Gauge::NicEgressDepth => "nic_egress_depth",
+            Gauge::RetransmitWindow => "retransmit_window",
+            Gauge::Epoch => "epoch",
+        }
+    }
+
+    /// Inverse of [`name`](Gauge::name) (used by trace ingestion).
+    pub fn from_name(s: &str) -> Option<Gauge> {
+        Gauge::ALL.iter().copied().find(|g| g.name() == s)
+    }
+}
+
+// Same registry-desync guard as for `Counter`.
+const _: () = {
+    assert!(Gauge::ALL.len() == Gauge::COUNT);
+    let mut i = 0;
+    while i < Gauge::COUNT {
+        assert!(Gauge::ALL[i] as usize == i, "ALL must list slots in order");
+        i += 1;
+    }
+};
+
+/// One node's current gauge levels.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSet {
+    vals: [u64; Gauge::COUNT],
+}
+
+impl GaugeSet {
+    /// Read one gauge level.
+    #[inline]
+    pub fn get(&self, g: Gauge) -> u64 {
+        self.vals[g as usize]
+    }
+
+    /// Iterate `(gauge, level)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Gauge, u64)> + '_ {
+        Gauge::ALL.iter().map(|&g| (g, self.vals[g as usize]))
+    }
+}
+
+/// One point of a gauge time series: at sample instant `at`, `node`'s
+/// `gauge` read `value`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Sample instant (virtual time).
+    pub at: SimTime,
+    /// Sampled node.
+    pub node: NodeId,
+    /// Which gauge.
+    pub gauge: Gauge,
+    /// The level at the sample instant.
+    pub value: u64,
 }
 
 /// A protocol-level instant: a static name plus up to two numeric arguments
@@ -436,37 +560,97 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The node that owns this event's timeline row (the sender for
+    /// [`TraceEvent::Send`]).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TraceEvent::Proto { node, .. }
+            | TraceEvent::NicEgress { node, .. }
+            | TraceEvent::NicIngress { node, .. }
+            | TraceEvent::Deliver { node, .. }
+            | TraceEvent::CpuBusy { node, .. }
+            | TraceEvent::Span { node, .. } => node,
+            TraceEvent::Send { src, .. } => src,
+        }
+    }
+}
+
+/// Default per-node flight-recorder depth (events). Deep enough to hold a
+/// few poll ticks of fabric+protocol activity around a failure, small enough
+/// that every run can afford it.
+pub const FLIGHT_RECORDER_DEPTH: usize = 256;
+
 /// The recording side of the observability layer, owned by the engine (or by
 /// a thread in the threaded runner).
 ///
-/// Counters are always on. Event recording is gated by [`Probe::set_enabled`]
-/// and is append-only: it charges no CPU, draws no randomness, and never
-/// touches the event schedule.
-#[derive(Debug, Default)]
+/// Counters and gauges are always on. Event recording is gated by
+/// [`Probe::set_enabled`] and is append-only: it charges no CPU, draws no
+/// randomness, and never touches the event schedule. Independently of full
+/// tracing, an always-on **flight recorder** keeps the last-N events per node
+/// in bounded rings ([`Probe::flight_events`]), so a failed run can be dumped
+/// post-mortem even when tracing was off.
+#[derive(Debug)]
 pub struct Probe {
     enabled: bool,
     events: Vec<TraceEvent>,
     counters: Vec<CounterSet>,
+    gauges: Vec<GaugeSet>,
+    /// Which gauge slots have been written at least once this run; the
+    /// sampler skips never-written gauges so the series stays relevant.
+    touched: [bool; Gauge::COUNT],
+    samples: Vec<GaugeSample>,
+    flight_on: bool,
+    flight_cap: usize,
+    /// Global record order across all flight rings: merging per-node rings
+    /// by this tag reproduces the original timeline order deterministically.
+    flight_seq: u64,
+    flight: Vec<std::collections::VecDeque<(u64, TraceEvent)>>,
+}
+
+impl Default for Probe {
+    fn default() -> Self {
+        Probe {
+            enabled: false,
+            events: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            touched: [false; Gauge::COUNT],
+            samples: Vec::new(),
+            flight_on: true,
+            flight_cap: FLIGHT_RECORDER_DEPTH,
+            flight_seq: 0,
+            flight: Vec::new(),
+        }
+    }
 }
 
 impl Probe {
-    /// A disabled probe with no nodes registered.
+    /// A probe with tracing disabled, the flight recorder on, and no nodes
+    /// registered.
     pub fn new() -> Self {
         Probe::default()
     }
 
-    /// Grow the counter table so row `node` exists.
+    /// Grow the per-node tables so row `node` exists.
     ///
-    /// This is the **single** growth path for counter rows — `add_node` and
-    /// `count` both route through it. Invariant: after `ensure_node(n)`,
-    /// `self.counters.len() > n` and every row in `0..=n` is zero-initialized
-    /// exactly once (existing rows are never touched), so probes outside an
-    /// engine — e.g. the threaded runner — can count against any node id
-    /// without panicking and without resetting earlier tallies.
+    /// This is the **single** growth path for per-node rows — `add_node`,
+    /// `count`, gauge writes, and flight-recorder appends all route through
+    /// it. Invariant: after `ensure_node(n)`, every table has more than `n`
+    /// rows and every row in `0..=n` is zero-initialized exactly once
+    /// (existing rows are never touched), so probes outside an engine — e.g.
+    /// the threaded runner — can count against any node id without panicking
+    /// and without resetting earlier tallies.
     #[inline]
     fn ensure_node(&mut self, node: NodeId) {
         if node >= self.counters.len() {
             self.counters.resize(node + 1, CounterSet::default());
+        }
+        if node >= self.gauges.len() {
+            self.gauges.resize(node + 1, GaugeSet::default());
+        }
+        if node >= self.flight.len() {
+            self.flight.resize_with(node + 1, Default::default);
         }
     }
 
@@ -487,12 +671,121 @@ impl Probe {
         self.enabled
     }
 
-    /// Append `ev` to the timeline if recording is on.
+    /// Whether any event sink wants records: full tracing or the flight
+    /// recorder. Event producers gate construction on this.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.enabled || self.flight_on
+    }
+
+    /// Append `ev` to the timeline (if tracing is on) and to its node's
+    /// flight-recorder ring (if the flight recorder is on).
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
         if self.enabled {
             self.events.push(ev);
         }
+        if self.flight_on {
+            let node = ev.node();
+            self.ensure_node(node);
+            let ring = &mut self.flight[node];
+            if ring.len() >= self.flight_cap {
+                ring.pop_front();
+            }
+            ring.push_back((self.flight_seq, ev));
+            self.flight_seq += 1;
+        }
+    }
+
+    /// Turn the flight recorder on or off (off also clears the rings, so an
+    /// "off" run keeps no residue).
+    pub fn set_flight_recorder(&mut self, on: bool) {
+        self.flight_on = on;
+        if !on {
+            for ring in &mut self.flight {
+                ring.clear();
+            }
+        }
+    }
+
+    /// Whether the flight recorder is on.
+    #[inline]
+    pub fn flight_recorder(&self) -> bool {
+        self.flight_on
+    }
+
+    /// Resize the per-node flight rings (existing rings shed their oldest
+    /// entries if over the new bound; minimum depth 1).
+    pub fn set_flight_capacity(&mut self, cap: usize) {
+        self.flight_cap = cap.max(1);
+        for ring in &mut self.flight {
+            while ring.len() > self.flight_cap {
+                ring.pop_front();
+            }
+        }
+    }
+
+    /// The flight-recorder contents: the last-N events of every node, merged
+    /// back into global record order.
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        let mut tagged: Vec<(u64, TraceEvent)> = self.flight.iter().flatten().copied().collect();
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Set a node's gauge level (always on; a plain array store).
+    #[inline]
+    pub fn gauge_set(&mut self, node: NodeId, g: Gauge, v: u64) {
+        self.ensure_node(node);
+        self.gauges[node].vals[g as usize] = v;
+        self.touched[g as usize] = true;
+    }
+
+    /// Adjust a node's gauge level by a signed delta (saturating).
+    #[inline]
+    pub fn gauge_add(&mut self, node: NodeId, g: Gauge, delta: i64) {
+        self.ensure_node(node);
+        let v = &mut self.gauges[node].vals[g as usize];
+        *v = if delta >= 0 {
+            v.saturating_add(delta as u64)
+        } else {
+            v.saturating_sub(delta.unsigned_abs())
+        };
+        self.touched[g as usize] = true;
+    }
+
+    /// Read a node's current gauge level (0 for unregistered nodes).
+    #[inline]
+    pub fn gauge(&self, node: NodeId, g: Gauge) -> u64 {
+        self.gauges.get(node).map_or(0, |s| s.get(g))
+    }
+
+    /// Append one [`GaugeSample`] per (node, written gauge) at instant `at`.
+    /// Called only by the engine's between-dispatch sampler; gauges never
+    /// written this run are skipped.
+    pub fn sample_gauges(&mut self, at: SimTime) {
+        for node in 0..self.gauges.len() {
+            for g in Gauge::ALL {
+                if self.touched[g as usize] {
+                    self.samples.push(GaugeSample {
+                        at,
+                        node,
+                        gauge: g,
+                        value: self.gauges[node].vals[g as usize],
+                    });
+                }
+            }
+        }
+    }
+
+    /// The sampled gauge series so far.
+    pub fn gauge_samples(&self) -> &[GaugeSample] {
+        &self.samples
+    }
+
+    /// Take the sampled gauge series, leaving the buffer empty.
+    pub fn take_gauge_samples(&mut self) -> Vec<GaugeSample> {
+        std::mem::take(&mut self.samples)
     }
 
     /// Bump a per-node counter (always on; rows grow on demand through
@@ -519,19 +812,25 @@ impl Probe {
         std::mem::take(&mut self.events)
     }
 
-    /// Copy out the counter registry.
+    /// Copy out the counter registry and final gauge levels.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut gauges = self.gauges.clone();
+        gauges.resize(self.counters.len(), GaugeSet::default());
         MetricsSnapshot {
             nodes: self.counters.clone(),
+            gauges,
         }
     }
 }
 
-/// A point-in-time copy of every node's counters.
+/// A point-in-time copy of every node's counters and gauge levels.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// One [`CounterSet`] per node, indexed by [`NodeId`].
     pub nodes: Vec<CounterSet>,
+    /// One [`GaugeSet`] per node (final levels at snapshot time), parallel
+    /// to `nodes`.
+    pub gauges: Vec<GaugeSet>,
 }
 
 impl MetricsSnapshot {
@@ -545,7 +844,8 @@ impl MetricsSnapshot {
         Counter::ALL.iter().filter(|&&c| self.total(c) > 0).count()
     }
 
-    /// Render as JSON: per-node counter objects plus cross-node totals.
+    /// Render as JSON: per-node counter + gauge objects plus cross-node
+    /// counter totals.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 * (self.nodes.len() + 1));
         out.push_str("{\"nodes\":[");
@@ -559,6 +859,14 @@ impl MetricsSnapshot {
                     out.push(',');
                 }
                 out.push_str(&format!("\"{}\":{}", c.name(), v));
+            }
+            out.push_str("},\"gauges\":{");
+            let gs = self.gauges.get(id).copied().unwrap_or_default();
+            for (i, (g, v)) in gs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", g.name(), v));
             }
             out.push_str("}}");
         }
@@ -609,6 +917,7 @@ const TID_CPU: u32 = 1;
 const TID_NIC_TX: u32 = 2;
 const TID_NIC_RX: u32 = 3;
 const TID_SPAN: u32 = 4;
+const TID_GAUGE: u32 = 5;
 
 // Nominal duration of a stage-mark slice (µs). Flow arrows must bind to a
 // slice, so stage marks render as short `X` slices rather than instants.
@@ -655,15 +964,25 @@ fn flow_positions(events: &[TraceEvent]) -> Vec<FlowPos> {
 /// Render a recorded timeline in the Chrome trace-event JSON format
 /// (open with [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
 ///
-/// Timestamps are virtual microseconds. Each simulated node becomes a
-/// "process" (`pid` = node id) with five named rows: protocol instants,
-/// CPU-busy spans, NIC egress spans, NIC ingress spans, and message-lifecycle
-/// stage marks. Stage marks of the same span id are chained with flow events
-/// (`ph` `s`/`t`/`f`) so the viewer draws causal arrows across nodes; span
-/// ids render as hex strings because bit 63 of a message-space id does not
-/// survive a JSON `f64` number.
+/// Shorthand for [`chrome_trace_json_full`] with no gauge series.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 256);
+    chrome_trace_json_full(events, &[])
+}
+
+/// Render a recorded timeline plus a sampled gauge series in the Chrome
+/// trace-event JSON format (open with [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`).
+///
+/// Timestamps are virtual microseconds. Each simulated node becomes a
+/// "process" (`pid` = node id) with five named rows — protocol instants,
+/// CPU-busy spans, NIC egress spans, NIC ingress spans, and message-lifecycle
+/// stage marks — plus one Perfetto counter track per sampled gauge (`ph`
+/// `"C"` events named after [`Gauge::name`]). Stage marks of the same span id
+/// are chained with flow events (`ph` `s`/`t`/`f`) so the viewer draws causal
+/// arrows across nodes; span ids render as hex strings because bit 63 of a
+/// message-space id does not survive a JSON `f64` number.
+pub fn chrome_trace_json_full(events: &[TraceEvent], gauges: &[GaugeSample]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + gauges.len() * 64 + 256);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
     let mut push = |out: &mut String, entry: String| {
@@ -677,14 +996,10 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let max_node = events
         .iter()
         .map(|e| match *e {
-            TraceEvent::Proto { node, .. }
-            | TraceEvent::NicEgress { node, .. }
-            | TraceEvent::NicIngress { node, .. }
-            | TraceEvent::Deliver { node, .. }
-            | TraceEvent::CpuBusy { node, .. }
-            | TraceEvent::Span { node, .. } => node,
             TraceEvent::Send { src, dst, .. } => src.max(dst),
+            ref e => e.node(),
         })
+        .chain(gauges.iter().map(|s| s.node))
         .max();
     if let Some(max_node) = max_node {
         for node in 0..=max_node {
@@ -790,6 +1105,19 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             }
         };
         push(&mut out, entry);
+    }
+    // Gauge series as Perfetto counter tracks: one track per (node, gauge).
+    for s in gauges {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"C\",\"pid\":{},\"tid\":{TID_GAUGE},\"ts\":{:.3},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
+                s.node,
+                ts_us(s.at),
+                s.gauge.name(),
+                s.value
+            ),
+        );
     }
     out.push_str("]}");
     out
@@ -988,5 +1316,98 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn gauge_names_are_unique_and_round_trip() {
+        let names: std::collections::HashSet<_> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        assert_eq!(names.len(), Gauge::COUNT);
+        for g in Gauge::ALL {
+            assert_eq!(Gauge::from_name(g.name()), Some(g));
+        }
+        assert_eq!(Gauge::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn gauges_store_and_sample_only_written_slots() {
+        let mut p = Probe::new();
+        p.add_node();
+        p.add_node();
+        p.gauge_set(0, Gauge::Epoch, 3);
+        p.gauge_add(1, Gauge::InflightMsgs, 2);
+        p.gauge_add(1, Gauge::InflightMsgs, -5); // saturates at zero
+        assert_eq!(p.gauge(0, Gauge::Epoch), 3);
+        assert_eq!(p.gauge(1, Gauge::InflightMsgs), 0);
+        assert_eq!(p.gauge(9, Gauge::Epoch), 0, "unregistered node reads 0");
+        p.sample_gauges(SimTime::from_micros(1));
+        // Two nodes × the two gauges written this run.
+        let samples = p.gauge_samples();
+        assert_eq!(samples.len(), 4);
+        assert!(samples
+            .iter()
+            .all(|s| matches!(s.gauge, Gauge::Epoch | Gauge::InflightMsgs)));
+        assert_eq!(p.take_gauge_samples().len(), 4);
+        assert!(p.gauge_samples().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n_per_node_in_record_order() {
+        let mut p = Probe::new();
+        p.set_flight_capacity(2);
+        let ev = |node, n| TraceEvent::Proto {
+            at: SimTime::from_nanos(n),
+            node,
+            ev: Event::new("e"),
+        };
+        p.record(ev(0, 1));
+        p.record(ev(1, 2));
+        p.record(ev(0, 3));
+        p.record(ev(0, 4));
+        // Node 0's ring shed its oldest entry; the merge restores global
+        // record order across rings.
+        assert_eq!(p.flight_events(), vec![ev(1, 2), ev(0, 3), ev(0, 4)]);
+        // Tracing stayed off: the full-timeline buffer is untouched.
+        assert!(p.events().is_empty());
+        assert!(p.recording());
+        p.set_flight_recorder(false);
+        assert!(p.flight_events().is_empty());
+        assert!(!p.recording());
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_tracks_for_gauges() {
+        let samples = vec![
+            GaugeSample {
+                at: SimTime::from_micros(1),
+                node: 0,
+                gauge: Gauge::InflightMsgs,
+                value: 3,
+            },
+            GaugeSample {
+                at: SimTime::from_micros(2),
+                node: 1,
+                gauge: Gauge::Epoch,
+                value: 7,
+            },
+        ];
+        let json = chrome_trace_json_full(&[], &samples);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains("\"name\":\"inflight_msgs\""));
+        assert!(json.contains("\"value\":7"));
+        // Process metadata covers nodes that only appear in the gauge series.
+        assert!(json.contains("\"name\":\"node 1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn metrics_json_contains_every_gauge() {
+        let mut p = Probe::new();
+        p.add_node();
+        p.gauge_set(0, Gauge::RingOccupancy, 512);
+        let json = p.snapshot().to_json();
+        assert!(json.contains("\"ring_occupancy\":512"));
+        for g in Gauge::ALL {
+            assert!(json.contains(g.name()), "missing {}", g.name());
+        }
     }
 }

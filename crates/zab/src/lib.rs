@@ -26,7 +26,8 @@ use abcast::{
 use bytes::Bytes;
 use simnet::params::cpu;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime, SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
+    SpanStage,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
@@ -579,6 +580,14 @@ impl ZabNode {
             Self::zhdr(self.last_zxid()),
             Self::zhdr(self.delivered),
         );
+        ctx.gauge(Gauge::Epoch, u64::from(self.epoch));
+        let last = self.last_zxid();
+        let commit_lag = if last.0 == self.delivered.0 {
+            u64::from(last.1.saturating_sub(self.delivered.1))
+        } else {
+            u64::from(last.1)
+        };
+        ctx.gauge(Gauge::CommitFrontierLag, commit_lag);
         match self.role {
             ZabRole::Leading => {
                 for p in 0..self.cfg.n {

@@ -219,15 +219,171 @@ fn auditor_is_silent_on_clean_runs() {
 }
 
 #[test]
+fn gauges_and_flight_recorder_do_not_perturb_the_run() {
+    // The full observability stack — gauge sampler ticking every 100µs plus
+    // the always-on flight recorder — must be as invisible to the schedule
+    // as tracing is: a fully-observed run and a fully-dark run (no sampler,
+    // flight recorder forced off) of the same seed are bit-identical.
+    fn run_observed(seed: u64, observed: bool) -> (Outcome, usize, usize) {
+        let cfg = AcuerdoConfig {
+            fail_timeout: Duration::from_micros(400),
+            ..AcuerdoConfig::stable(3)
+        };
+        let (mut sim, ids, client) =
+            acuerdo::cluster_with_client(seed, &cfg, 8, 10, Duration::ZERO);
+        if observed {
+            sim.set_gauge_sampling(Duration::from_micros(100));
+        } else {
+            sim.set_flight_recorder(false);
+        }
+        sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(2));
+        sim.run_until(SimTime::from_millis(10));
+        let r = sim.node::<WindowClient<AcWire>>(client).result();
+        let snap = sim.metrics();
+        // Compare per-node *counters* exactly, but not the sidecar's gauge
+        // levels: `nic_egress_depth` is written by the sampler itself, so its
+        // final level is observability output, not schedule state.
+        let outcome = Outcome {
+            histories: acuerdo::histories(&sim, &ids),
+            completed: r.completed,
+            payload_bytes: r.payload_bytes,
+            samples: r.latency.count(),
+            mean_us: r.latency.mean_us(),
+            p50_us: r.latency.p50_us(),
+            p99_us: r.latency.p99_us(),
+            counters_json: format!("{:?}", snap.nodes),
+            distinct_counters: snap.distinct_nonzero(),
+            event_count: sim.trace_events().len(),
+            timeline: None,
+        };
+        let gauge_samples = sim.gauge_samples().len();
+        let flight_events = sim.flight_events().len();
+        (outcome, gauge_samples, flight_events)
+    }
+
+    let (on, samples_on, flight_on) = run_observed(42, true);
+    let (off, samples_off, flight_off) = run_observed(42, false);
+    assert_identical(&on, &off);
+    assert!(samples_on > 0, "sampler produced no gauge samples");
+    assert!(flight_on > 0, "flight recorder stayed empty");
+    assert_eq!(samples_off, 0, "dark run produced gauge samples");
+    assert_eq!(flight_off, 0, "disabled flight recorder recorded events");
+}
+
+#[test]
+fn suite_documents_are_byte_identical_per_seed() {
+    // The perf-regression observatory's contract: same pinned config, same
+    // seed ⇒ the same BENCH_*.json document, byte for byte. That is what
+    // lets bench-diff hold counters to exact equality.
+    use acuerdo_repro::bench::json;
+    use acuerdo_repro::bench::suite::{run_suite, SuiteConfig, SCHEMA};
+
+    let mut cfg = SuiteConfig::new(true);
+    cfg.windows = vec![1]; // one window keeps the debug-mode test quick
+    let a = run_suite(&cfg);
+    let b = run_suite(&cfg);
+    assert_eq!(a, b, "suite document differs between identical runs");
+
+    let doc = json::parse(&a).expect("suite document parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(SCHEMA),
+        "schema tag missing"
+    );
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .expect("runs array");
+    assert_eq!(runs.len(), 5, "one run per suite system");
+    for run in runs {
+        assert!(
+            run.get("gauge_series").is_some(),
+            "run record lacks a gauge_series summary"
+        );
+        assert!(run.get("metrics").is_some(), "run record lacks counters");
+    }
+}
+
+#[test]
+fn auditor_firing_produces_a_loadable_flight_recorder_dump() {
+    // When the online auditor fires, the flight recorder's last-N ring is
+    // dumped as flightrec-<seed>.json; the dump must round-trip through the
+    // same loader trace-report uses.
+    use acuerdo_repro::abcast::{check::Auditor, Epoch};
+    use acuerdo_repro::bench::{audit_fired, report, write_flightrec};
+    use acuerdo_repro::simnet::{Ctx, NetParams, NodeId, Process, Sim};
+
+    // A deliberately misbehaving process: its second audit observation
+    // reports a committed header *behind* the first — a commit regression.
+    struct Regressor {
+        audit: Auditor,
+        step: u32,
+    }
+    impl Process<()> for Regressor {
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            ctx.set_timer(Duration::from_micros(10), 1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<()>, _token: u64) {
+            let e = Epoch::new(1, 0);
+            let committed = MsgHdr::new(e, if self.step == 0 { 5 } else { 3 });
+            self.audit.observe(ctx, e, MsgHdr::new(e, 5), committed);
+            self.step += 1;
+            if self.step < 3 {
+                ctx.set_timer(Duration::from_micros(10), 1);
+            }
+        }
+    }
+
+    let seed = 4242;
+    let mut sim: Sim<()> = Sim::new(seed, NetParams::rdma());
+    sim.add_node(Box::new(Regressor {
+        audit: Auditor::new(),
+        step: 0,
+    }));
+    sim.run_until(SimTime::from_millis(1));
+
+    assert!(
+        audit_fired(&sim.metrics()),
+        "regressing commits did not fire the auditor"
+    );
+    let flight = sim.flight_events();
+    assert!(!flight.is_empty(), "flight recorder captured nothing");
+
+    let dir = std::env::temp_dir().join(format!("flightrec-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = write_flightrec(dir.to_str().unwrap(), seed, &flight).expect("dump flight recorder");
+    assert!(path.ends_with(&format!("flightrec-{seed}.json")));
+
+    let text = std::fs::read_to_string(&path).expect("read dump");
+    assert!(
+        text.contains("audit_commit_regress"),
+        "dump does not mention the violation"
+    );
+    // Loadable by the same reader trace-report uses.
+    report::load_trace_file(&path).expect("dump round-trips through the trace loader");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_report_agrees_with_the_metrics_sidecar() {
     // The offline pipeline (chrome export → re-parse → trace-report) must
-    // account for exactly the stage marks the online counters saw.
+    // account for exactly the stage marks the online counters saw, and the
+    // gauge counter tracks must round-trip sample for sample.
     use acuerdo_repro::bench::{report, run_broadcast_traced, RunSpec, System};
-    use acuerdo_repro::simnet::Counter;
+    use acuerdo_repro::simnet::{chrome_trace_json_full, Counter};
 
     let spec = RunSpec::quick(System::Acuerdo);
-    let (_, metrics, events) = run_broadcast_traced(System::Acuerdo, 3, 10, 8, 5, spec);
-    let parsed = report::parse_chrome_trace(&chrome_trace_json(&events)).expect("parse own export");
+    let (_, metrics, events, gauges) = run_broadcast_traced(System::Acuerdo, 3, 10, 8, 5, spec);
+    assert!(!gauges.is_empty(), "traced run sampled no gauges");
+    let (parsed, regauged) =
+        report::parse_chrome_trace_full(&chrome_trace_json_full(&events, &gauges))
+            .expect("parse own export");
+    assert_eq!(
+        regauged.len(),
+        gauges.len(),
+        "gauge samples lost in the chrome round-trip"
+    );
     let r = report::build(&parsed);
     assert!(!r.is_empty(), "trace-report saw no stage marks");
     assert_eq!(
