@@ -12,8 +12,7 @@
 
 use crate::stats::StageHist;
 use crate::types::MsgHdr;
-use simnet::{msg_span, msg_span_parts, SpanStage, TraceEvent};
-use std::collections::{HashMap, HashSet};
+use simnet::{msg_span, msg_span_parts, FastMap, FastSet, SpanStage, TraceEvent};
 
 /// The message-space span id of a delivered header.
 pub fn hdr_span(h: &MsgHdr) -> u64 {
@@ -75,7 +74,7 @@ fn epoch_key(round: u32, ldr: u32) -> u64 {
 /// ignored, so the whole `Sim::take_trace` output can be passed directly.
 pub fn collect(events: &[TraceEvent]) -> Vec<Lifecycle> {
     // Pass 1: the space join (msg id -> client id, via leader_recv args).
-    let mut join: HashMap<u64, u64> = HashMap::new();
+    let mut join: FastMap<u64, u64> = FastMap::default();
     for e in events {
         if let TraceEvent::Span {
             id,
@@ -93,9 +92,9 @@ pub fn collect(events: &[TraceEvent]) -> Vec<Lifecycle> {
 
     // Pass 2: exact marks per (canonical id, stage), covering marks per
     // (stage, epoch), and the set of every id seen.
-    let mut exact: HashMap<(u64, usize), u64> = HashMap::new();
-    let mut covering: HashMap<(usize, u64), Vec<(u32, u64)>> = HashMap::new();
-    let mut ids: HashSet<u64> = HashSet::new();
+    let mut exact: FastMap<(u64, usize), u64> = FastMap::default();
+    let mut covering: FastMap<(usize, u64), Vec<(u32, u64)>> = FastMap::default();
+    let mut ids: FastSet<u64> = FastSet::default();
     for e in events {
         let TraceEvent::Span { at, id, stage, .. } = *e else {
             continue;
@@ -119,7 +118,7 @@ pub fn collect(events: &[TraceEvent]) -> Vec<Lifecycle> {
 
     // Sort each covering chain by count and precompute suffix minima, so
     // "earliest mark with count >= c in this epoch" is a binary search.
-    let mut suffix: HashMap<(usize, u64), (Vec<u32>, Vec<u64>)> = HashMap::new();
+    let mut suffix: FastMap<(usize, u64), (Vec<u32>, Vec<u64>)> = FastMap::default();
     for (key, mut chain) in covering {
         chain.sort_unstable();
         let cnts: Vec<u32> = chain.iter().map(|&(c, _)| c).collect();
@@ -139,7 +138,7 @@ pub fn collect(events: &[TraceEvent]) -> Vec<Lifecycle> {
     let mut canon_ids: Vec<u64> = ids.iter().map(|&id| canon(id)).collect();
     canon_ids.sort_unstable();
     canon_ids.dedup();
-    let mut rev: HashMap<u64, u64> = HashMap::new(); // client id -> msg id
+    let mut rev: FastMap<u64, u64> = FastMap::default(); // client id -> msg id
     for (&m, &c) in &join {
         rev.entry(c).or_insert(m);
         let slot = rev.get_mut(&c).unwrap();
@@ -190,6 +189,7 @@ mod tests {
     use super::*;
     use crate::types::Epoch;
     use simnet::{client_span, SimTime};
+    use std::collections::HashMap;
 
     fn span(at: u64, node: usize, id: u64, stage: SpanStage, arg: u64) -> TraceEvent {
         TraceEvent::Span {

@@ -77,8 +77,22 @@ impl AcuerdoConfig {
     pub fn stable(n: usize) -> Self {
         AcuerdoConfig {
             n,
+            ring_bytes: Self::ring_bytes_for(n),
             initial_epoch: Some(Epoch::new(1, 0)),
             ..AcuerdoConfig::default()
+        }
+    }
+
+    /// Per-sender ring size for an `n`-replica cluster. Every node mirrors a
+    /// ring per remote sender, so registered memory grows as `n * (n-1) *
+    /// ring_bytes`; the scalability sweep shrinks the rings at large `n` to
+    /// keep that product bounded (n=64: 64KiB rings, ~250MiB total) while
+    /// leaving the small-cluster benchmark geometry untouched.
+    pub fn ring_bytes_for(n: usize) -> usize {
+        match n {
+            0..=16 => 1 << 20,
+            17..=32 => 1 << 18,
+            _ => 1 << 16,
         }
     }
 

@@ -51,7 +51,7 @@ use simnet::params::cpu;
 use simnet::{
     client_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime, SpanStage,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound::{Excluded, Included};
 use std::time::Duration;
 
@@ -169,7 +169,7 @@ pub struct AcuerdoNode {
 
     // Leader-side bookkeeping.
     out: Vec<PeerOut>,
-    origin: HashMap<MsgHdr, (NodeId, u64)>,
+    origin: simnet::FastMap<MsgHdr, (NodeId, u64)>,
     commit_push_seq: u64,
     push_ticks: u64,
 
@@ -284,7 +284,7 @@ impl AcuerdoNode {
             count: 0,
             role,
             log: BTreeMap::new(),
-            origin: HashMap::new(),
+            origin: simnet::FastMap::default(),
             commit_push_seq: 0,
             push_ticks: 0,
             last_leader_activity: SimTime::ZERO,

@@ -13,7 +13,7 @@
 //! protocols) or convergence failure (Acuerdo only — baselines without a
 //! rejoin path may safely stall and are merely reported).
 
-use bench::chaos::{run_chaos_full, Proto};
+use bench::chaos::{run_chaos_full_at, Proto, CHAOS_N};
 use bench::{write_flightrec, write_metrics_file};
 use simnet::SimTime;
 use std::process::exit;
@@ -22,6 +22,7 @@ struct Args {
     protos: Vec<Proto>,
     seed: Option<u64>,
     seeds: u64,
+    nodes: usize,
     max_time_ms: u64,
     metrics_out: Option<String>,
     trace_out: Option<String>,
@@ -30,7 +31,7 @@ struct Args {
 fn usage() {
     eprintln!(
         "usage: chaos [--proto acuerdo|raft|zab|paxos|derecho|all] [--seed N]\n\
-         \x20            [--seeds N] [--max-time-ms MS] [--metrics-out FILE]\n\
+         \x20            [--seeds N] [--nodes N] [--max-time-ms MS] [--metrics-out FILE]\n\
          \x20            [--trace-out FILE]   (single --proto + --seed only)"
     );
 }
@@ -40,6 +41,7 @@ fn parse_args() -> Args {
         protos: vec![Proto::Acuerdo],
         seed: None,
         seeds: 20,
+        nodes: CHAOS_N,
         max_time_ms: 50,
         metrics_out: None,
         trace_out: None,
@@ -69,6 +71,13 @@ fn parse_args() -> Args {
             }
             "--seed" => out.seed = Some(parse_num(&need(&mut args, "--seed"))),
             "--seeds" => out.seeds = parse_num(&need(&mut args, "--seeds")),
+            "--nodes" => {
+                out.nodes = parse_num(&need(&mut args, "--nodes")) as usize;
+                if out.nodes < 3 {
+                    eprintln!("--nodes needs a cluster of at least 3");
+                    exit(2);
+                }
+            }
             "--max-time-ms" => out.max_time_ms = parse_num(&need(&mut args, "--max-time-ms")),
             "--metrics-out" => out.metrics_out = Some(need(&mut args, "--metrics-out")),
             "--trace-out" => out.trace_out = Some(need(&mut args, "--trace-out")),
@@ -112,7 +121,7 @@ fn main() {
     for &proto in &args.protos {
         for &seed in &seed_list {
             let (r, events, flight) =
-                run_chaos_full(proto, seed, horizon, args.trace_out.is_some());
+                run_chaos_full_at(proto, seed, horizon, args.trace_out.is_some(), args.nodes);
             if let Some(path) = &args.trace_out {
                 std::fs::write(path, simnet::chrome_trace_json(&events)).unwrap_or_else(|e| {
                     eprintln!("cannot write {path}: {e}");

@@ -13,16 +13,19 @@
 //! Exit status: 0 on a written document, 2 on usage or I/O errors.
 
 use bench::suite::{run_suite, SuiteConfig};
+use simnet::SchedKind;
 use std::process::exit;
 
 fn usage() {
     eprintln!(
-        "usage: suite [--quick] [--out DIR] [--label NAME] [--seed N] [--slow SCALE]\n\
+        "usage: suite [--quick] [--out DIR] [--label NAME] [--seed N] [--slow SCALE] [--sched KIND]\n\
          \x20  --quick        smoke-sized measurement windows (the CI matrix)\n\
          \x20  --out DIR      output directory (default .)\n\
          \x20  --label NAME   document name BENCH_<NAME>.json (default quick/full)\n\
          \x20  --seed N       override the pinned seed (default 42)\n\
-         \x20  --slow SCALE   inject a leader CPU slowdown (regression demo)"
+         \x20  --slow SCALE   inject a leader CPU slowdown (regression demo)\n\
+         \x20  --sched KIND   event queue: heap | calendar (default calendar;\n\
+         \x20                 can never change the document — differential knob)"
     );
 }
 
@@ -60,6 +63,13 @@ fn main() {
                 }
                 cfg.cpu_scale = Some(v);
             }
+            "--sched" => {
+                let v = need(&mut args, "--sched");
+                cfg.scheduler = SchedKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--sched needs 'heap' or 'calendar', got '{v}'");
+                    exit(2);
+                });
+            }
             "--help" | "-h" => {
                 usage();
                 exit(0);
@@ -74,9 +84,11 @@ fn main() {
     if quick {
         let seed = cfg.seed;
         let scale = cfg.cpu_scale;
+        let sched = cfg.scheduler;
         cfg = SuiteConfig::new(true);
         cfg.seed = seed;
         cfg.cpu_scale = scale;
+        cfg.scheduler = sched;
     }
     let label = label.unwrap_or_else(|| if quick { "quick" } else { "full" }.to_string());
     let path = format!("{}/BENCH_{label}.json", out_dir.trim_end_matches('/'));

@@ -28,7 +28,7 @@
 use abcast::{MsgHdr, Violation, WindowClient};
 use acuerdo::{AcWire, AcuerdoConfig};
 use bytes::Bytes;
-use derecho::{DcWire, DerechoConfig};
+use derecho::{DcWire, DerechoConfig, Mode};
 use paxos::{PaxosConfig, PaxosNode, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
 use rand::rngs::SmallRng;
@@ -520,6 +520,14 @@ pub fn run_chaos_recorded(
     (rep, flight)
 }
 
+/// Like [`run_chaos`] but at an explicit cluster size instead of
+/// [`CHAOS_N`] — the chaos-at-scale smoke tests drive 16- and 32-replica
+/// clusters through the same fault scripts ([`Schedule::generate`] already
+/// scales its crash budget to a minority of `n`).
+pub fn run_chaos_at(proto: Proto, seed: u64, horizon: SimTime, n: usize) -> ChaosReport {
+    run_chaos_full_at(proto, seed, horizon, false, n).0
+}
+
 /// The full-fat runner: report, trace timeline (empty unless `traced`), and
 /// the flight recorder's last-N-per-node ring contents.
 pub fn run_chaos_full(
@@ -528,7 +536,17 @@ pub fn run_chaos_full(
     horizon: SimTime,
     traced: bool,
 ) -> (ChaosReport, Vec<TraceEvent>, Vec<TraceEvent>) {
-    let n = CHAOS_N;
+    run_chaos_full_at(proto, seed, horizon, traced, CHAOS_N)
+}
+
+/// [`run_chaos_full`] at an explicit cluster size.
+pub fn run_chaos_full_at(
+    proto: Proto,
+    seed: u64,
+    horizon: SimTime,
+    traced: bool,
+    n: usize,
+) -> (ChaosReport, Vec<TraceEvent>, Vec<TraceEvent>) {
     let schedule = Schedule::generate(seed, n, horizon, proto.restartable());
     let warmup = Duration::from_micros(100);
     match proto {
@@ -595,10 +613,10 @@ pub fn run_chaos_full(
             (rep, sim.take_trace(), flight)
         }
         Proto::Derecho => {
-            let cfg = DerechoConfig {
-                n,
-                ..DerechoConfig::default()
-            };
+            // `sized` keeps the n=5 chaos geometry bit-identical (1MiB rings
+            // below 17 members) while bounding registered memory for the
+            // chaos-at-scale smoke sizes.
+            let cfg = DerechoConfig::sized(n, Mode::Leader);
             let (mut sim, ids, client) =
                 derecho::cluster_with_client(seed, &cfg, WINDOW, PAYLOAD, warmup);
             sim.set_tracing(traced);

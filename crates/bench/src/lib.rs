@@ -20,6 +20,7 @@ pub mod diff;
 pub mod json;
 pub mod plot;
 pub mod report;
+pub mod scale;
 pub mod suite;
 
 use abcast::{RunResult, StageHist, WindowClient};
@@ -30,7 +31,7 @@ use derecho::{DcWire, DerechoConfig, Mode};
 use kvstore::{ReplicatedMap, YcsbLoad};
 use paxos::{PaxosConfig, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
-use simnet::{GaugeSample, MetricsSnapshot, NetParams, Sim, SimTime, TraceEvent};
+use simnet::{GaugeSample, MetricsSnapshot, NetParams, SchedKind, Sim, SimTime, TraceEvent};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -179,10 +180,16 @@ pub struct Observe {
     /// Scale node 0's CPU charges (node 0 is the leader in every Figure 8
     /// system at a stable epoch).
     pub cpu_scale: Option<f64>,
+    /// Event-queue implementation. Like tracing, this can never change
+    /// results — the schedulers share one `(at, seq)` total order (see
+    /// `simnet::sched`) — so it defaults to the fast calendar queue and is
+    /// pinned to the reference heap only by differential tests.
+    pub scheduler: SchedKind,
 }
 
 impl Observe {
     fn apply<M: 'static>(&self, sim: &mut Sim<M>) {
+        sim.set_scheduler(self.scheduler);
         sim.set_tracing(self.traced);
         if let Some(every) = self.sample_every {
             sim.set_gauge_sampling(every);
@@ -250,6 +257,7 @@ pub fn run_broadcast_traced(
             traced: true,
             sample_every: Some(SAMPLE_EVERY),
             cpu_scale: None,
+            scheduler: SchedKind::default(),
         },
     )
 }
@@ -291,15 +299,14 @@ fn run_broadcast_run(
             (p, m, sim.take_trace(), sim.take_gauge_samples())
         }
         System::DerechoLeader | System::DerechoAll => {
-            let cfg = DerechoConfig {
+            let cfg = DerechoConfig::sized(
                 n,
-                mode: if system == System::DerechoLeader {
+                if system == System::DerechoLeader {
                     Mode::Leader
                 } else {
                     Mode::AllSender
                 },
-                ..DerechoConfig::default()
-            };
+            );
             let (mut sim, ids, client) =
                 derecho::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             obs.apply(&mut sim);

@@ -1,0 +1,173 @@
+//! The 64-node scalability study.
+//!
+//! One pinned-seed sweep over cluster sizes for the five per-class Figure 8
+//! representatives, exported as a schema'd `BENCH_<label>.json` document in
+//! the same shape `bench-diff` compares: fixed comparability keys at the top
+//! level, one labeled record per run. Runs are *untraced* (full event
+//! timelines at 64 nodes are enormous and the stage anatomy is the `suite`'s
+//! job) but keep gauge-series sampling on, so each record still carries the
+//! exact counter snapshot and gauge extremes that `bench-diff` holds to
+//! equality.
+//!
+//! The committed baseline (`baselines/BENCH_scale.json`) is the **quick**
+//! sweep — every size class down-sampled to {3, 16, 64} with smoke-sized
+//! windows — which is what CI's `scale-smoke` job regenerates and compares.
+//! The full {3,5,7,9,16,32,64} sweep is the same document at `--full`.
+
+use crate::suite::gauge_series_json;
+use crate::{run_broadcast_observed, run_record_json, Observe, RunSpec, System};
+use simnet::SchedKind;
+use std::time::Duration;
+
+/// Document schema tag; bump when the document shape changes so `bench-diff`
+/// refuses to compare across shapes.
+pub const SCHEMA: &str = "acuerdo-bench-scale-v1";
+
+/// The five systems swept, one representative per protocol class.
+pub const SCALE_SYSTEMS: [System; 5] = [
+    System::Acuerdo,
+    System::DerechoLeader,
+    System::Libpaxos,
+    System::Zookeeper,
+    System::Etcd,
+];
+
+/// The full sweep's cluster sizes.
+pub const SCALE_SIZES: [usize; 7] = [3, 5, 7, 9, 16, 32, 64];
+
+/// The quick (CI) sweep's cluster sizes: the floor, the knee, and the top of
+/// the full sweep — small enough to regenerate in a CI job, while still
+/// proving the 64-node configuration completes.
+pub const QUICK_SIZES: [usize; 3] = [3, 16, 64];
+
+/// Pinned sweep parameters.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Down-sampled sizes and smoke windows (CI `scale-smoke`) vs the full
+    /// sweep.
+    pub quick: bool,
+    /// Simulation seed shared by every run.
+    pub seed: u64,
+    /// Payload bytes.
+    pub payload: usize,
+    /// Client window (one fixed operating point; the window *sweep* is
+    /// Figure 8's job, cluster size is this document's axis).
+    pub window: usize,
+    /// Cluster sizes swept per system.
+    pub sizes: Vec<usize>,
+    /// Gauge-series sampling cadence (sim time).
+    pub sample_every: Duration,
+    /// Event-queue implementation; can never change the document (the
+    /// schedulers share one total order), so it is not part of the emitted
+    /// JSON. The differential test in `tests/determinism.rs` runs sweeps
+    /// under both and compares bytes.
+    pub scheduler: SchedKind,
+}
+
+impl ScaleConfig {
+    /// The canonical sweep (this is the configuration the committed baseline
+    /// was produced with; change it and the baseline together).
+    pub fn new(quick: bool) -> ScaleConfig {
+        ScaleConfig {
+            quick,
+            seed: 42,
+            payload: 64,
+            window: 8,
+            sizes: if quick {
+                QUICK_SIZES.to_vec()
+            } else {
+                SCALE_SIZES.to_vec()
+            },
+            sample_every: crate::SAMPLE_EVERY,
+            scheduler: SchedKind::default(),
+        }
+    }
+}
+
+/// Run the whole sweep and emit the complete `BENCH_*.json` document
+/// (newline-terminated).
+pub fn run_scale(cfg: &ScaleConfig) -> String {
+    let mut records = Vec::new();
+    for system in SCALE_SYSTEMS {
+        let spec = if cfg.quick {
+            RunSpec::quick(system)
+        } else {
+            RunSpec::for_system(system)
+        };
+        for &n in &cfg.sizes {
+            let label = format!("{}-n{}", system.name(), n);
+            let (point, metrics, _events, samples) = run_broadcast_observed(
+                system,
+                n,
+                cfg.payload,
+                cfg.window,
+                cfg.seed,
+                spec,
+                Observe {
+                    traced: false,
+                    sample_every: Some(cfg.sample_every),
+                    cpu_scale: None,
+                    scheduler: cfg.scheduler,
+                },
+            );
+            let mut rec = run_record_json(
+                &label,
+                system.name(),
+                n,
+                cfg.payload,
+                cfg.seed,
+                spec,
+                &point,
+                &metrics,
+                None,
+            );
+            rec.pop();
+            rec.push_str(&format!(
+                ",\"gauge_series\":{}}}",
+                gauge_series_json(&samples)
+            ));
+            records.push(rec);
+        }
+    }
+    // "nodes" at the top level is the sweep's ceiling: it is one of the
+    // comparability keys `bench-diff` requires, and the per-run node counts
+    // live in each record.
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"mode\":\"{}\",\"seed\":{},\"nodes\":{},\
+         \"payload_bytes\":{},\"sample_every_us\":{},\"window\":{},\
+         \"sizes\":[{}],\"runs\":[{}]}}\n",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.sizes.iter().copied().max().unwrap_or(0),
+        cfg.payload,
+        cfg.sample_every.as_micros(),
+        cfg.window,
+        cfg.sizes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        records.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_config_is_pinned() {
+        let q = ScaleConfig::new(true);
+        assert_eq!(q.seed, 42);
+        assert_eq!(q.window, 8);
+        assert_eq!(q.sizes, vec![3, 16, 64]);
+        let f = ScaleConfig::new(false);
+        assert_eq!(f.sizes, vec![3, 5, 7, 9, 16, 32, 64]);
+    }
+
+    #[test]
+    fn quick_sizes_are_a_subset_ending_at_the_ceiling() {
+        assert!(QUICK_SIZES.iter().all(|s| SCALE_SIZES.contains(s)));
+        assert_eq!(QUICK_SIZES.last(), SCALE_SIZES.last());
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::{run_broadcast_observed, run_record_json, Observe, RunSpec, System};
 use abcast::spans;
-use simnet::{Gauge, GaugeSample};
+use simnet::{Gauge, GaugeSample, SchedKind};
 use std::time::Duration;
 
 /// Document schema tag; bump when the document shape changes so `bench-diff`
@@ -46,6 +46,11 @@ pub struct SuiteConfig {
     /// Injected leader CPU slowdown — the regression walkthrough's knob,
     /// never set for a baseline.
     pub cpu_scale: Option<f64>,
+    /// Event-queue implementation; can never change the document (the
+    /// schedulers share one total order), so it is *not* part of the emitted
+    /// JSON. The differential test in `tests/determinism.rs` runs the matrix
+    /// under both and compares bytes.
+    pub scheduler: SchedKind,
 }
 
 impl SuiteConfig {
@@ -60,6 +65,7 @@ impl SuiteConfig {
             windows: if quick { vec![1, 16] } else { vec![1, 8, 64] },
             sample_every: crate::SAMPLE_EVERY,
             cpu_scale: None,
+            scheduler: SchedKind::default(),
         }
     }
 }
@@ -87,6 +93,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> String {
                     traced: true,
                     sample_every: Some(cfg.sample_every),
                     cpu_scale: cfg.cpu_scale,
+                    scheduler: cfg.scheduler,
                 },
             );
             let hist = spans::stage_hist(&spans::collect(&events));

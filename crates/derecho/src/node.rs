@@ -6,11 +6,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
+use simnet::FastMap;
 use simnet::{
     client_span, msg_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime,
     SpanStage,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Sending mode (§4.1: derecho-leader vs derecho-all).
@@ -63,6 +64,27 @@ impl Default for DerechoConfig {
             qp: QpConfig::default(),
             max_nulls_per_poll: 64,
             max_backlog: 1 << 20,
+        }
+    }
+}
+
+impl DerechoConfig {
+    /// Configuration for an `n`-member group in `mode`, with rings sized so
+    /// the `n * (n-1) * ring_bytes` of mirrored registered memory stays
+    /// bounded at scalability-sweep sizes (same schedule as
+    /// `AcuerdoConfig::ring_bytes_for`); small groups keep the benchmark
+    /// geometry unchanged.
+    pub fn sized(n: usize, mode: Mode) -> Self {
+        let ring_bytes = match n {
+            0..=16 => 1 << 20,
+            17..=32 => 1 << 18,
+            _ => 1 << 16,
+        };
+        DerechoConfig {
+            n,
+            mode,
+            ring_bytes,
+            ..DerechoConfig::default()
         }
     }
 }
@@ -184,7 +206,7 @@ pub struct DerechoNode {
     // View state.
     view_id: u32,
     members: Vec<usize>,
-    cuts: HashMap<usize, u64>,
+    cuts: FastMap<usize, u64>,
     leader_order: Vec<usize>,
     proposed_view: u32,
     evicted: bool,
@@ -192,8 +214,8 @@ pub struct DerechoNode {
     // Sending.
     my_sent: u64,
     sent_frames: BTreeMap<u64, Bytes>,
-    lane_next: HashMap<usize, u64>,
-    origin: HashMap<u64, (NodeId, u64)>,
+    lane_next: FastMap<usize, u64>,
+    origin: FastMap<u64, (NodeId, u64)>,
 
     // Receiving / delivery.
     store: Vec<BTreeMap<u64, Body>>,
@@ -255,14 +277,14 @@ impl DerechoNode {
             row_region,
             view_id: 0,
             members: (0..n).collect(),
-            cuts: HashMap::new(),
+            cuts: FastMap::default(),
             leader_order: vec![0],
             proposed_view: 0,
             evicted: false,
             my_sent: 0,
             sent_frames: BTreeMap::new(),
             lane_next: (0..n).map(|p| (p, 0)).collect(),
-            origin: HashMap::new(),
+            origin: FastMap::default(),
             store: (0..n).map(|_| BTreeMap::new()).collect(),
             delivered_upto: vec![0; n],
             rr_round: 0,

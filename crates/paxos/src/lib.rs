@@ -22,10 +22,11 @@ use abcast::{
 };
 use bytes::Bytes;
 use simnet::params::cpu;
+use simnet::FastMap;
 use simnet::{
     client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SpanStage,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Configuration of one libpaxos-style instance.
@@ -103,9 +104,9 @@ pub struct PaxosNode {
 
     // Proposer state (node 0).
     next_inst: u64,
-    acks: HashMap<u64, usize>,
-    proposals: HashMap<u64, (u32, u64, Bytes)>,
-    origin: HashMap<u64, (NodeId, u64)>,
+    acks: FastMap<u64, usize>,
+    proposals: FastMap<u64, (u32, u64, Bytes)>,
+    origin: FastMap<u64, (NodeId, u64)>,
 
     // Learner state.
     chosen: BTreeMap<u64, (u32, u64, Bytes)>,
@@ -129,9 +130,9 @@ impl PaxosNode {
             cfg,
             me,
             next_inst: 0,
-            acks: HashMap::new(),
-            proposals: HashMap::new(),
-            origin: HashMap::new(),
+            acks: FastMap::default(),
+            proposals: FastMap::default(),
+            origin: FastMap::default(),
             chosen: BTreeMap::new(),
             delivered: 0,
             audit: Auditor::new(),

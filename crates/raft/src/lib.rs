@@ -21,11 +21,11 @@ use abcast::{
 use bytes::Bytes;
 use rand::Rng;
 use simnet::params::cpu;
+use simnet::FastMap;
 use simnet::{
     client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
     SpanStage,
 };
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Configuration of one Raft group.
@@ -164,7 +164,7 @@ pub struct RaftNode {
     next_index: Vec<u64>,
     match_index: Vec<u64>,
     in_flight: Vec<bool>,
-    origin: HashMap<u64, (NodeId, u64)>,
+    origin: FastMap<u64, (NodeId, u64)>,
 
     // Candidate state.
     votes: usize,
@@ -217,7 +217,7 @@ impl RaftNode {
             next_index: vec![1; n],
             match_index: vec![0; n],
             in_flight: vec![false; n],
-            origin: HashMap::new(),
+            origin: FastMap::default(),
             votes: 0,
             election_gen: 0,
             last_heard: SimTime::ZERO,

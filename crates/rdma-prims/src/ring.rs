@@ -28,7 +28,7 @@
 use bytes::Bytes;
 use rdma_sim::{Endpoint, PostError, RdmaPkt, RegionId};
 use simnet::{Counter, Ctx, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Bytes of framing prepended to every payload: 4-byte length + 8-byte seq.
 pub const FRAME_HDR: u64 = 12;
@@ -79,7 +79,9 @@ struct Lane {
 pub struct RingSender {
     cap: u64,
     mode: RingMode,
-    lanes: HashMap<NodeId, Lane>,
+    /// Lanes indexed by receiver id (dense node ids; flat table beats
+    /// hashing on the per-frame hot path).
+    lanes: Vec<Option<Lane>>,
     /// Total frames sent across all lanes (stats).
     pub frames_sent: u64,
 }
@@ -93,21 +95,19 @@ impl RingSender {
             RingMode::Split => region_len as u64 - COUNTER_LEN,
         };
         assert!(cap > FRAME_HDR, "ring too small");
-        let lanes = receivers
-            .iter()
-            .map(|&r| {
-                (
-                    r,
-                    Lane {
-                        region,
-                        head_abs: 0,
-                        next_seq: 0,
-                        acked_abs: 0,
-                        pending: VecDeque::new(),
-                    },
-                )
-            })
-            .collect();
+        let mut lanes: Vec<Option<Lane>> = Vec::new();
+        for &r in receivers {
+            if r >= lanes.len() {
+                lanes.resize_with(r + 1, || None);
+            }
+            lanes[r] = Some(Lane {
+                region,
+                head_abs: 0,
+                next_seq: 0,
+                acked_abs: 0,
+                pending: VecDeque::new(),
+            });
+        }
         RingSender {
             cap,
             mode,
@@ -118,12 +118,22 @@ impl RingSender {
 
     /// The transport sequence number the next frame to `dst` will carry.
     pub fn next_seq(&self, dst: NodeId) -> u64 {
-        self.lanes[&dst].next_seq
+        self.lane(dst).next_seq
+    }
+
+    #[inline]
+    fn lane(&self, dst: NodeId) -> &Lane {
+        self.lanes[dst].as_ref().expect("unknown lane")
+    }
+
+    #[inline]
+    fn lane_mut(&mut self, dst: NodeId) -> &mut Lane {
+        self.lanes[dst].as_mut().expect("unknown lane")
     }
 
     /// Reusable bytes remaining in `dst`'s ring.
     pub fn free_space(&self, dst: NodeId) -> u64 {
-        let l = &self.lanes[&dst];
+        let l = self.lane(dst);
         self.cap - (l.head_abs - l.acked_abs)
     }
 
@@ -131,7 +141,7 @@ impl RingSender {
     /// Monotone and idempotent (acknowledging an already-acked seq is a
     /// no-op), which is what SST-carried cumulative acks need.
     pub fn ack(&mut self, dst: NodeId, seq: u64) {
-        let l = self.lanes.get_mut(&dst).expect("unknown lane");
+        let l = self.lane_mut(dst);
         while let Some(&(s, end)) = l.pending.front() {
             if s <= seq {
                 l.acked_abs = end;
@@ -147,7 +157,7 @@ impl RingSender {
     /// `dst` reboots and its (zeroed) ring region is re-mirrored from
     /// scratch.
     pub fn reset_lane(&mut self, dst: NodeId) {
-        let l = self.lanes.get_mut(&dst).expect("unknown lane");
+        let l = self.lane_mut(dst);
         l.head_abs = 0;
         l.next_seq = 0;
         l.acked_abs = 0;
@@ -162,7 +172,7 @@ impl RingSender {
     /// region and can never corrupt the new one.
     pub fn retarget_lane(&mut self, dst: NodeId, region: RegionId) {
         self.reset_lane(dst);
-        self.lanes.get_mut(&dst).expect("unknown lane").region = region;
+        self.lane_mut(dst).region = region;
     }
 
     /// Send `payload` to `dst`; returns the frame's transport sequence
@@ -185,7 +195,7 @@ impl RingSender {
         if frame_len * 2 > cap || payload.len() as u64 >= u64::from(WRAP) - 1 {
             return Err(RingError::TooLarge);
         }
-        let l = self.lanes.get_mut(&dst).expect("unknown lane");
+        let l = self.lanes[dst].as_mut().expect("unknown lane");
         let region = l.region;
 
         let pos = l.head_abs % cap;
@@ -254,6 +264,12 @@ pub struct RingReceiver {
     next_seq: u64,
     /// Largest batch drained by a single poll (receiver-side batching stat).
     pub max_batch: usize,
+    /// Polls abandoned because the bytes at the consume position failed
+    /// validation (length overruns the ring, or the frame carries the wrong
+    /// transport sequence). Nonzero only around crash-recovery, when a
+    /// rebooted peer restarts its stream at offset zero of a region this
+    /// receiver is still mid-way through; a clean run keeps this at zero.
+    pub desyncs: u64,
 }
 
 impl RingReceiver {
@@ -270,6 +286,7 @@ impl RingReceiver {
             consumed_abs: 0,
             next_seq: 0,
             max_batch: 0,
+            desyncs: 0,
         }
     }
 
@@ -322,14 +339,23 @@ impl RingReceiver {
             }
             let payload_len = u64::from(len_field - 1);
             let frame_len = FRAME_HDR + payload_len;
-            debug_assert!(
-                pos + frame_len <= self.cap,
-                "frame overruns ring: sender/receiver desync"
-            );
+            if pos + frame_len > self.cap {
+                // Not a length this stream can have written: after a peer
+                // crash-reboots, its fresh stream restarts at offset zero of
+                // the same region while this consume position still points
+                // into the abandoned stream, so reads here land mid-frame and
+                // decode payload bytes as a header. Stop consuming — the
+                // owner's stall detection tears the ring down and rebuilds it.
+                self.desyncs += 1;
+                break;
+            }
             let seq_raw = ep.read(self.region, pos as u32 + 4, 8);
             let seq = u64::from_le_bytes(seq_raw.try_into().expect("seq"));
-            debug_assert_eq!(seq, self.next_seq, "ring seq mismatch");
             if seq != self.next_seq {
+                // Same desync as the overrun case, just with a plausible
+                // length: a stale or torn frame from a dead incarnation.
+                // Leave it unconsumed; recovery belongs to the resync path.
+                self.desyncs += 1;
                 break;
             }
             let payload = Bytes::copy_from_slice(ep.read(
@@ -348,8 +374,7 @@ impl RingReceiver {
 
     fn zero(&self, ep: &mut Endpoint, pos: u64, len: u64) {
         // Local memset of consumed bytes; bounded by ring capacity.
-        let zeros = vec![0u8; len as usize];
-        ep.write_local(self.region, pos as u32, &zeros);
+        ep.zero_local(self.region, pos as u32, len as usize);
     }
 }
 
@@ -795,5 +820,29 @@ mod tests {
         // Per-lane sequencing: both lanes started at seq 0.
         assert_eq!(g1[0].0, 0);
         assert_eq!(g2[0].0, 0);
+    }
+
+    #[test]
+    fn poll_survives_garbage_at_the_consume_position() {
+        // A rebooted peer restarts its stream at offset zero of a region the
+        // receiver is still mid-way through, so the bytes at the consume
+        // position can be payload, not a header. Poll must refuse to decode
+        // them — no panic, no garbage delivery — and count the desync so the
+        // owner's stall detection can rebuild the ring.
+        let mut ep = Endpoint::new(QpConfig::default());
+        let region = ep.register_region(256);
+        let mut rx = RingReceiver::new(region, 256, RingMode::Coupled);
+
+        // Payload bytes read as a length word: frame would overrun the ring.
+        ep.write_local(region, 0, &0xdead_beef_u32.to_le_bytes());
+        assert!(rx.poll(&mut ep).is_empty());
+        assert_eq!(rx.desyncs, 1);
+
+        // Plausible length but the wrong transport sequence: a stale frame
+        // from a dead incarnation.
+        ep.write_local(region, 0, &5u32.to_le_bytes());
+        ep.write_local(region, 4, &7u64.to_le_bytes());
+        assert!(rx.poll(&mut ep).is_empty());
+        assert_eq!(rx.desyncs, 2);
     }
 }

@@ -28,7 +28,6 @@
 use bytes::Bytes;
 use simnet::params::cpu;
 use simnet::{Counter, Ctx, DeliveryClass, NodeId};
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Identifier of a registered memory region. Region ids are assigned in
@@ -117,7 +116,9 @@ impl Default for QpConfig {
 /// One node's RDMA endpoint: registered memory plus queue pairs to peers.
 pub struct Endpoint {
     regions: Vec<Vec<u8>>,
-    qps: HashMap<NodeId, Qp>,
+    /// Queue pairs indexed by peer id (node ids are dense, so a flat table
+    /// beats hashing on the per-post hot path).
+    qps: Vec<Option<Qp>>,
     config: QpConfig,
     /// Completed one-sided reads, drained with
     /// [`Endpoint::take_read_completions`].
@@ -133,7 +134,7 @@ impl Endpoint {
     pub fn new(config: QpConfig) -> Self {
         Endpoint {
             regions: Vec::new(),
-            qps: HashMap::new(),
+            qps: Vec::new(),
             config,
             reads_done: Vec::new(),
             writes_applied: 0,
@@ -152,7 +153,10 @@ impl Endpoint {
     /// Establish a reliable connection toward `peer` (exchange of rkeys in
     /// the real protocol; a bookkeeping entry here).
     pub fn connect(&mut self, peer: NodeId) {
-        self.qps.entry(peer).or_insert(Qp {
+        if peer >= self.qps.len() {
+            self.qps.resize_with(peer + 1, || None);
+        }
+        self.qps[peer].get_or_insert(Qp {
             next_wr: 0,
             completed: 0,
             unsignaled: 0,
@@ -164,7 +168,7 @@ impl Endpoint {
     /// restarts at zero. Called when `peer` reboots (its old incarnation can
     /// never ack the in-flight requests).
     pub fn reset_connection(&mut self, peer: NodeId) {
-        if let Some(qp) = self.qps.get_mut(&peer) {
+        if let Some(qp) = self.qps.get_mut(peer).and_then(Option::as_mut) {
             qp.next_wr = 0;
             qp.completed = 0;
             qp.unsignaled = 0;
@@ -173,7 +177,7 @@ impl Endpoint {
 
     /// Whether `k` more posts toward `peer` would fit in the send queue.
     pub fn can_post(&self, peer: NodeId, k: u32) -> bool {
-        match self.qps.get(&peer) {
+        match self.qps.get(peer).and_then(Option::as_ref) {
             Some(q) => q.next_wr - q.completed + u64::from(k) <= u64::from(self.config.sq_depth),
             None => false,
         }
@@ -182,7 +186,8 @@ impl Endpoint {
     /// Outstanding (not yet completed) work requests toward `peer`.
     pub fn outstanding(&self, peer: NodeId) -> u64 {
         self.qps
-            .get(&peer)
+            .get(peer)
+            .and_then(Option::as_ref)
             .map(|q| q.next_wr - q.completed)
             .unwrap_or(0)
     }
@@ -201,6 +206,13 @@ impl Endpoint {
     pub fn write_local(&mut self, region: RegionId, offset: u32, data: &[u8]) {
         let r = &mut self.regions[region.0 as usize];
         r[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Zero `len` bytes of local region memory (ring consumption) without
+    /// materializing a zero buffer.
+    pub fn zero_local(&mut self, region: RegionId, offset: u32, len: usize) {
+        let r = &mut self.regions[region.0 as usize];
+        r[offset as usize..offset as usize + len].fill(0);
     }
 
     /// Length of a region, in bytes.
@@ -223,7 +235,11 @@ impl Endpoint {
         data: Bytes,
     ) -> Result<(), PostError> {
         let cfg = self.config;
-        let qp = self.qps.get_mut(&dst).ok_or(PostError::NoConnection)?;
+        let qp = self
+            .qps
+            .get_mut(dst)
+            .and_then(Option::as_mut)
+            .ok_or(PostError::NoConnection)?;
         if qp.next_wr - qp.completed >= u64::from(cfg.sq_depth) {
             return Err(PostError::QueueFull);
         }
@@ -269,7 +285,11 @@ impl Endpoint {
         token: u64,
     ) -> Result<(), PostError> {
         let cfg = self.config;
-        let qp = self.qps.get_mut(&dst).ok_or(PostError::NoConnection)?;
+        let qp = self
+            .qps
+            .get_mut(dst)
+            .and_then(Option::as_mut)
+            .ok_or(PostError::NoConnection)?;
         if qp.next_wr - qp.completed >= u64::from(cfg.sq_depth) {
             return Err(PostError::QueueFull);
         }
@@ -367,7 +387,7 @@ impl Endpoint {
                 self.reads_done.push((token, data));
             }
             RdmaPkt::Ack { upto } => {
-                if let Some(qp) = self.qps.get_mut(&from) {
+                if let Some(qp) = self.qps.get_mut(from).and_then(Option::as_mut) {
                     let before = qp.completed;
                     // The min-clamp discards acks from a peer's previous
                     // incarnation after a connection reset: a completion can

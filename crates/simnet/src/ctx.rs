@@ -57,13 +57,18 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// `effects` is the (empty) recycled buffer effects accumulate into; the
+    /// engine hands each dispatch the previous dispatch's drained buffer so
+    /// the hot path allocates nothing per event.
     pub(crate) fn new(
         now: SimTime,
         self_id: NodeId,
         cpu_scale: f64,
         rng: &'a mut SmallRng,
         probe: &'a mut Probe,
+        effects: Vec<Effect<M>>,
     ) -> Self {
+        debug_assert!(effects.is_empty());
         Ctx {
             now,
             self_id,
@@ -71,7 +76,7 @@ impl<'a, M> Ctx<'a, M> {
             cpu_scale,
             rng,
             probe,
-            effects: Vec::new(),
+            effects,
             halt: false,
         }
     }
@@ -214,7 +219,14 @@ mod tests {
     fn cpu_accrues_and_scales() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
-        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::from_micros(10), 3, 2.0, &mut rng, &mut probe);
+        let mut ctx: Ctx<'_, ()> = Ctx::new(
+            SimTime::from_micros(10),
+            3,
+            2.0,
+            &mut rng,
+            &mut probe,
+            Vec::new(),
+        );
         assert_eq!(ctx.id(), 3);
         assert_eq!(ctx.now(), SimTime::from_micros(10));
         ctx.use_cpu(Duration::from_nanos(100));
@@ -226,7 +238,8 @@ mod tests {
     fn effects_capture_cpu_offset() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
-        let mut ctx: Ctx<'_, u32> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe);
+        let mut ctx: Ctx<'_, u32> =
+            Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe, Vec::new());
         ctx.send(1, DeliveryClass::Dma, 64, 42);
         ctx.use_cpu(Duration::from_nanos(500));
         ctx.send(1, DeliveryClass::Dma, 64, 43);
@@ -250,7 +263,8 @@ mod tests {
     fn halt_flag() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
-        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe);
+        let mut ctx: Ctx<'_, ()> =
+            Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe, Vec::new());
         assert!(!ctx.halt);
         ctx.halt();
         assert!(ctx.halt);

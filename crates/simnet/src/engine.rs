@@ -1,16 +1,15 @@
 //! The discrete-event engine: event queue, dispatch, CPU deferral, faults.
 
 use crate::ctx::{Ctx, DeliveryClass, Effect};
-use crate::net::Network;
+use crate::net::{BatchPost, Network, RouteInfo};
 use crate::params::NetParams;
+use crate::sched::{EventKey, SchedKind, Scheduler};
 use crate::time::SimTime;
 use crate::trace::{Counter, Gauge, GaugeSample, MetricsSnapshot, Probe, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 /// A protocol node: a sans-IO state machine driven entirely by the engine.
@@ -105,28 +104,60 @@ enum EventKind<M> {
     },
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// Event payload store: the scheduler moves only 24-byte [`EventKey`]s; the
+/// (much larger, `M`-carrying) payloads live here in recycled slots, so the
+/// queue allocates nothing per hop once warm.
+struct Slab<M> {
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<M> Slab<M> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, kind: EventKind<M>) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(kind);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Some(kind));
+                i
+            }
+        }
+    }
+
+    fn take(&mut self, i: u32) -> EventKind<M> {
+        let kind = self.slots[i as usize].take().expect("slab slot empty");
+        self.free.push(i);
+        kind
+    }
+
+    fn peek(&self, i: u32) -> &EventKind<M> {
+        self.slots[i as usize].as_ref().expect("slab slot empty")
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest (at, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// Per-effect result of dispatch phase 1 (routing and RNG draws), consumed by
+/// phase 2 (counters, trace records, queue pushes) in the same effect order.
+#[derive(Copy, Clone)]
+enum Prep {
+    /// Send dropped (crashed source or severed connection) — nothing queued.
+    Skip,
+    /// Send awaiting its batched route result.
+    Pending,
+    /// Send routed: the hop timeline plus the post instant.
+    Routed { info: RouteInfo, post: SimTime },
+    /// Timer with its (possibly zero) jitter already drawn.
+    Timer(Duration),
 }
 
 /// Builds a fresh process when a node reboots (see
@@ -152,7 +183,8 @@ struct NodeSlot<M> {
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event<M>>,
+    sched: Scheduler,
+    slab: Slab<M>,
     nodes: Vec<NodeSlot<M>>,
     net: Network,
     rng: SmallRng,
@@ -163,16 +195,30 @@ pub struct Sim<M> {
     sample_every: Option<Duration>,
     /// Next sample instant when sampling is enabled.
     next_sample: SimTime,
+    /// Dispatch scratch (reused across dispatches — no per-hop allocation).
+    prep: Vec<Prep>,
+    batch: Vec<BatchPost>,
+    infos: Vec<RouteInfo>,
+    /// Recycled effects buffer handed to each [`Ctx`].
+    effect_pool: Vec<Effect<M>>,
 }
 
 impl<M: 'static> Sim<M> {
     /// Create a simulator with the given deterministic seed and network
-    /// parameters.
+    /// parameters, using the default (calendar-queue) scheduler.
     pub fn new(seed: u64, params: NetParams) -> Self {
+        Sim::with_scheduler(seed, params, SchedKind::default())
+    }
+
+    /// Create a simulator with an explicit scheduler implementation. The
+    /// choice can never change results — see [`crate::sched`] — only speed;
+    /// it exists so differential tests can pin the reference heap.
+    pub fn with_scheduler(seed: u64, params: NetParams, sched: SchedKind) -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            sched: Scheduler::new(sched),
+            slab: Slab::new(),
             nodes: Vec::new(),
             net: Network::new(params.default_link, params.loopback, params.nic),
             rng: SmallRng::seed_from_u64(seed),
@@ -181,7 +227,30 @@ impl<M: 'static> Sim<M> {
             probe: Probe::new(),
             sample_every: None,
             next_sample: SimTime::ZERO,
+            prep: Vec::new(),
+            batch: Vec::new(),
+            infos: Vec::new(),
+            effect_pool: Vec::new(),
         }
+    }
+
+    /// Which scheduler implementation this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedKind {
+        self.sched.kind()
+    }
+
+    /// Switch scheduler implementations mid-run: queued events are drained in
+    /// order and re-filed with their keys unchanged, so the event sequence —
+    /// and therefore every observable result — is untouched.
+    pub fn set_scheduler(&mut self, kind: SchedKind) {
+        if self.sched.kind() == kind {
+            return;
+        }
+        let mut fresh = Scheduler::new(kind);
+        while let Some(k) = self.sched.pop() {
+            fresh.push(k);
+        }
+        self.sched = fresh;
     }
 
     /// Spawn a node; `on_start` runs when the clock next advances, in spawn
@@ -481,8 +550,8 @@ impl<M: 'static> Sim<M> {
     /// The clock ends at exactly `deadline` unless halted earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
         while !self.halted {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline => {
+            match self.sched.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -506,101 +575,137 @@ impl<M: 'static> Sim<M> {
         if self.halted {
             return false;
         }
-        let Some(ev) = self.queue.pop() else {
+        let Some(key) = self.sched.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.advance_samples(ev.at);
-        self.now = ev.at;
+        debug_assert!(key.at >= self.now, "time went backwards");
+        self.advance_samples(key.at);
+        self.now = key.at;
         self.stats.events += 1;
-        if let EventKind::Deliver { node, .. } = &ev.kind {
-            // The queued delivery is consumed whatever happens next (handled,
-            // deferred-and-requeued, or dropped as crashed/stale).
-            self.probe.gauge_add(*node, Gauge::InflightMsgs, -1);
+
+        // Gate timers and deliveries *before* taking the payload out of the
+        // slab: a drop frees the slot in place, and a busy-node deferral just
+        // re-keys the same slot — no payload moves in either direction. Only
+        // events that will actually run pay the take.
+        enum Gate {
+            Timer {
+                node: NodeId,
+                inc: u64,
+            },
+            Deliver {
+                node: NodeId,
+                from: NodeId,
+                class: DeliveryClass,
+                src_inc: u64,
+                dst_inc: u64,
+            },
+            Other,
         }
-        match ev.kind {
-            EventKind::Start { node, inc } => {
-                let slot = &self.nodes[node];
-                if !slot.crashed && slot.inc == inc {
-                    self.dispatch(node, |p, ctx| p.on_start(ctx));
-                }
-            }
-            EventKind::Timer { node, token, inc } => {
+        let gate = match self.slab.peek(key.slot) {
+            EventKind::Timer { node, inc, .. } => Gate::Timer {
+                node: *node,
+                inc: *inc,
+            },
+            EventKind::Deliver {
+                node,
+                from,
+                class,
+                src_inc,
+                dst_inc,
+                ..
+            } => Gate::Deliver {
+                node: *node,
+                from: *from,
+                class: *class,
+                src_inc: *src_inc,
+                dst_inc: *dst_inc,
+            },
+            _ => Gate::Other,
+        };
+        match gate {
+            Gate::Timer { node, inc } => {
                 let slot = &self.nodes[node];
                 if slot.crashed {
+                    drop(self.slab.take(key.slot));
                     return true;
                 }
                 if slot.inc != inc {
+                    drop(self.slab.take(key.slot));
                     self.stats.restart_drops += 1;
                     return true;
                 }
                 let free = slot.busy_until.max(slot.paused_until);
                 if free > self.now {
-                    self.push(free, EventKind::Timer { node, token, inc });
-                } else {
-                    self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
+                    self.requeue(free, key.slot);
+                    return true;
                 }
             }
-            EventKind::Deliver {
+            Gate::Deliver {
                 node,
                 from,
                 class,
-                msg,
                 src_inc,
                 dst_inc,
             } => {
+                // The queued delivery is consumed whatever happens next
+                // (handled, deferred-and-requeued, or dropped).
+                self.probe.gauge_add(node, Gauge::InflightMsgs, -1);
                 let slot = &self.nodes[node];
                 if slot.crashed {
+                    drop(self.slab.take(key.slot));
                     return true;
                 }
                 // Either endpoint restarting tears down the RC connection:
                 // in-flight messages of the old incarnation are lost.
                 let src_stale = self.nodes.get(from).is_some_and(|s| s.inc != src_inc);
                 if slot.inc != dst_inc || src_stale {
+                    drop(self.slab.take(key.slot));
                     self.stats.restart_drops += 1;
                     return true;
                 }
-                match class {
-                    DeliveryClass::Dma => {
-                        // The NIC deposits the message regardless of process
-                        // state; the handler must only record it.
-                        self.stats.dma_msgs += 1;
-                        self.probe.count(node, Counter::MsgsDelivered, 1);
-                        self.probe.record(TraceEvent::Deliver {
-                            at: self.now,
-                            node,
-                            from,
-                            class,
-                        });
-                        self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
-                    }
-                    DeliveryClass::Cpu => {
-                        let free = slot.busy_until.max(slot.paused_until);
-                        if free > self.now {
-                            self.push(
-                                free,
-                                EventKind::Deliver {
-                                    node,
-                                    from,
-                                    class,
-                                    msg,
-                                    src_inc,
-                                    dst_inc,
-                                },
-                            );
-                        } else {
-                            self.stats.cpu_msgs += 1;
-                            self.probe.count(node, Counter::MsgsDelivered, 1);
-                            self.probe.record(TraceEvent::Deliver {
-                                at: self.now,
-                                node,
-                                from,
-                                class,
-                            });
-                            self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
-                        }
+                if matches!(class, DeliveryClass::Cpu) {
+                    let free = slot.busy_until.max(slot.paused_until);
+                    if free > self.now {
+                        // Same gauge sequence as a pop-then-repush so the
+                        // observable trace is unchanged by the in-place path.
+                        self.probe.gauge_add(node, Gauge::InflightMsgs, 1);
+                        self.requeue(free, key.slot);
+                        return true;
                     }
                 }
+            }
+            Gate::Other => {}
+        }
+
+        match self.slab.take(key.slot) {
+            EventKind::Start { node, inc } => {
+                let slot = &self.nodes[node];
+                if !slot.crashed && slot.inc == inc {
+                    self.dispatch(node, |p, ctx| p.on_start(ctx));
+                }
+            }
+            EventKind::Timer { node, token, .. } => {
+                self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
+            }
+            EventKind::Deliver {
+                node,
+                from,
+                class,
+                msg,
+                ..
+            } => {
+                match class {
+                    DeliveryClass::Dma => self.stats.dma_msgs += 1,
+                    DeliveryClass::Cpu => self.stats.cpu_msgs += 1,
+                }
+                self.probe.count(node, Counter::MsgsDelivered, 1);
+                self.probe.record(TraceEvent::Deliver {
+                    at: self.now,
+                    node,
+                    from,
+                    class,
+                });
+                self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
             }
             EventKind::PauseAt { node, dur } => {
                 let slot = &mut self.nodes[node];
@@ -699,13 +804,41 @@ impl<M: 'static> Sim<M> {
         }
     }
 
+    /// Re-key an undisturbed slab slot at a later instant (busy-node
+    /// deferral). Equivalent to take-then-push but moves no payload.
+    fn requeue(&mut self, at: SimTime, slot: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.sched.push(EventKey { at, seq, slot });
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         if let EventKind::Deliver { node, .. } = &kind {
             self.probe.gauge_add(*node, Gauge::InflightMsgs, 1);
         }
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        let slot = self.slab.insert(kind);
+        self.sched.push(EventKey { at, seq, slot });
+    }
+
+    /// Route the accumulated run of same-source sends in one batched network
+    /// call and file the results into the pending `prep` slots, in order.
+    fn flush_batch(&mut self, src: NodeId) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.infos.clear();
+        self.net
+            .route_batch(&mut self.rng, src, &self.batch, &mut self.infos);
+        for (p, info) in self.batch.iter().zip(self.infos.iter()) {
+            debug_assert!(matches!(self.prep[p.idx as usize], Prep::Pending));
+            self.prep[p.idx as usize] = Prep::Routed {
+                info: *info,
+                post: p.post,
+            };
+        }
+        self.batch.clear();
     }
 
     fn dispatch<F>(&mut self, node: NodeId, f: F)
@@ -714,11 +847,19 @@ impl<M: 'static> Sim<M> {
     {
         let mut proc = self.nodes[node].proc.take().expect("re-entrant dispatch");
         let cpu_scale = self.nodes[node].cpu_scale;
-        let mut ctx = Ctx::new(self.now, node, cpu_scale, &mut self.rng, &mut self.probe);
+        let buf = std::mem::take(&mut self.effect_pool);
+        let mut ctx = Ctx::new(
+            self.now,
+            node,
+            cpu_scale,
+            &mut self.rng,
+            &mut self.probe,
+            buf,
+        );
         f(proc.as_mut(), &mut ctx);
         let cpu = ctx.cpu_used();
         let halt = ctx.halt;
-        let effects = std::mem::take(&mut ctx.effects);
+        let mut effects = std::mem::take(&mut ctx.effects);
         drop(ctx);
         self.nodes[node].proc = Some(proc);
         if cpu > Duration::ZERO {
@@ -732,27 +873,70 @@ impl<M: 'static> Sim<M> {
             });
         }
         let timer_jitter = self.nodes[node].timer_jitter;
-        for eff in effects {
+        let crashed = self.nodes[node].crashed;
+
+        // Phase 1 — routing and randomness, in effect order. Consecutive
+        // sends (which all share this node's egress NIC) are routed as one
+        // batch; the batch is flushed at every timer so the RNG draw order
+        // stays exactly the effect order.
+        self.prep.clear();
+        for (i, eff) in effects.iter().enumerate() {
             match eff {
                 Effect::Send {
                     dst,
-                    class,
                     wire_bytes,
                     at_cpu,
-                    msg,
+                    ..
                 } => {
-                    if self.nodes[node].crashed {
+                    if crashed {
+                        self.prep.push(Prep::Skip);
                         continue;
                     }
-                    let post = self.now + at_cpu;
-                    if self.net.is_cut(node, dst, post) {
+                    let post = self.now + *at_cpu;
+                    if self.net.is_cut(node, *dst, post) {
                         // The RC connection is severed: the post is lost at
                         // the source, nothing reaches the wire.
                         self.stats.partition_drops += 1;
                         self.probe.count(node, Counter::PartitionDrops, 1);
-                        continue;
+                        self.prep.push(Prep::Skip);
+                    } else {
+                        self.prep.push(Prep::Pending);
+                        self.batch.push(BatchPost {
+                            idx: i as u32,
+                            dst: *dst,
+                            post,
+                            wire_bytes: *wire_bytes,
+                        });
                     }
-                    let info = self.net.route(&mut self.rng, node, dst, post, wire_bytes);
+                }
+                Effect::Timer { .. } => {
+                    self.flush_batch(node);
+                    let jitter = if timer_jitter.is_zero() {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_nanos(
+                            self.rng.random_range(0..=timer_jitter.as_nanos() as u64),
+                        )
+                    };
+                    self.prep.push(Prep::Timer(jitter));
+                }
+            }
+        }
+        self.flush_batch(node);
+
+        // Phase 2 — counters, trace records, and queue pushes, in effect
+        // order (identical ordering to a per-effect loop, so event sequence
+        // numbers and trace bytes are unchanged by the batching).
+        let inc = self.nodes[node].inc;
+        for (i, eff) in effects.drain(..).enumerate() {
+            match (eff, self.prep[i]) {
+                (Effect::Send { .. }, Prep::Skip) => {}
+                (
+                    Effect::Send {
+                        dst, class, msg, ..
+                    },
+                    Prep::Routed { info, post },
+                ) => {
                     self.probe.count(node, Counter::MsgsSent, 1);
                     self.probe
                         .count(node, Counter::WireBytes, u64::from(info.wire_bytes));
@@ -782,7 +966,6 @@ impl<M: 'static> Sim<M> {
                             });
                         }
                     }
-                    let src_inc = self.nodes[node].inc;
                     let dst_inc = self.nodes.get(dst).map_or(0, |s| s.inc);
                     self.push(
                         info.delivered,
@@ -791,31 +974,29 @@ impl<M: 'static> Sim<M> {
                             from: node,
                             class,
                             msg,
-                            src_inc,
+                            src_inc: inc,
                             dst_inc,
                         },
                     );
                 }
-                Effect::Timer {
-                    delay,
-                    at_cpu,
-                    token,
-                } => {
-                    let jitter = if timer_jitter.is_zero() {
-                        Duration::ZERO
-                    } else {
-                        Duration::from_nanos(
-                            self.rng.random_range(0..=timer_jitter.as_nanos() as u64),
-                        )
-                    };
-                    let inc = self.nodes[node].inc;
+                (
+                    Effect::Timer {
+                        delay,
+                        at_cpu,
+                        token,
+                    },
+                    Prep::Timer(jitter),
+                ) => {
                     self.push(
                         self.now + at_cpu + delay + jitter,
                         EventKind::Timer { node, token, inc },
                     );
                 }
+                _ => unreachable!("dispatch prep out of sync with effects"),
             }
         }
+        // Hand the drained buffer back for the next dispatch.
+        self.effect_pool = effects;
         if halt {
             self.halted = true;
         }

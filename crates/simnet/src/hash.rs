@@ -1,0 +1,124 @@
+//! A fast, deterministic hasher for hot-path maps.
+//!
+//! The simulator's inner loops key maps by small dense integers (node ids,
+//! span ids, log sequence numbers). `std`'s default SipHash is both slower
+//! than needed for such keys and randomly seeded per process — the latter is
+//! exactly what a deterministic simulator must avoid if a map is ever
+//! iterated. [`FxHasher`] is the rustc-style multiply-xor hash: a few cycles
+//! per word, fixed seed, good dispersion for integer keys. It is **not**
+//! DoS-resistant, which is fine for a simulator that only hashes its own
+//! values.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher (the rustc `FxHash` scheme).
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` with the fixed-seed [`FxHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the fixed-seed [`FxHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        for len in 0..17usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut a = FxHasher::default();
+            a.write(&bytes);
+            let mut b = FxHasher::default();
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish());
+        }
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        m.insert(7, 1);
+        m.insert(7, 2);
+        assert_eq!(m[&7], 2);
+        let mut s: FastSet<(u64, usize)> = FastSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+}

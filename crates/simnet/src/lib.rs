@@ -34,16 +34,20 @@
 
 mod ctx;
 mod engine;
+pub mod hash;
 mod net;
 pub mod params;
+pub mod sched;
 pub mod threaded;
 mod time;
 pub mod trace;
 
 pub use ctx::{Ctx, DeliveryClass};
 pub use engine::{DeschedProfile, EngineStats, Process, Sim};
+pub use hash::{FastMap, FastSet};
 pub use net::{LinkParams, NicParams};
 pub use params::NetParams;
+pub use sched::SchedKind;
 pub use threaded::ThreadedRunner;
 pub use time::SimTime;
 pub use trace::{

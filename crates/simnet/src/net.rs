@@ -89,6 +89,19 @@ impl Default for LinkOverride {
     }
 }
 
+/// One send of a batched egress dequeue (see [`Network::route_batch`]): the
+/// engine accumulates a dispatch's consecutive sends — which all share the
+/// source NIC — and routes them in one call. `idx` is the engine's effect
+/// index, carried through so results can be re-associated; the network model
+/// ignores it.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct BatchPost {
+    pub idx: u32,
+    pub dst: NodeId,
+    pub post: SimTime,
+    pub wire_bytes: u32,
+}
+
 /// Mutable network state: NIC queues, link overrides, FIFO clamps, cuts.
 pub(crate) struct Network {
     default_link: LinkParams,
@@ -96,7 +109,9 @@ pub(crate) struct Network {
     nic: NicParams,
     nics: Vec<NicState>,
     overrides: HashMap<(NodeId, NodeId), LinkOverride>,
-    fifo_clamp: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-(src, dst) FIFO delivery frontier, stored dense: index
+    /// `src * nodes + dst`. Rebuilt (cheaply, at setup time) on `add_node`.
+    fifo_clamp: Vec<SimTime>,
     /// Active partition: group index per node. Two nodes can talk iff they
     /// are in the same group; nodes with no assigned group (e.g. a client
     /// outside the partitioned fabric) can reach everyone.
@@ -118,7 +133,7 @@ impl Network {
             nic,
             nics: Vec::new(),
             overrides: HashMap::new(),
-            fifo_clamp: HashMap::new(),
+            fifo_clamp: Vec::new(),
             partition: HashMap::new(),
             flaps: HashMap::new(),
             wire_bytes: 0,
@@ -127,7 +142,16 @@ impl Network {
     }
 
     pub fn add_node(&mut self) {
+        let old_n = self.nics.len();
         self.nics.push(NicState::default());
+        let n = old_n + 1;
+        let mut clamp = vec![SimTime::ZERO; n * n];
+        for s in 0..old_n {
+            for d in 0..old_n {
+                clamp[s * n + d] = self.fifo_clamp[s * old_n + d];
+            }
+        }
+        self.fifo_clamp = clamp;
     }
 
     /// Nanoseconds of serialization backlog at `node`'s egress NIC at
@@ -178,6 +202,11 @@ impl Network {
         if src == dst {
             return false;
         }
+        // Fault-free hot path: no partition, no flap windows — nothing to
+        // look up.
+        if self.partition.is_empty() && self.flaps.is_empty() {
+            return false;
+        }
         if let (Some(&gs), Some(&gd)) = (self.partition.get(&src), self.partition.get(&dst)) {
             if gs != gd {
                 return true;
@@ -192,7 +221,13 @@ impl Network {
     /// state and re-established connections.
     pub fn reset_node(&mut self, node: NodeId) {
         self.nics[node] = NicState::default();
-        self.fifo_clamp.retain(|&(s, d), _| s != node && d != node);
+        let n = self.nics.len();
+        for d in 0..n {
+            self.fifo_clamp[node * n + d] = SimTime::ZERO;
+        }
+        for s in 0..n {
+            self.fifo_clamp[s * n + node] = SimTime::ZERO;
+        }
     }
 
     fn link_for(&self, src: NodeId, dst: NodeId, at: SimTime) -> (LinkParams, Duration) {
@@ -201,6 +236,10 @@ impl Network {
         } else {
             self.default_link
         };
+        // Fast path for the (overwhelmingly common) unmodified fabric.
+        if self.overrides.is_empty() {
+            return (base, Duration::ZERO);
+        }
         match self.overrides.get(&(src, dst)) {
             Some(o) => {
                 let p = o.params.unwrap_or(base);
@@ -215,10 +254,74 @@ impl Network {
         }
     }
 
-    /// Compute the delivery instant of a packet posted at `post` from `src`
-    /// to `dst`, updating NIC queues and the per-link FIFO clamp. Returns the
-    /// full hop timeline so the engine can emit NIC serialization spans
-    /// without recomputing the model.
+    /// Route a run of packets that share a source, appending one
+    /// [`RouteInfo`] per post (in order) to `out`. This is the batched NIC
+    /// egress dequeue: the sender's egress serialization frontier — touched
+    /// by every packet of the run — is kept in a local across the whole
+    /// batch and written back once. Every computed instant, RNG draw, and
+    /// byte charge is identical to routing the packets one at a time.
+    pub fn route_batch(
+        &mut self,
+        rng: &mut SmallRng,
+        src: NodeId,
+        posts: &[BatchPost],
+        out: &mut Vec<RouteInfo>,
+    ) {
+        let mut egress_free = self.nics[src].egress_free;
+        for p in posts {
+            let (dst, wire_bytes) = (p.dst, p.wire_bytes);
+            let ser = self.nic.serialize_time(wire_bytes);
+            let clamped_bytes = wire_bytes.max(self.nic.min_wire_bytes);
+            self.wire_bytes += u64::from(clamped_bytes);
+            self.packets += 1;
+
+            // Sender NIC egress serialization (shared across that node's
+            // links).
+            let depart_start = p.post.max(egress_free);
+            let depart = depart_start + ser;
+            egress_free = depart;
+
+            // Propagation.
+            let (link, extra) = self.link_for(src, dst, depart);
+            let jitter = if link.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.random_range(0..=link.jitter.as_nanos() as u64))
+            };
+            let arrive = depart + link.latency + jitter + extra;
+
+            // Receiver NIC ingress serialization (shared across inbound
+            // links); skipped for loopback, which never touches the receive
+            // pipeline.
+            let (ingress_start, delivered) = if src == dst {
+                (arrive, arrive)
+            } else {
+                let start = arrive.max(self.nics[dst].ingress_free);
+                let done = start + ser;
+                self.nics[dst].ingress_free = done;
+                (start, done)
+            };
+
+            // Reliable connections deliver FIFO per ordered pair.
+            let clamp = &mut self.fifo_clamp[src * self.nics.len() + dst];
+            let delivered = delivered.max(*clamp);
+            *clamp = delivered;
+            out.push(RouteInfo {
+                depart_start,
+                depart,
+                ingress_start,
+                delivered,
+                wire_bytes: clamped_bytes,
+            });
+        }
+        self.nics[src].egress_free = egress_free;
+    }
+
+    /// Compute the delivery instant of a single packet posted at `post` from
+    /// `src` to `dst` (a one-element [`Network::route_batch`]). The engine
+    /// routes through the batch path; this wrapper serves the model's unit
+    /// tests.
+    #[cfg(test)]
     pub fn route(
         &mut self,
         rng: &mut SmallRng,
@@ -227,47 +330,19 @@ impl Network {
         post: SimTime,
         wire_bytes: u32,
     ) -> RouteInfo {
-        let ser = self.nic.serialize_time(wire_bytes);
-        let clamped_bytes = wire_bytes.max(self.nic.min_wire_bytes);
-        self.wire_bytes += u64::from(clamped_bytes);
-        self.packets += 1;
-
-        // Sender NIC egress serialization (shared across that node's links).
-        let depart_start = post.max(self.nics[src].egress_free);
-        let depart = depart_start + ser;
-        self.nics[src].egress_free = depart;
-
-        // Propagation.
-        let (link, extra) = self.link_for(src, dst, depart);
-        let jitter = if link.jitter.is_zero() {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(rng.random_range(0..=link.jitter.as_nanos() as u64))
-        };
-        let arrive = depart + link.latency + jitter + extra;
-
-        // Receiver NIC ingress serialization (shared across inbound links);
-        // skipped for loopback, which never touches the receive pipeline.
-        let (ingress_start, delivered) = if src == dst {
-            (arrive, arrive)
-        } else {
-            let start = arrive.max(self.nics[dst].ingress_free);
-            let done = start + ser;
-            self.nics[dst].ingress_free = done;
-            (start, done)
-        };
-
-        // Reliable connections deliver FIFO per ordered pair.
-        let clamp = self.fifo_clamp.entry((src, dst)).or_insert(SimTime::ZERO);
-        let delivered = delivered.max(*clamp);
-        *clamp = delivered;
-        RouteInfo {
-            depart_start,
-            depart,
-            ingress_start,
-            delivered,
-            wire_bytes: clamped_bytes,
-        }
+        let mut out = Vec::with_capacity(1);
+        self.route_batch(
+            rng,
+            src,
+            &[BatchPost {
+                idx: 0,
+                dst,
+                post,
+                wire_bytes,
+            }],
+            &mut out,
+        );
+        out[0]
     }
 }
 

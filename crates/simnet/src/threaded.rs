@@ -149,7 +149,7 @@ fn run_node<M: Send + 'static>(
 
     // on_start
     {
-        let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
+        let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
         proc.on_start(&mut ctx);
         apply_effects(id, ctx, &senders, &mut timers, epoch);
     }
@@ -159,7 +159,7 @@ fn run_node<M: Send + 'static>(
         let now = Instant::now();
         while timers.peek().is_some_and(|t| t.at <= now) {
             let t = timers.pop().expect("peeked");
-            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
+            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
             proc.on_timer(&mut ctx, t.token);
             apply_effects(id, ctx, &senders, &mut timers, epoch);
         }
@@ -171,12 +171,12 @@ fn run_node<M: Send + 'static>(
             .min(Duration::from_millis(1));
         // On timeout the loop simply re-checks timers and the stop flag.
         if let Ok((from, msg)) = rx.recv_timeout(wait) {
-            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
+            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
             proc.on_message(&mut ctx, from, msg);
             apply_effects(id, ctx, &senders, &mut timers, epoch);
             // Drain whatever else is queued (receiver-side batching).
             while let Ok((from, msg)) = rx.try_recv() {
-                let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe);
+                let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
                 proc.on_message(&mut ctx, from, msg);
                 apply_effects(id, ctx, &senders, &mut timers, epoch);
             }

@@ -606,6 +606,11 @@ pub struct Probe {
     /// by this tag reproduces the original timeline order deterministically.
     flight_seq: u64,
     flight: Vec<std::collections::VecDeque<(u64, TraceEvent)>>,
+    /// While full tracing is on, ring pushes are deferred: `events` already
+    /// holds every record, so the rings are caught up lazily ([`Probe::sync_flight`])
+    /// from `events[flight_synced..]` only when something reads or
+    /// reconfigures them. This keeps the traced hot path to one `Vec` push.
+    flight_synced: usize,
 }
 
 impl Default for Probe {
@@ -621,6 +626,7 @@ impl Default for Probe {
             flight_cap: FLIGHT_RECORDER_DEPTH,
             flight_seq: 0,
             flight: Vec::new(),
+            flight_synced: 0,
         }
     }
 }
@@ -662,6 +668,11 @@ impl Probe {
 
     /// Turn event recording on or off (counters are unaffected).
     pub fn set_enabled(&mut self, on: bool) {
+        if self.enabled && !on {
+            // Deferred ring pushes become direct again; catch up first so
+            // subsequent direct pushes land in order.
+            self.sync_flight();
+        }
         self.enabled = on;
     }
 
@@ -680,32 +691,67 @@ impl Probe {
 
     /// Append `ev` to the timeline (if tracing is on) and to its node's
     /// flight-recorder ring (if the flight recorder is on).
+    ///
+    /// While full tracing is on the ring push is deferred: `events` is a
+    /// superset of what the rings would hold, so they are reconstructed
+    /// lazily when read ([`Probe::sync_flight`]) instead of paying a ring
+    /// update on every record.
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
         if self.enabled {
             self.events.push(ev);
+        } else if self.flight_on {
+            self.push_flight(ev);
         }
-        if self.flight_on {
-            let node = ev.node();
-            self.ensure_node(node);
-            let ring = &mut self.flight[node];
-            if ring.len() >= self.flight_cap {
-                ring.pop_front();
-            }
-            ring.push_back((self.flight_seq, ev));
-            self.flight_seq += 1;
+    }
+
+    /// Push one event into its node's ring (the direct, tracing-off path).
+    #[inline]
+    fn push_flight(&mut self, ev: TraceEvent) {
+        let node = ev.node();
+        self.ensure_node(node);
+        let ring = &mut self.flight[node];
+        if ring.len() >= self.flight_cap {
+            ring.pop_front();
         }
+        ring.push_back((self.flight_seq, ev));
+        self.flight_seq += 1;
+    }
+
+    /// Catch the flight rings up with records deferred while tracing was on:
+    /// replay `events[flight_synced..]` as ring pushes. O(deferred records),
+    /// run only when the rings are read or reconfigured.
+    fn sync_flight(&mut self) {
+        if !self.flight_on {
+            self.flight_synced = self.events.len();
+            return;
+        }
+        let mut i = self.flight_synced;
+        while i < self.events.len() {
+            let ev = self.events[i];
+            self.push_flight(ev);
+            i += 1;
+        }
+        self.flight_synced = i;
     }
 
     /// Turn the flight recorder on or off (off also clears the rings, so an
     /// "off" run keeps no residue).
     pub fn set_flight_recorder(&mut self, on: bool) {
+        if self.flight_on && on {
+            return;
+        }
+        if self.flight_on {
+            self.sync_flight();
+        }
         self.flight_on = on;
         if !on {
             for ring in &mut self.flight {
                 ring.clear();
             }
         }
+        // Records made while the recorder was off never enter the rings.
+        self.flight_synced = self.events.len();
     }
 
     /// Whether the flight recorder is on.
@@ -717,6 +763,7 @@ impl Probe {
     /// Resize the per-node flight rings (existing rings shed their oldest
     /// entries if over the new bound; minimum depth 1).
     pub fn set_flight_capacity(&mut self, cap: usize) {
+        self.sync_flight();
         self.flight_cap = cap.max(1);
         for ring in &mut self.flight {
             while ring.len() > self.flight_cap {
@@ -728,7 +775,25 @@ impl Probe {
     /// The flight-recorder contents: the last-N events of every node, merged
     /// back into global record order.
     pub fn flight_events(&self) -> Vec<TraceEvent> {
-        let mut tagged: Vec<(u64, TraceEvent)> = self.flight.iter().flatten().copied().collect();
+        // Start from the materialized rings and replay any records deferred
+        // while tracing was on (same push rule as `push_flight`, applied to
+        // a scratch copy so `&self` suffices).
+        let mut rings = self.flight.clone();
+        if self.flight_on {
+            let deferred = self.events[self.flight_synced..].iter();
+            for (seq, &ev) in (self.flight_seq..).zip(deferred) {
+                let node = ev.node();
+                if node >= rings.len() {
+                    rings.resize_with(node + 1, Default::default);
+                }
+                let ring = &mut rings[node];
+                if ring.len() >= self.flight_cap {
+                    ring.pop_front();
+                }
+                ring.push_back((seq, ev));
+            }
+        }
+        let mut tagged: Vec<(u64, TraceEvent)> = rings.iter().flatten().copied().collect();
         tagged.sort_unstable_by_key(|&(seq, _)| seq);
         tagged.into_iter().map(|(_, ev)| ev).collect()
     }
@@ -809,6 +874,9 @@ impl Probe {
 
     /// Take the recorded timeline, leaving the buffer empty.
     pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        // Materialize deferred ring pushes before their source disappears.
+        self.sync_flight();
+        self.flight_synced = 0;
         std::mem::take(&mut self.events)
     }
 

@@ -25,11 +25,12 @@ use abcast::{
 };
 use bytes::Bytes;
 use simnet::params::cpu;
+use simnet::FastMap;
 use simnet::{
     client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
     SpanStage,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A ZooKeeper transaction id: `(epoch, counter)`, totally ordered.
@@ -163,14 +164,14 @@ pub struct ZabNode {
     delivered: Zxid,
 
     // Leader bookkeeping.
-    acks: HashMap<Zxid, usize>,
-    origin: HashMap<Zxid, (NodeId, u64)>,
+    acks: FastMap<Zxid, usize>,
+    origin: FastMap<Zxid, (NodeId, u64)>,
     epoch_acks: usize,
     epoch_ready: bool,
 
     // Election.
     my_vote: (Zxid, u32),
-    tally: HashMap<usize, (Zxid, u32)>,
+    tally: FastMap<usize, (Zxid, u32)>,
     looking_since: SimTime,
 
     // Failure detection.
@@ -218,12 +219,12 @@ impl ZabNode {
             counter: 0,
             committed: (0, 0),
             delivered: (0, 0),
-            acks: HashMap::new(),
-            origin: HashMap::new(),
+            acks: FastMap::default(),
+            origin: FastMap::default(),
             epoch_acks: 0,
             epoch_ready: preset_leader,
             my_vote: ((0, 0), me as u32),
-            tally: HashMap::new(),
+            tally: FastMap::default(),
             looking_since: SimTime::ZERO,
             last_leader_seen: SimTime::ZERO,
             audit: Auditor::new(),

@@ -1,0 +1,64 @@
+//! Chaos at scale: the seeded fault harness on clusters far larger than the
+//! 5-replica default. A small pinned seed set keeps this a smoke test — the
+//! point is that safety checking, post-quiescence convergence, and the online
+//! invariant auditor all still hold up when the membership (and therefore the
+//! ring fabric, quorum sizes, and fault schedules) grows to 16 and 32 nodes.
+//!
+//! Broad seed sweeps stay in the `chaos` bin (`--nodes N --seeds K`); these
+//! tests pin exact (proto, seed, n) triples so a failure is a one-line repro.
+
+use acuerdo_repro::bench::audit_fired;
+use acuerdo_repro::bench::chaos::{run_chaos_at, Proto};
+use acuerdo_repro::simnet::SimTime;
+
+const HORIZON_MS: u64 = 20;
+
+/// Run one pinned chaos scenario and assert the full verdict: no safety
+/// violation, every live replica covered the pre-fault commit point, and the
+/// online auditor stayed silent.
+fn assert_clean(proto: Proto, seed: u64, n: usize) {
+    let r = run_chaos_at(proto, seed, SimTime::from_millis(HORIZON_MS), n);
+    assert!(
+        !r.fatal(),
+        "{} seed {seed} n={n}: safety violation {:?} (repro: {})",
+        proto.name(),
+        r.safety,
+        r.repro()
+    );
+    assert!(
+        r.converged,
+        "{} seed {seed} n={n}: live replicas stalled at [{}..{}] behind pre-fault {} (repro: {})",
+        proto.name(),
+        r.final_min,
+        r.final_max,
+        r.pre_fault_commits,
+        r.repro()
+    );
+    assert!(
+        !audit_fired(&r.metrics),
+        "{} seed {seed} n={n}: online invariant auditor fired on a run the \
+         offline checker passed",
+        proto.name()
+    );
+}
+
+#[test]
+fn chaos_sixteen_nodes_two_seeds() {
+    // Two distinct schedules: different fault mixes against a 16-node ring.
+    assert_clean(Proto::Acuerdo, 3, 16);
+    assert_clean(Proto::Acuerdo, 11, 16);
+}
+
+#[test]
+fn chaos_sixteen_nodes_derecho_sized_rings() {
+    // Derecho at 16 nodes exercises `DerechoConfig::sized` (the scale-aware
+    // ring schedule) under faults, not just in the clean-path sweep.
+    assert_clean(Proto::Derecho, 3, 16);
+}
+
+#[test]
+fn chaos_thirty_two_nodes() {
+    // One 32-node schedule: ring sizing drops a tier (256 KiB) and the
+    // quorum math runs over a membership 6x the default.
+    assert_clean(Proto::Acuerdo, 7, 32);
+}

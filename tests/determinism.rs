@@ -91,3 +91,57 @@ fn chaos_schedules_and_runs_replay_bit_identically() {
     );
     assert!(r1.safety.is_none());
 }
+
+#[test]
+fn calendar_and_heap_schedulers_replay_the_suite_bit_identically() {
+    // The calendar queue is a pure scheduling-speed change: both event
+    // queues drain the same (at, seq) total order, so swapping one for the
+    // other can never move a message, a timer, or a counter. The strongest
+    // statement of that is byte equality of the whole benchmark document —
+    // every system, every window, every counter, every gauge sample.
+    use acuerdo_repro::bench::suite::{run_suite, SuiteConfig};
+    use acuerdo_repro::simnet::SchedKind;
+    let doc = |k: SchedKind| {
+        let mut cfg = SuiteConfig::new(true);
+        cfg.scheduler = k;
+        run_suite(&cfg)
+    };
+    let calendar = doc(SchedKind::Calendar);
+    let heap = doc(SchedKind::Heap);
+    assert!(
+        calendar == heap,
+        "schedulers diverged: the calendar queue broke the (at, seq) total order"
+    );
+}
+
+#[test]
+fn calendar_and_heap_schedulers_export_identical_traces() {
+    // Byte equality of the exported Chrome trace is a stricter lens than the
+    // benchmark document: it pins the exact event timeline (every delivery,
+    // span, and gauge sample with its timestamp), not just the aggregates.
+    use acuerdo_repro::bench::{run_broadcast_observed, Observe, RunSpec, System, SAMPLE_EVERY};
+    use acuerdo_repro::simnet::{chrome_trace_json_full, SchedKind};
+    let trace = |k: SchedKind| {
+        let (_, _, events, gauges) = run_broadcast_observed(
+            System::Acuerdo,
+            3,
+            64,
+            8,
+            7,
+            RunSpec::quick(System::Acuerdo),
+            Observe {
+                traced: true,
+                sample_every: Some(SAMPLE_EVERY),
+                cpu_scale: None,
+                scheduler: k,
+            },
+        );
+        chrome_trace_json_full(&events, &gauges)
+    };
+    let calendar = trace(SchedKind::Calendar);
+    assert!(
+        calendar == trace(SchedKind::Heap),
+        "schedulers diverged at trace-event granularity"
+    );
+    assert!(calendar.len() > 1024, "traced run produced no timeline");
+}
