@@ -12,7 +12,8 @@ use crate::stats::{LatencyHist, RunResult};
 use crate::workload::payload;
 use bytes::Bytes;
 use simnet::{
-    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime, SpanStage,
+    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, MsgKind, NodeId, Process, SimTime,
+    SpanStage,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -156,12 +157,13 @@ impl<M: ClientPort> WindowClient<M> {
         self.outstanding.insert(id, (ctx.now_cpu(), body.clone()));
         ctx.gauge(Gauge::RetransmitWindow, self.outstanding.len() as u64);
         let dst = self.targets[(id % self.targets.len() as u64) as usize];
-        ctx.use_cpu(CLIENT_SEND_CPU);
+        ctx.use_cpu_at(SpanStage::Submit, CLIENT_SEND_CPU);
         ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 0);
-        ctx.send(
+        ctx.send_kind(
             dst,
             DeliveryClass::Cpu,
             body.len() as u32 + REQ_OVERHEAD,
+            MsgKind::Payload,
             M::request(ClientReq { id, payload: body }),
         );
     }
@@ -238,17 +240,18 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
                 for (id, body) in stale {
                     ctx.count(Counter::Retransmits, 1);
                     ctx.trace(Event::new("retransmit").a(id).b(u64::from(broadcast)));
-                    ctx.use_cpu(CLIENT_SEND_CPU);
+                    ctx.use_cpu_at(SpanStage::Submit, CLIENT_SEND_CPU);
                     let dsts: Vec<NodeId> = if broadcast {
                         self.replicas.clone()
                     } else {
                         vec![self.targets[(id % self.targets.len() as u64) as usize]]
                     };
                     for dst in dsts {
-                        ctx.send(
+                        ctx.send_kind(
                             dst,
                             DeliveryClass::Cpu,
                             body.len() as u32 + REQ_OVERHEAD,
+                            MsgKind::Retransmit,
                             M::request(ClientReq {
                                 id,
                                 payload: body.clone(),
@@ -312,12 +315,13 @@ impl<M: ClientPort> Process<M> for OpenLoopClient<M> {
         self.next_id += 1;
         self.sent += 1;
         let body = payload(id, self.payload_size);
-        ctx.use_cpu(CLIENT_SEND_CPU);
+        ctx.use_cpu_at(SpanStage::Submit, CLIENT_SEND_CPU);
         ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 0);
-        ctx.send(
+        ctx.send_kind(
             self.target,
             DeliveryClass::Cpu,
             body.len() as u32 + REQ_OVERHEAD,
+            MsgKind::Payload,
             M::request(ClientReq { id, payload: body }),
         );
         ctx.set_timer(self.interval, 0);

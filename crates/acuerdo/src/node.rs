@@ -49,7 +49,8 @@ use rdma_prims::{RingError, RingReceiver, RingSender, Sst};
 use rdma_sim::{Endpoint, RdmaPkt, RegionId};
 use simnet::params::cpu;
 use simnet::{
-    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime, SpanStage,
+    client_span, Counter, Ctx, DeliveryClass, Event, Gauge, MsgKind, NodeId, Process, SimTime,
+    SpanStage,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound::{Excluded, Included};
@@ -379,7 +380,7 @@ impl AcuerdoNode {
             self.dropped_requests += 1;
             return;
         }
-        ctx.use_cpu(cpu::CLIENT_INGEST);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::CLIENT_INGEST);
         self.count += 1;
         let hdr = MsgHdr::new(self.e_new, self.count);
         ctx.span(
@@ -410,7 +411,7 @@ impl AcuerdoNode {
             let frame_len = frame.len() as u64;
             match self
                 .out_ring
-                .send_to(ctx, &mut self.ep, self.peers[j], frame)
+                .send_to(ctx, &mut self.ep, self.peers[j], frame, MsgKind::Control)
             {
                 Ok(seq) => {
                     if self.out[j].rejoin {
@@ -440,7 +441,7 @@ impl AcuerdoNode {
             let frame = msg::encode_normal(hdr, payload);
             match self
                 .out_ring
-                .send_to(ctx, &mut self.ep, self.peers[j], &frame)
+                .send_to(ctx, &mut self.ep, self.peers[j], &frame, MsgKind::Payload)
             {
                 Ok(seq) => {
                     ctx.span(hdr_span(&hdr), SpanStage::RingWrite, self.peers[j] as u64);
@@ -459,7 +460,7 @@ impl AcuerdoNode {
         for j in 0..self.cfg.n {
             let frames = self.in_rings[j].poll(&mut self.ep);
             for (_seq, raw) in frames {
-                ctx.use_cpu(cpu::FRAME_PROC);
+                ctx.use_cpu_at(SpanStage::FollowerAccept, cpu::FRAME_PROC);
                 let Some(frame) = msg::decode(raw) else {
                     debug_assert!(false, "malformed ring frame");
                     continue;
@@ -713,7 +714,7 @@ impl AcuerdoNode {
 
     fn deliver(&mut self, ctx: &mut Ctx<AcWire>, hdr: MsgHdr, payload: Bytes) {
         self.frame_stall = None;
-        ctx.use_cpu(DELIVER_COST);
+        ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
         self.app.deliver(hdr, &payload);
         self.delivered_count += 1;
         ctx.span(hdr_span(&hdr), SpanStage::Deliver, 0);
@@ -1153,7 +1154,7 @@ impl Process<AcWire> for AcuerdoNode {
     fn on_timer(&mut self, ctx: &mut Ctx<AcWire>, token: u64) {
         match token {
             TOK_POLL => {
-                ctx.use_cpu(cpu::POLL_IDLE);
+                ctx.use_cpu_idle(cpu::POLL_IDLE);
                 self.accept_frames(ctx);
                 if self.role == Role::Leader {
                     self.observe_acks(ctx);

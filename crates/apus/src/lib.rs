@@ -30,7 +30,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rdma_prims::{RingMode, RingReceiver, RingSender, Sst};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim};
+use simnet::{Ctx, DeliveryClass, MsgKind, NetParams, NodeId, Process, Sim, SpanStage};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
 
@@ -285,7 +285,7 @@ impl ApusNode {
             self.dropped_requests += 1;
             return;
         }
-        ctx.use_cpu(cpu::CLIENT_INGEST);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::CLIENT_INGEST);
         self.pending.push_back((from, req.id, req.payload));
     }
 
@@ -299,7 +299,7 @@ impl ApusNode {
         for _ in 0..take {
             let (client, id, payload) = self.pending.pop_front().expect("nonempty");
             // One consensus instance per message (APUS's Paxos core).
-            ctx.use_cpu(self.cfg.instance_cost);
+            ctx.use_cpu_at(SpanStage::RingWrite, self.cfg.instance_cost);
             let idx = self.next_idx;
             self.next_idx += 1;
             last_idx = idx;
@@ -315,7 +315,9 @@ impl ApusNode {
                 // A full ring here means the follower fell behind a whole
                 // ring of unacknowledged batches; APUS stalls (single
                 // pending batch keeps this from happening in practice).
-                let _ = self.out_ring.send_to(ctx, &mut self.ep, j, &frame);
+                let _ = self
+                    .out_ring
+                    .send_to(ctx, &mut self.ep, j, &frame, MsgKind::Payload);
             }
         }
         let end = encode_frame(&Frame::BatchEnd {
@@ -323,7 +325,10 @@ impl ApusNode {
             upto: last_idx,
         });
         for j in 1..self.cfg.n {
-            if let Ok(seq) = self.out_ring.send_to(ctx, &mut self.ep, j, &end) {
+            if let Ok(seq) = self
+                .out_ring
+                .send_to(ctx, &mut self.ep, j, &end, MsgKind::Control)
+            {
                 self.lane_marks[j].push_back((batch, seq));
             }
         }
@@ -377,7 +382,7 @@ impl ApusNode {
         let mut new_ack = None;
         for s in 0..self.cfg.n {
             for (_seq, raw) in self.in_rings[s].poll(&mut self.ep) {
-                ctx.use_cpu(cpu::FRAME_PROC);
+                ctx.use_cpu_at(SpanStage::FollowerAccept, cpu::FRAME_PROC);
                 match decode_frame(raw) {
                     Some(Frame::Data {
                         idx,
@@ -422,7 +427,7 @@ impl ApusNode {
     }
 
     fn deliver(&mut self, ctx: &mut Ctx<ApWire>, idx: u64, payload: &Bytes) {
-        ctx.use_cpu(DELIVER_COST);
+        ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
         let hdr = MsgHdr::new(Epoch::new(1, 0), idx as u32 + 1);
         self.app.deliver(hdr, payload);
         self.delivered_count += 1;
@@ -457,7 +462,7 @@ impl Process<ApWire> for ApusNode {
         if token != TOK_POLL {
             return;
         }
-        ctx.use_cpu(cpu::POLL_IDLE);
+        ctx.use_cpu_idle(cpu::POLL_IDLE);
         self.drain_rings(ctx);
         if self.is_leader() {
             self.leader_commit(ctx);

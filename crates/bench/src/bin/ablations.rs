@@ -19,6 +19,14 @@ use bench::{
     System,
 };
 
+fn usage() {
+    eprintln!(
+        "usage: ablations [--nodes N] [--size BYTES] [--full] [--metrics-out PATH]\n\
+         metrics records carry a \"util\" resource-utilization summary\n\
+         (read it with: trace-report --bottleneck PATH)"
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut n = 3usize;
@@ -41,8 +49,13 @@ fn main() {
                 metrics_out = Some(argv.get(i).expect("--metrics-out PATH").clone());
             }
             "--full" => full = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown flag {other}");
+                usage();
                 std::process::exit(2);
             }
         }

@@ -7,8 +7,10 @@
 //! cargo run --release -p bench --bin bench-diff -- baselines/BENCH_quick.json BENCH_quick.json
 //! ```
 //!
-//! Exit status: 0 when the documents agree, 1 on any regression (each
-//! offending metric is printed), 2 on usage, parse, or comparability errors.
+//! Exit status: 0 when the documents agree (warnings about members the
+//! baseline lacks — new instrumentation — are printed but do not fail the
+//! gate), 1 on any regression (each offending metric is printed), 2 on
+//! usage, parse, or comparability errors.
 
 use bench::diff::{diff_files, DiffOptions};
 use std::process::exit;
@@ -49,19 +51,22 @@ fn main() {
         usage();
         exit(2);
     };
-    let findings = diff_files(baseline, current, &opts).unwrap_or_else(|e| {
+    let report = diff_files(baseline, current, &opts).unwrap_or_else(|e| {
         eprintln!("bench-diff: {e}");
         exit(2);
     });
-    if findings.is_empty() {
+    for w in &report.warnings {
+        eprintln!("bench-diff: warning: {w} (refresh the baseline to gate on it)");
+    }
+    if report.findings.is_empty() {
         println!("bench-diff: {current} matches {baseline}");
         return;
     }
     eprintln!(
         "bench-diff: {} regression finding(s) comparing {current} against {baseline}:",
-        findings.len()
+        report.findings.len()
     );
-    for f in &findings {
+    for f in &report.findings {
         eprintln!("  {f}");
     }
     exit(1);

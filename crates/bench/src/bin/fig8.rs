@@ -26,6 +26,15 @@ struct Args {
     trace_out: Option<String>,
 }
 
+fn usage() {
+    eprintln!(
+        "usage: fig8 [--nodes N] [--size BYTES] [--seed N] [--full] [--csv]\n\
+         \x20           [--metrics-out PATH] [--trace-out PATH]\n\
+         metrics records carry a \"util\" resource-utilization summary\n\
+         (read it with: trace-report --bottleneck PATH)"
+    );
+}
+
 fn parse() -> Args {
     let mut a = Args {
         nodes: vec![3, 7],
@@ -62,8 +71,13 @@ fn parse() -> Args {
             }
             "--full" => a.full = true,
             "--csv" => a.csv = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown flag {other}");
+                usage();
                 std::process::exit(2);
             }
         }

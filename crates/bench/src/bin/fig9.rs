@@ -13,6 +13,14 @@ use bench::{
     record_path, write_metrics_file, ycsb_point_metrics, ycsb_point_traced, RunSpec, System,
 };
 
+fn usage() {
+    eprintln!(
+        "usage: fig9 [--full] [--seed N] [--metrics-out PATH] [--trace-out PATH]\n\
+         metrics records carry a \"util\" resource-utilization summary\n\
+         (read it with: trace-report --bottleneck PATH)"
+    );
+}
+
 fn main() {
     let mut full = false;
     let mut seed = 42u64;
@@ -35,8 +43,13 @@ fn main() {
                 i += 1;
                 trace_out = Some(argv.get(i).expect("--trace-out PATH").clone());
             }
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown flag {other}");
+                usage();
                 std::process::exit(2);
             }
         }

@@ -13,13 +13,22 @@ use bench::{sweep, ycsb_point, RunSpec, System};
 use std::path::PathBuf;
 use std::time::Duration;
 
+fn usage() {
+    eprintln!("usage: figures [--full]");
+}
+
 fn main() {
     let mut full = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--full" => full = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown flag {other}");
+                usage();
                 std::process::exit(2);
             }
         }

@@ -7,9 +7,18 @@
 
 use bench::{run_broadcast, run_dare, RunSpec, System};
 
+fn usage() {
+    eprintln!("usage: related   (no flags; prints the §5 lineage table)");
+}
+
 fn main() {
     if let Some(arg) = std::env::args().nth(1) {
+        if arg == "--help" || arg == "-h" {
+            usage();
+            std::process::exit(0);
+        }
         eprintln!("unknown flag {arg}");
+        usage();
         std::process::exit(2);
     }
     let spec = RunSpec::quick(System::Acuerdo);

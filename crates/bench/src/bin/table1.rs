@@ -16,6 +16,14 @@ use bench::{
     write_metrics_file,
 };
 
+fn usage() {
+    eprintln!(
+        "usage: table1 [--elections N] [--seed N] [--metrics-out PATH] [--trace-out PATH]\n\
+         metrics records carry a \"util\" resource-utilization summary\n\
+         (read it with: trace-report --bottleneck PATH)"
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut elections = 8usize;
@@ -41,8 +49,13 @@ fn main() {
                 i += 1;
                 trace_out = Some(argv.get(i).expect("--trace-out PATH").clone());
             }
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown flag {other}");
+                usage();
                 std::process::exit(2);
             }
         }

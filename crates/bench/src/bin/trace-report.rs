@@ -9,15 +9,29 @@
 //! cargo run --release -p bench --bin trace-report -- fig8.trace-3nodes-10B-acuerdo.json
 //! ```
 //!
-//! Exit status: 0 on a report, 1 when the trace contains no lifecycle stage
-//! marks (e.g. a file from an untraced run), 2 on usage or parse errors.
+//! With `--bottleneck` the input is instead a metrics document (a
+//! `--metrics-out` sidecar or a suite/scale `BENCH_*.json`): the resource
+//! utilization tables are rendered and one ranked `bottleneck <system>@<n>`
+//! verdict line is printed per run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace-report -- --bottleneck BENCH_scale.json
+//! ```
+//!
+//! Exit status: 0 on a report, 1 when the input holds nothing to analyze
+//! (a trace without lifecycle stage marks, or a metrics document without
+//! utilization summaries), 2 on usage or parse errors.
 
-use bench::report;
+use bench::{json, report, util};
 use std::process::exit;
+
+const USAGE: &str =
+    "usage: trace-report [--top N] FILE.json\n       trace-report --bottleneck METRICS.json";
 
 fn main() {
     let mut file: Option<String> = None;
     let mut top = 8usize;
+    let mut bottleneck = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -29,18 +43,19 @@ fn main() {
                     exit(2);
                 });
             }
+            "--bottleneck" => bottleneck = true,
             "--help" | "-h" => {
-                eprintln!("usage: trace-report [--top N] FILE.json");
+                eprintln!("{USAGE}");
                 exit(0);
             }
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: trace-report [--top N] FILE.json");
+                eprintln!("{USAGE}");
                 exit(2);
             }
             other => {
                 if file.replace(other.to_string()).is_some() {
-                    eprintln!("only one trace file per invocation");
+                    eprintln!("only one input file per invocation");
                     exit(2);
                 }
             }
@@ -48,9 +63,23 @@ fn main() {
         i += 1;
     }
     let Some(file) = file else {
-        eprintln!("usage: trace-report [--top N] FILE.json");
+        eprintln!("{USAGE}");
         exit(2);
     };
+    if bottleneck {
+        let doc = json::read_doc(&file).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+        match util::bottleneck_report(&doc) {
+            Ok(rep) => print!("{rep}"),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
     let (events, gauges) = report::load_trace_file(&file).unwrap_or_else(|e| {
         eprintln!("{e}");
         exit(2);

@@ -31,8 +31,10 @@ impl Default for DiffOptions {
 }
 
 /// Members whose value (and, for objects, whole subtree) must match
-/// exactly: deterministic counts and integer gauge extremes.
-const EXACT_KEYS: [&str; 9] = [
+/// exactly: deterministic counts, integer gauge extremes, and the
+/// resource-utilization summary (rendered at fixed precision from exact
+/// counters, so any drift is a real accounting change).
+const EXACT_KEYS: [&str; 10] = [
     "metrics",
     "window",
     "nodes",
@@ -42,6 +44,7 @@ const EXACT_KEYS: [&str; 9] = [
     "min",
     "max",
     "count",
+    "util",
 ];
 
 /// Gauge p99 is an integer level pulled straight from the sorted samples —
@@ -49,11 +52,34 @@ const EXACT_KEYS: [&str; 9] = [
 /// the keys differ, so a simple name match suffices.)
 const EXACT_LEAVES: [&str; 1] = ["p99"];
 
-/// Compare two parsed suite documents. Returns the list of findings, one
-/// line each, empty when the documents agree within thresholds. `Err` means
+/// The outcome of a document comparison, split by severity.
+///
+/// `findings` are regressions: shared members that drifted, and members or
+/// runs the baseline has but the current run lost. `warnings` are additions
+/// only — members or runs present in the current document but absent from
+/// the baseline. New instrumentation (a counter, the utilization summary)
+/// must not force a baseline rewrite in the same commit, but it should be
+/// visible until the baseline is refreshed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Regressions, one line each; empty means the shared surface agrees.
+    pub findings: Vec<String>,
+    /// Named additions relative to the baseline, one line each.
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// No findings and no warnings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.warnings.is_empty()
+    }
+}
+
+/// Compare two parsed suite documents. Returns the findings and warnings;
+/// both empty when the documents agree within thresholds. `Err` means
 /// the documents are not comparable at all (different schema or matrix
 /// configuration) — that is an operator error, not a regression.
-pub fn diff_docs(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<String>, String> {
+pub fn diff_docs(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<DiffReport, String> {
     for key in [
         "schema",
         "mode",
@@ -74,14 +100,14 @@ pub fn diff_docs(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<St
             ));
         }
     }
-    let mut out = Vec::new();
+    let mut out = DiffReport::default();
     // The injected-slowdown knob is a physics change: a baseline must never
     // carry one, and comparing a slowed run against a clean baseline is the
     // walkthrough's whole point — so it is a finding, not an error.
     let b_scale = base.get("cpu_scale").cloned().unwrap_or(Value::Null);
     let c_scale = cur.get("cpu_scale").cloned().unwrap_or(Value::Null);
     if b_scale != c_scale {
-        out.push(format!(
+        out.findings.push(format!(
             "cpu_scale: baseline {b_scale:?}, current {c_scale:?}"
         ));
     }
@@ -89,24 +115,22 @@ pub fn diff_docs(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<St
     let cruns = runs_by_label(cur, "current")?;
     for (label, bv) in &bruns {
         match cruns.iter().find(|(l, _)| l == label) {
-            None => out.push(format!("run {label}: missing from current")),
+            None => out
+                .findings
+                .push(format!("run {label}: missing from current")),
             Some((_, cv)) => diff_value(&format!("runs[{label}]"), false, bv, cv, opts, &mut out),
         }
     }
     for (label, _) in &cruns {
         if !bruns.iter().any(|(l, _)| l == label) {
-            out.push(format!("run {label}: not in baseline"));
+            out.warnings.push(format!("run {label}: not in baseline"));
         }
     }
     Ok(out)
 }
 
 /// Read, parse, and compare two document files.
-pub fn diff_files(
-    baseline: &str,
-    current: &str,
-    opts: &DiffOptions,
-) -> Result<Vec<String>, String> {
+pub fn diff_files(baseline: &str, current: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
     let b = json::read_doc(baseline)?;
     let c = json::read_doc(current)?;
     diff_docs(&b, &c, opts)
@@ -133,13 +157,15 @@ fn diff_value(
     b: &Value,
     c: &Value,
     opts: &DiffOptions,
-    out: &mut Vec<String>,
+    out: &mut DiffReport,
 ) {
     match (b, c) {
         (Value::Obj(bkv), Value::Obj(ckv)) => {
             for (k, bv) in bkv {
                 match c.get(k) {
-                    None => out.push(format!("{path}.{k}: missing from current")),
+                    None => out
+                        .findings
+                        .push(format!("{path}.{k}: missing from current")),
                     Some(cv) => diff_value(
                         &format!("{path}.{k}"),
                         exact || EXACT_KEYS.contains(&k.as_str()),
@@ -152,13 +178,13 @@ fn diff_value(
             }
             for (k, _) in ckv {
                 if b.get(k).is_none() {
-                    out.push(format!("{path}.{k}: not in baseline"));
+                    out.warnings.push(format!("{path}.{k}: not in baseline"));
                 }
             }
         }
         (Value::Arr(ba), Value::Arr(ca)) => {
             if ba.len() != ca.len() {
-                out.push(format!(
+                out.findings.push(format!(
                     "{path}: length {} in baseline, {} in current",
                     ba.len(),
                     ca.len()
@@ -178,12 +204,14 @@ fn diff_value(
                 rel_close(*bn, *cn, opts.rel_eps)
             };
             if !ok {
-                out.push(format!("{path}: baseline {bn}, current {cn}"));
+                out.findings
+                    .push(format!("{path}: baseline {bn}, current {cn}"));
             }
         }
         _ => {
             if b != c {
-                out.push(format!("{path}: baseline {b:?}, current {c:?}"));
+                out.findings
+                    .push(format!("{path}: baseline {b:?}, current {c:?}"));
             }
         }
     }
@@ -210,10 +238,9 @@ mod tests {
     #[test]
     fn identical_documents_pass() {
         let a = doc(5.25, 1000, "null");
-        assert_eq!(
-            diff_docs(&a, &a, &DiffOptions::default()).unwrap(),
-            Vec::<String>::new()
-        );
+        assert!(diff_docs(&a, &a, &DiffOptions::default())
+            .unwrap()
+            .is_clean());
     }
 
     #[test]
@@ -222,9 +249,11 @@ mod tests {
         let close = doc(5.2501, 1000, "null");
         assert!(diff_docs(&a, &close, &DiffOptions::default())
             .unwrap()
-            .is_empty());
+            .is_clean());
         let slow = doc(7.9, 1000, "null");
-        let findings = diff_docs(&a, &slow, &DiffOptions::default()).unwrap();
+        let findings = diff_docs(&a, &slow, &DiffOptions::default())
+            .unwrap()
+            .findings;
         assert_eq!(findings.len(), 1);
         assert!(
             findings[0].contains("runs[acuerdo-w1].mean_us"),
@@ -236,7 +265,9 @@ mod tests {
     fn counters_are_exact() {
         let a = doc(5.25, 1000, "null");
         let off_by_one = doc(5.25, 999, "null");
-        let findings = diff_docs(&a, &off_by_one, &DiffOptions::default()).unwrap();
+        let findings = diff_docs(&a, &off_by_one, &DiffOptions::default())
+            .unwrap()
+            .findings;
         assert_eq!(findings.len(), 1);
         assert!(
             findings[0].contains("metrics.totals.commits"),
@@ -248,7 +279,7 @@ mod tests {
     fn injected_slowdown_is_a_finding_not_an_error() {
         let a = doc(5.25, 1000, "null");
         let b = doc(5.25, 1000, "1.5");
-        let findings = diff_docs(&a, &b, &DiffOptions::default()).unwrap();
+        let findings = diff_docs(&a, &b, &DiffOptions::default()).unwrap().findings;
         assert!(findings.iter().any(|f| f.starts_with("cpu_scale")));
     }
 
@@ -276,8 +307,58 @@ mod tests {
         )
         .unwrap();
         let gone = diff_docs(&a, &empty, &DiffOptions::default()).unwrap();
-        assert!(gone.iter().any(|f| f.contains("missing from current")));
+        assert!(gone
+            .findings
+            .iter()
+            .any(|f| f.contains("missing from current")));
+        assert!(gone.warnings.is_empty());
+        // An extra run is an addition: warning, not regression.
         let added = diff_docs(&empty, &a, &DiffOptions::default()).unwrap();
-        assert!(added.iter().any(|f| f.contains("not in baseline")));
+        assert!(added.findings.is_empty());
+        assert!(added.warnings.iter().any(|f| f.contains("not in baseline")));
+    }
+
+    #[test]
+    fn new_members_warn_instead_of_failing() {
+        // A current run that grew a "util" member (new instrumentation)
+        // against a baseline without one: warning only, shared members
+        // still compared exactly.
+        let a = doc(5.25, 1000, "null");
+        let mut b = doc(5.25, 1000, "null");
+        if let Value::Obj(kv) = &mut b {
+            if let Some((_, Value::Arr(runs))) = kv.iter_mut().find(|(k, _)| k == "runs") {
+                if let Value::Obj(run) = &mut runs[0] {
+                    run.push((
+                        "util".to_string(),
+                        json::parse("{\"elapsed_ns\":1}").unwrap(),
+                    ));
+                }
+            }
+        }
+        let rep = diff_docs(&a, &b, &DiffOptions::default()).unwrap();
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.warnings, vec!["runs[acuerdo-w1].util: not in baseline"]);
+        // The reverse direction (baseline has it, current lost it) is a
+        // regression finding.
+        let rep = diff_docs(&b, &a, &DiffOptions::default()).unwrap();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.contains("util: missing from current")));
+    }
+
+    #[test]
+    fn shared_util_members_are_exact() {
+        let with_util = |v: &str| {
+            json::parse(&format!(
+                "{{\"schema\":\"acuerdo-bench-suite-v1\",\"mode\":\"quick\",\"seed\":42,                 \"nodes\":3,\"payload_bytes\":64,\"sample_every_us\":100,\"cpu_scale\":null,                 \"runs\":[{{\"label\":\"acuerdo-w1\",\"window\":1,                 \"util\":{{\"leader\":{{\"egress_util_pct\":{v}}}}}}}]}}"
+            ))
+            .unwrap()
+        };
+        let a = with_util("94.0");
+        let b = with_util("94.1");
+        let rep = diff_docs(&a, &b, &DiffOptions::default()).unwrap();
+        assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+        assert!(rep.findings[0].contains("egress_util_pct"));
     }
 }

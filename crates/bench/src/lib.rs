@@ -22,6 +22,7 @@ pub mod plot;
 pub mod report;
 pub mod scale;
 pub mod suite;
+pub mod util;
 
 use abcast::{RunResult, StageHist, WindowClient};
 use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
@@ -822,10 +823,11 @@ pub fn ablation_point_metrics(
     (outcome, sim.metrics())
 }
 
-/// One `--metrics-out` record: run metadata, the client-visible point, and
-/// the per-node counter snapshot, as one hand-rolled JSON object (DESIGN.md
-/// §6 keeps serde out of the tree). When the run was traced, `stages` adds
-/// the per-stage commit-latency anatomy under a `"stages"` member.
+/// One `--metrics-out` record: run metadata, the client-visible point, the
+/// per-node counter snapshot, and the resource-utilization summary, as one
+/// hand-rolled JSON object (DESIGN.md §6 keeps serde out of the tree). When
+/// the run was traced, `stages` adds the per-stage commit-latency anatomy
+/// under a `"stages"` member.
 #[allow(clippy::too_many_arguments)]
 pub fn run_record_json(
     label: &str,
@@ -846,7 +848,7 @@ pub fn run_record_json(
         "{{\"label\":\"{}\",\"system\":\"{}\",\"nodes\":{},\"payload_bytes\":{},\
          \"seed\":{},\"warmup_ms\":{:.3},\"measure_ms\":{:.3},\"window\":{},\
          \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
-         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{}{}}}",
+         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{},\"util\":{}{}}}",
         simnet::json_escape(label),
         simnet::json_escape(system),
         n,
@@ -861,6 +863,7 @@ pub fn run_record_json(
         point.p50_us,
         point.p99_us,
         metrics.to_json(),
+        util::summary_json(&metrics.res, n),
         stages_json
     )
 }

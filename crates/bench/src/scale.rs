@@ -71,7 +71,15 @@ impl ScaleConfig {
         ScaleConfig {
             quick,
             seed: 42,
-            payload: 64,
+            // Dissemination-bound operating point: 16 KiB payloads make
+            // the leader's (n-1)-way fan-out the dominant byte stream —
+            // serialization (bytes x 0.32 ns) dwarfs the fixed ~1.1 us
+            // verb-post CPU per write, so the document exposes how
+            // dissemination cost grows with cluster size and the bottleneck
+            // ranker can watch the leader NIC saturate at n = 64.
+            // Small-payload behaviour is Figure 8's axis, not this
+            // document's.
+            payload: 16384,
             window: 8,
             sizes: if quick {
                 QUICK_SIZES.to_vec()

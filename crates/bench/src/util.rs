@@ -1,0 +1,487 @@
+//! Resource-utilization tables and the automated bottleneck ranker.
+//!
+//! Two halves:
+//!
+//! * [`summary_json`] turns a live [`ResourceSnapshot`] into the compact
+//!   `"util"` member every metrics record carries — fixed key order, fixed
+//!   float formatting, so byte-identical runs produce byte-identical
+//!   documents and `bench-diff` can gate on it exactly.
+//! * [`bottleneck_report`] ingests a previously written document (a
+//!   `BENCH_*.json` suite/scale file or a `--metrics-out` sidecar) through
+//!   [`crate::json`] and renders per-run utilization tables plus one ranked
+//!   verdict line per system×scale — the `trace-report --bottleneck` mode.
+//!
+//! The verdict grammar is deliberately greppable (CI anchors on the
+//! `bottleneck ` prefix): `bottleneck <system>@<nodes>: <top resource>
+//! <util>% utilized, <share>% of bytes are <kind> — <prescription>`.
+
+use simnet::{cpu_slot_name, MsgKind, ResourceSnapshot, CPU_SLOTS};
+
+use crate::json::Value;
+
+/// Utilization below which no resource is called a bottleneck (percent).
+const SATURATION_FLOOR_PCT: f64 = 30.0;
+
+/// Rows shown in the top-talker and hottest-link tables.
+const TOP_N: usize = 4;
+
+fn pct(busy_ns: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        0.0
+    } else {
+        busy_ns as f64 * 100.0 / elapsed_ns as f64
+    }
+}
+
+fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Render the fixed-order `"util"` JSON object for one run.
+///
+/// `proto_nodes` is the protocol cluster size `n`: nodes `0..n` are
+/// replicas (node 0 the initial leader), nodes `>= n` are harness clients.
+/// All percentages are printed with one fractional digit — formatting is
+/// part of the document contract.
+pub fn summary_json(res: &ResourceSnapshot, proto_nodes: usize) -> String {
+    let elapsed = res.elapsed_ns;
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!("{{\"elapsed_ns\":{elapsed}"));
+
+    // Cluster-wide byte/frame totals by kind.
+    for (key, pick) in [("tx_bytes", true), ("tx_frames", false)] {
+        out.push_str(&format!(",\"{key}\":{{"));
+        let mut total = 0u64;
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            let v: u64 = res
+                .nodes
+                .iter()
+                .map(|n| {
+                    if pick {
+                        n.tx.bytes[*k as usize]
+                    } else {
+                        n.tx.frames[*k as usize]
+                    }
+                })
+                .sum();
+            total += v;
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", k.name()));
+        }
+        out.push_str(&format!(",\"total\":{total}}}"));
+    }
+
+    // Cluster-wide CPU attribution by stage.
+    out.push_str(",\"cpu_ns\":{");
+    let mut cpu_total = 0u64;
+    for slot in 0..CPU_SLOTS {
+        let v: u64 = res.nodes.iter().map(|n| n.cpu_ns[slot]).sum();
+        cpu_total += v;
+        if slot > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", cpu_slot_name(slot)));
+    }
+    out.push_str(&format!(",\"total\":{cpu_total}}}"));
+
+    // Leader = node 0 by convention (every harness spawns the initial
+    // leader first; elections in a measured run are themselves a finding).
+    // CPU utilization counts work, not busy-wait polling: a spinning poll
+    // loop occupies a core without limiting throughput (`cpu_work_ns`).
+    let leader = res.nodes.first().copied().unwrap_or_default();
+    let leader_tx = leader.tx.total_bytes();
+    out.push_str(&format!(
+        ",\"leader\":{{\"node\":0,\"egress_util_pct\":{:.1},\"ingress_util_pct\":{:.1},\
+         \"cpu_util_pct\":{:.1},\"tx_bytes\":{},\"payload_share_pct\":{:.1}}}",
+        pct(leader.tx.busy_ns, elapsed),
+        pct(leader.rx.busy_ns, elapsed),
+        pct(leader.cpu_work_ns(), elapsed),
+        leader_tx,
+        share(leader.tx.bytes[MsgKind::Payload as usize], leader_tx),
+    ));
+
+    // Followers: replicas 1..proto_nodes.
+    let followers = res
+        .nodes
+        .iter()
+        .enumerate()
+        .take(proto_nodes)
+        .skip(1)
+        .collect::<Vec<_>>();
+    let peak = followers
+        .iter()
+        .max_by_key(|(i, n)| (n.tx.busy_ns, std::cmp::Reverse(*i)))
+        .map(|(i, n)| (*i, **n));
+    let followers_tx: u64 = followers.iter().map(|(_, n)| n.tx.total_bytes()).sum();
+    let (peak_node, peak_util) = match peak {
+        Some((i, n)) => (i as i64, pct(n.tx.busy_ns, elapsed)),
+        None => (-1, 0.0),
+    };
+    out.push_str(&format!(
+        ",\"followers\":{{\"peak_node\":{peak_node},\"peak_egress_util_pct\":{peak_util:.1},\
+         \"tx_bytes\":{followers_tx}}}"
+    ));
+
+    // Clients: everything spawned after the replicas.
+    let clients_tx: u64 = res
+        .nodes
+        .iter()
+        .skip(proto_nodes)
+        .map(|n| n.tx.total_bytes())
+        .sum();
+    out.push_str(&format!(",\"clients\":{{\"tx_bytes\":{clients_tx}}}"));
+
+    let all_tx = leader_tx + followers_tx + clients_tx;
+    out.push_str(&format!(
+        ",\"egress_share_pct\":{{\"leader\":{:.1},\"followers\":{:.1},\"clients\":{:.1}}}",
+        share(leader_tx, all_tx),
+        share(followers_tx, all_tx),
+        share(clients_tx, all_tx),
+    ));
+
+    // Top talkers by egress bytes (ties broken toward the lower node id).
+    let mut talkers: Vec<(usize, u64, u64)> = res
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (i, n.tx.total_bytes(), n.tx.busy_ns))
+        .filter(|(_, b, _)| *b > 0)
+        .collect();
+    talkers.sort_by_key(|(i, b, _)| (std::cmp::Reverse(*b), *i));
+    out.push_str(",\"top_talkers\":[");
+    for (j, (i, b, busy)) in talkers.iter().take(TOP_N).enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"node\":{i},\"tx_bytes\":{b},\"egress_util_pct\":{:.1}}}",
+            pct(*busy, elapsed)
+        ));
+    }
+    out.push(']');
+
+    // Hottest directed links by bytes (ties toward the smaller (src, dst)).
+    let mut links: Vec<(usize, usize, u64, u64)> = res
+        .links
+        .iter()
+        .map(|l| (l.src, l.dst, l.stats.total_bytes(), l.stats.busy_ns))
+        .filter(|(_, _, b, _)| *b > 0)
+        .collect();
+    links.sort_by_key(|(s, d, b, _)| (std::cmp::Reverse(*b), *s, *d));
+    out.push_str(",\"top_links\":[");
+    for (j, (s, d, b, busy)) in links.iter().take(TOP_N).enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"src\":{s},\"dst\":{d},\"bytes\":{b},\"util_pct\":{:.1}}}",
+            pct(*busy, elapsed)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One run's utilization summary, read back out of a document.
+struct RunUtil {
+    label: String,
+    system: String,
+    nodes: u64,
+    util: Value,
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for k in path {
+        match cur.get(k) {
+            Some(n) => cur = n,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// Pull every record carrying a `"util"` member out of a parsed document.
+/// Both document shapes are understood: suite/scale files (`"runs"`) and
+/// metrics sidecars (`"records"`).
+fn collect_runs(doc: &Value) -> Vec<RunUtil> {
+    let arr = doc
+        .get("runs")
+        .or_else(|| doc.get("records"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    arr.iter()
+        .filter_map(|r| {
+            let util = r.get("util")?.clone();
+            Some(RunUtil {
+                label: r
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                system: r
+                    .get("system")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                nodes: r.get("nodes").and_then(Value::as_u64).unwrap_or(0),
+                util,
+            })
+        })
+        .collect()
+}
+
+/// The ranked verdict line for one run's utilization summary.
+///
+/// Candidates, each a (utilization, description) pair: leader NIC egress,
+/// the busiest follower's NIC egress, and leader CPU. The most-utilized one
+/// wins; the tail clause turns the dominant byte kind into a prescription.
+pub fn verdict_line(system: &str, nodes: u64, util: &Value) -> String {
+    let leader_egress = num(util, &["leader", "egress_util_pct"]);
+    let follower_egress = num(util, &["followers", "peak_egress_util_pct"]);
+    let leader_cpu = num(util, &["leader", "cpu_util_pct"]);
+    let payload_share = num(util, &["leader", "payload_share_pct"]);
+
+    let head = format!("bottleneck {system}@{nodes}");
+    let top = leader_egress.max(follower_egress).max(leader_cpu);
+    if top < SATURATION_FLOOR_PCT {
+        return format!(
+            "{head}: no saturated resource (leader egress {leader_egress:.1}%, \
+             peak follower egress {follower_egress:.1}%, leader cpu {leader_cpu:.1}%)"
+        );
+    }
+    if top == leader_egress {
+        let total = num(util, &["tx_bytes", "total"]);
+        let ack_share = share(num(util, &["tx_bytes", "ack"]) as u64, total as u64);
+        if payload_share >= 50.0 {
+            format!(
+                "{head}: leader egress {leader_egress:.1}% utilized, {payload_share:.1}% of \
+                 bytes are payload fan-out — ring dissemination candidate"
+            )
+        } else if ack_share > payload_share {
+            format!(
+                "{head}: leader egress {leader_egress:.1}% utilized, {ack_share:.1}% of bytes \
+                 are acks — ack batching/elision candidate"
+            )
+        } else {
+            format!(
+                "{head}: leader egress {leader_egress:.1}% utilized \
+                 (payload share {payload_share:.1}%)"
+            )
+        }
+    } else if top == follower_egress {
+        format!(
+            "{head}: follower egress {follower_egress:.1}% utilized (node {}) — \
+             dissemination already spread; look at per-follower work",
+            num(util, &["followers", "peak_node"]) as i64
+        )
+    } else {
+        format!(
+            "{head}: leader cpu {leader_cpu:.1}% utilized — cpu-bound; \
+             batching/elision candidate"
+        )
+    }
+}
+
+fn table_row(out: &mut String, cols: &[String], widths: &[usize]) {
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{c:>w$}", w = widths[i]));
+    }
+    out.push('\n');
+}
+
+/// Render the full `--bottleneck` report for a parsed document: one block
+/// per run with a `"util"` member (byte totals by kind, CPU share by stage,
+/// egress share, top talkers, hottest links) followed by the ranked verdict
+/// lines. Returns `Err` when the document carries no utilization summaries
+/// at all (an old export).
+pub fn bottleneck_report(doc: &Value) -> Result<String, String> {
+    let runs = collect_runs(doc);
+    if runs.is_empty() {
+        return Err(
+            "no \"util\" members found — document predates the resource-utilization layer"
+                .to_string(),
+        );
+    }
+    let mut out = String::new();
+    for r in &runs {
+        out.push_str(&format!(
+            "== {} ({}, n={}) ==\n",
+            r.label, r.system, r.nodes
+        ));
+        let total = num(&r.util, &["tx_bytes", "total"]);
+        out.push_str("bytes by kind:\n");
+        for k in MsgKind::ALL {
+            let b = num(&r.util, &["tx_bytes", k.name()]);
+            out.push_str(&format!(
+                "  {:>10}  {:>14}  {:>5.1}%\n",
+                k.name(),
+                b as u64,
+                share(b as u64, total as u64)
+            ));
+        }
+        let cpu_total = num(&r.util, &["cpu_ns", "total"]);
+        out.push_str("cpu by stage:\n");
+        for slot in 0..CPU_SLOTS {
+            let v = num(&r.util, &["cpu_ns", cpu_slot_name(slot)]);
+            if v > 0.0 {
+                out.push_str(&format!(
+                    "  {:>15}  {:>14}  {:>5.1}%\n",
+                    cpu_slot_name(slot),
+                    v as u64,
+                    share(v as u64, cpu_total as u64)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "egress share: leader {:.1}% / followers {:.1}% / clients {:.1}%   \
+             leader egress util {:.1}%, peak follower {:.1}%, leader cpu {:.1}%\n",
+            num(&r.util, &["egress_share_pct", "leader"]),
+            num(&r.util, &["egress_share_pct", "followers"]),
+            num(&r.util, &["egress_share_pct", "clients"]),
+            num(&r.util, &["leader", "egress_util_pct"]),
+            num(&r.util, &["followers", "peak_egress_util_pct"]),
+            num(&r.util, &["leader", "cpu_util_pct"]),
+        ));
+        if let Some(talkers) = r.util.get("top_talkers").and_then(Value::as_array) {
+            out.push_str("top talkers:\n");
+            let widths = [6, 14, 7];
+            for t in talkers {
+                table_row(
+                    &mut out,
+                    &[
+                        format!("n{}", num(t, &["node"]) as u64),
+                        format!("{}", num(t, &["tx_bytes"]) as u64),
+                        format!("{:.1}%", num(t, &["egress_util_pct"])),
+                    ],
+                    &widths,
+                );
+            }
+        }
+        if let Some(links) = r.util.get("top_links").and_then(Value::as_array) {
+            out.push_str("hottest links:\n");
+            let widths = [10, 14, 7];
+            for l in links {
+                table_row(
+                    &mut out,
+                    &[
+                        format!("{}->{}", num(l, &["src"]) as u64, num(l, &["dst"]) as u64),
+                        format!("{}", num(l, &["bytes"]) as u64),
+                        format!("{:.1}%", num(l, &["util_pct"])),
+                    ],
+                    &widths,
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("verdicts:\n");
+    for r in &runs {
+        out.push_str(&format!("{}\n", verdict_line(&r.system, r.nodes, &r.util)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use simnet::{DirStats, LinkRes, NodeRes};
+
+    fn snap() -> ResourceSnapshot {
+        let mut leader = NodeRes::default();
+        leader.tx.bytes[MsgKind::Payload as usize] = 7_000;
+        leader.tx.frames[MsgKind::Payload as usize] = 70;
+        leader.tx.bytes[MsgKind::Control as usize] = 1_000;
+        leader.tx.frames[MsgKind::Control as usize] = 10;
+        leader.tx.busy_ns = 900_000;
+        leader.cpu_ns[1] = 50_000; // leader_recv
+        leader.cpu_ns[simnet::CPU_SLOT_OTHER] = 10_000;
+        leader.cpu_ns[simnet::CPU_SLOT_IDLE] = 700_000; // spinning, not work
+        let mut follower = NodeRes::default();
+        follower.tx.bytes[MsgKind::Ack as usize] = 2_000;
+        follower.tx.frames[MsgKind::Ack as usize] = 40;
+        follower.tx.busy_ns = 100_000;
+        let mut client = NodeRes::default();
+        client.tx.bytes[MsgKind::Payload as usize] = 500;
+        client.tx.frames[MsgKind::Payload as usize] = 5;
+        client.tx.busy_ns = 20_000;
+        let link = LinkRes {
+            src: 0,
+            dst: 1,
+            stats: DirStats {
+                bytes: [7_000, 0, 0, 1_000],
+                frames: [70, 0, 0, 10],
+                busy_ns: 900_000,
+            },
+        };
+        ResourceSnapshot {
+            elapsed_ns: 1_000_000,
+            nodes: vec![leader, follower, client],
+            links: vec![link],
+        }
+    }
+
+    #[test]
+    fn summary_is_valid_json_with_fixed_members() {
+        let s = summary_json(&snap(), 2);
+        let v = json::parse(&s).expect("valid JSON");
+        assert_eq!(num(&v, &["elapsed_ns"]), 1_000_000.0);
+        assert_eq!(num(&v, &["tx_bytes", "payload"]), 7_500.0);
+        assert_eq!(num(&v, &["tx_bytes", "total"]), 10_500.0);
+        assert_eq!(num(&v, &["leader", "egress_util_pct"]), 90.0);
+        // 50k leader_recv + 10k other count as work; 700k idle_poll does not.
+        assert_eq!(num(&v, &["leader", "cpu_util_pct"]), 6.0);
+        assert_eq!(num(&v, &["cpu_ns", "idle_poll"]), 700_000.0);
+        assert_eq!(num(&v, &["followers", "peak_node"]), 1.0);
+        assert_eq!(num(&v, &["clients", "tx_bytes"]), 500.0);
+        // Deterministic rendering: same snapshot, same bytes.
+        assert_eq!(s, summary_json(&snap(), 2));
+    }
+
+    #[test]
+    fn verdict_names_leader_egress_payload_fanout() {
+        let s = summary_json(&snap(), 2);
+        let v = json::parse(&s).unwrap();
+        let line = verdict_line("acuerdo", 2, &v);
+        assert!(line.starts_with("bottleneck acuerdo@2: leader egress 90.0% utilized"));
+        assert!(line.contains("ring dissemination candidate"), "{line}");
+    }
+
+    #[test]
+    fn quiet_cluster_has_no_bottleneck() {
+        let mut r = snap();
+        for n in &mut r.nodes {
+            n.tx.busy_ns /= 100;
+            n.cpu_ns = [0; CPU_SLOTS];
+        }
+        let v = json::parse(&summary_json(&r, 2)).unwrap();
+        let line = verdict_line("acuerdo", 2, &v);
+        assert!(line.contains("no saturated resource"), "{line}");
+    }
+
+    #[test]
+    fn report_renders_tables_and_verdicts() {
+        let doc = json::parse(&format!(
+            "{{\"runs\":[{{\"label\":\"acuerdo-n3\",\"system\":\"acuerdo\",\"nodes\":3,\
+             \"util\":{}}}]}}",
+            summary_json(&snap(), 2)
+        ))
+        .unwrap();
+        let rep = bottleneck_report(&doc).unwrap();
+        assert!(rep.contains("== acuerdo-n3 (acuerdo, n=3) =="));
+        assert!(rep.contains("bottleneck acuerdo@3"));
+        // A document with no util members is rejected, not rendered empty.
+        let old = json::parse("{\"runs\":[{\"label\":\"x\"}]}").unwrap();
+        assert!(bottleneck_report(&old).is_err());
+    }
+}

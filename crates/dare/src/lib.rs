@@ -30,7 +30,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::Rng;
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
-use simnet::{Ctx, DeliveryClass, NetParams, NodeId, Process, Sim, SimTime};
+use simnet::{Ctx, DeliveryClass, MsgKind, NetParams, NodeId, Process, Sim, SimTime, SpanStage};
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
@@ -325,7 +325,7 @@ impl DareNode {
             self.dropped_requests += 1;
             return;
         }
-        ctx.use_cpu(cpu::CLIENT_INGEST);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::CLIENT_INGEST);
         self.pending.push_back((from, req.id, req.payload));
     }
 
@@ -352,9 +352,14 @@ impl DareNode {
                 // write individually signaled.
                 for j in 0..self.cfg.n {
                     if j != self.me {
-                        let _ = self
-                            .ep
-                            .post_write(ctx, j, self.log_region, off, entry.clone());
+                        let _ = self.ep.post_write(
+                            ctx,
+                            j,
+                            self.log_region,
+                            off,
+                            entry.clone(),
+                            MsgKind::Payload,
+                        );
                     }
                 }
                 self.phase = Phase::AwaitEntry {
@@ -379,9 +384,14 @@ impl DareNode {
                 let data = Bytes::copy_from_slice(self.ep.read(self.ctrl_region, 0, CTRL_LEN));
                 for j in 0..self.cfg.n {
                     if j != self.me {
-                        let _ = self
-                            .ep
-                            .post_write(ctx, j, self.ctrl_region, 0, data.clone());
+                        let _ = self.ep.post_write(
+                            ctx,
+                            j,
+                            self.ctrl_region,
+                            0,
+                            data.clone(),
+                            MsgKind::Control,
+                        );
                     }
                 }
                 self.phase = Phase::AwaitPointer { end, count };
@@ -420,7 +430,7 @@ impl DareNode {
             let Some((term, client, id, payload)) = decode_entry(raw) else {
                 break; // torn prefix: wait for the rest
             };
-            ctx.use_cpu(DELIVER_COST);
+            ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
             let hdr = MsgHdr::new(Epoch::new(term, 0), self.applied_count as u32 + 1);
             self.app.deliver(hdr, &payload);
             self.delivered_count += 1;
@@ -547,9 +557,9 @@ impl DareNode {
         let data = Bytes::copy_from_slice(self.ep.read(self.ctrl_region, 0, CTRL_LEN));
         for j in 0..self.cfg.n {
             if j != self.me {
-                let _ = self
-                    .ep
-                    .post_write(ctx, j, self.ctrl_region, 0, data.clone());
+                let _ =
+                    self.ep
+                        .post_write(ctx, j, self.ctrl_region, 0, data.clone(), MsgKind::Control);
             }
         }
     }
@@ -576,9 +586,9 @@ impl DareNode {
         let data = Bytes::copy_from_slice(self.ep.read(self.ctrl_region, 0, CTRL_LEN));
         for j in 0..self.cfg.n {
             if j != self.me {
-                let _ = self
-                    .ep
-                    .post_write(ctx, j, self.ctrl_region, 0, data.clone());
+                let _ =
+                    self.ep
+                        .post_write(ctx, j, self.ctrl_region, 0, data.clone(), MsgKind::Control);
             }
         }
     }
@@ -607,7 +617,7 @@ impl Process<DareWire> for DareNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<DareWire>, token: u64) {
         if token == TOK_POLL {
-            ctx.use_cpu(cpu::POLL_IDLE);
+            ctx.use_cpu_idle(cpu::POLL_IDLE);
             self.apply(ctx);
             self.pump(ctx);
             ctx.set_timer(self.cfg.poll_interval, TOK_POLL);

@@ -8,8 +8,8 @@ use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
 use simnet::params::cpu;
 use simnet::FastMap;
 use simnet::{
-    client_span, msg_span, Counter, Ctx, DeliveryClass, Event, Gauge, NodeId, Process, SimTime,
-    SpanStage,
+    client_span, msg_span, Counter, Ctx, DeliveryClass, Event, Gauge, MsgKind, NodeId, Process,
+    SimTime, SpanStage,
 };
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -373,9 +373,9 @@ impl DerechoNode {
         let data = Bytes::from(row);
         for &m in &self.members.clone() {
             if m != self.me {
-                let _ = self
-                    .ep
-                    .post_write(ctx, m, self.row_region, off, data.clone());
+                let _ =
+                    self.ep
+                        .post_write(ctx, m, self.row_region, off, data.clone(), MsgKind::Ack);
             }
         }
     }
@@ -411,7 +411,7 @@ impl DerechoNode {
             self.dropped_requests += 1;
             return;
         }
-        ctx.use_cpu(cpu::CLIENT_INGEST);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::CLIENT_INGEST);
         ctx.span(
             Self::dspan(self.me, self.my_sent),
             SpanStage::LeaderRecv,
@@ -441,7 +441,10 @@ impl DerechoNode {
             let mut next = self.lane_next[&m];
             while next < self.my_sent {
                 let frame = self.sent_frames[&next].clone();
-                match self.out_ring.send_to(ctx, &mut self.ep, m, &frame) {
+                match self
+                    .out_ring
+                    .send_to(ctx, &mut self.ep, m, &frame, MsgKind::Payload)
+                {
                     Ok(_) => {
                         if frame[0] == 1 {
                             ctx.span(Self::dspan(self.me, next), SpanStage::RingWrite, m as u64);
@@ -485,7 +488,7 @@ impl DerechoNode {
     fn drain_rings(&mut self, ctx: &mut Ctx<DcWire>) {
         for s in 0..self.cfg.n {
             for (seq, raw) in self.in_rings[s].poll(&mut self.ep) {
-                ctx.use_cpu(cpu::FRAME_PROC);
+                ctx.use_cpu_at(SpanStage::FollowerAccept, cpu::FRAME_PROC);
                 if let Some(body) = decode_body(raw) {
                     if seq >= self.delivered_upto[s] {
                         if matches!(body, Body::Data { .. }) {
@@ -643,7 +646,7 @@ impl DerechoNode {
             payload,
         } = body
         {
-            ctx.use_cpu(DELIVER_COST);
+            ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
             ctx.span(Self::dspan(sender, seq), SpanStage::Commit, 0);
             let hdr = match self.cfg.mode {
                 Mode::AllSender => MsgHdr::new(Epoch::new(seq as u32, sender as u32), 1),
@@ -850,7 +853,7 @@ impl Process<DcWire> for DerechoNode {
     fn on_timer(&mut self, ctx: &mut Ctx<DcWire>, token: u64) {
         match token {
             TOK_POLL => {
-                ctx.use_cpu(cpu::POLL_IDLE);
+                ctx.use_cpu_idle(cpu::POLL_IDLE);
                 self.drain_rings(ctx);
                 self.observe_stability(ctx);
                 self.make_nulls(ctx);

@@ -24,7 +24,8 @@ use bytes::Bytes;
 use simnet::params::cpu;
 use simnet::FastMap;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, MsgKind, NetParams, NodeId, Process, Sim,
+    SpanStage,
 };
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -152,8 +153,13 @@ impl PaxosNode {
     }
 
     fn send(&self, ctx: &mut Ctx<PxWire>, dst: NodeId, wire: u32, msg: PxWire) {
-        ctx.use_cpu(cpu::TCP_SEND);
-        ctx.send(dst, DeliveryClass::Cpu, wire, msg);
+        ctx.use_cpu_at(SpanStage::RingWrite, cpu::TCP_SEND);
+        let kind = match &msg {
+            PxWire::Req(_) | PxWire::Accept { .. } | PxWire::Learn { .. } => MsgKind::Payload,
+            PxWire::Accepted { .. } => MsgKind::Ack,
+            PxWire::Resp(_) => MsgKind::Control,
+        };
+        ctx.send_kind(dst, DeliveryClass::Cpu, wire, kind, msg);
     }
 
     /// Lifecycle span id of an instance — the same `(1, 0, inst + 1)`
@@ -283,7 +289,7 @@ impl PaxosNode {
         // Deliver in instance order, no gaps.
         while let Some((client, id, value)) = self.chosen.remove(&self.delivered) {
             let inst = self.delivered;
-            ctx.use_cpu(DELIVER_COST);
+            ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
             ctx.span(Self::pspan(inst), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(1, 0), inst as u32 + 1);
             self.app.deliver(hdr, &value);

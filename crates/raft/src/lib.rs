@@ -23,8 +23,8 @@ use rand::Rng;
 use simnet::params::cpu;
 use simnet::FastMap;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
-    SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, MsgKind, NetParams, NodeId, Process, Sim,
+    SimTime, SpanStage,
 };
 use std::time::Duration;
 
@@ -290,8 +290,14 @@ impl RaftNode {
     }
 
     fn send(&self, ctx: &mut Ctx<RfWire>, dst: NodeId, wire: u32, msg: RfWire) {
-        ctx.use_cpu(cpu::TCP_SEND);
-        ctx.send(dst, DeliveryClass::Cpu, wire, msg);
+        ctx.use_cpu_at(SpanStage::RingWrite, cpu::TCP_SEND);
+        let kind = match &msg {
+            RfWire::Req(_) => MsgKind::Payload,
+            RfWire::AppendEntries { entries, .. } if !entries.is_empty() => MsgKind::Payload,
+            RfWire::AppendReply { .. } => MsgKind::Ack,
+            _ => MsgKind::Control,
+        };
+        ctx.send_kind(dst, DeliveryClass::Cpu, wire, kind, msg);
     }
 
     fn arm_election_timer(&mut self, ctx: &mut Ctx<RfWire>) {
@@ -325,8 +331,8 @@ impl RaftNode {
             return;
         }
         // gRPC + Raft bookkeeping + WAL fsync for the new entry.
-        ctx.use_cpu(cpu::ETCD_ENTRY);
-        ctx.use_cpu(cpu::ETCD_FSYNC);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::ETCD_ENTRY);
+        ctx.use_cpu_at(SpanStage::Commit, cpu::ETCD_FSYNC);
         self.log.push(Entry {
             term: self.term,
             client: from as u32,
@@ -405,7 +411,7 @@ impl RaftNode {
             self.last_applied += 1;
             let idx = self.last_applied;
             let e = self.log[idx as usize - 1].clone();
-            ctx.use_cpu(DELIVER_COST);
+            ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
             ctx.span(Self::ispan(e.term, idx), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(e.term, 0), idx as u32);
             self.app.deliver(hdr, &e.payload);
@@ -578,7 +584,7 @@ impl RaftNode {
         // Append: delete conflicts, append new entries, fsync once per RPC.
         let appended = entries.len() as u64;
         if !entries.is_empty() {
-            ctx.use_cpu(cpu::ETCD_FSYNC);
+            ctx.use_cpu_at(SpanStage::Commit, cpu::ETCD_FSYNC);
             let mut idx = prev_idx;
             for e in entries {
                 idx += 1;

@@ -27,7 +27,7 @@
 
 use bytes::Bytes;
 use rdma_sim::{Endpoint, PostError, RdmaPkt, RegionId};
-use simnet::{Counter, Ctx, NodeId};
+use simnet::{Counter, Ctx, MsgKind, NodeId};
 use std::collections::VecDeque;
 
 /// Bytes of framing prepended to every payload: 4-byte length + 8-byte seq.
@@ -177,13 +177,16 @@ impl RingSender {
 
     /// Send `payload` to `dst`; returns the frame's transport sequence
     /// number. Fails with [`RingError::Full`] when the receiver has not yet
-    /// acknowledged enough earlier frames.
+    /// acknowledged enough earlier frames. `kind` classifies the frame's
+    /// bytes for resource accounting; the wrap marker and split-mode counter
+    /// posts inherit it (they exist only to publish this frame).
     pub fn send_to<M: From<RdmaPkt>>(
         &mut self,
         ctx: &mut Ctx<M>,
         ep: &mut Endpoint,
         dst: NodeId,
         payload: &[u8],
+        kind: MsgKind,
     ) -> Result<u64, RingError> {
         let cap = self.cap;
         let mode = self.mode;
@@ -220,6 +223,7 @@ impl RingSender {
                     region,
                     pos as u32,
                     Bytes::copy_from_slice(&WRAP.to_le_bytes()),
+                    kind,
                 )
                 .map_err(RingError::Post)?;
             }
@@ -234,7 +238,7 @@ impl RingSender {
         frame.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
         frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(payload);
-        ep.post_write(ctx, dst, region, pos, Bytes::from(frame))
+        ep.post_write(ctx, dst, region, pos, Bytes::from(frame), kind)
             .map_err(RingError::Post)?;
         if mode == RingMode::Split {
             ep.post_write(
@@ -243,6 +247,7 @@ impl RingSender {
                 region,
                 cap as u32,
                 Bytes::copy_from_slice(&(seq + 1).to_le_bytes()),
+                kind,
             )
             .map_err(RingError::Post)?;
         }
@@ -427,7 +432,10 @@ mod tests {
                 self.ring.ack(self.dst, acked - 1);
             }
             while let Some(p) = self.to_send.front() {
-                match self.ring.send_to(ctx, &mut self.ep, self.dst, p) {
+                match self
+                    .ring
+                    .send_to(ctx, &mut self.ep, self.dst, p, MsgKind::Payload)
+                {
                     Ok(_) => {
                         self.to_send.pop_front();
                     }
@@ -470,9 +478,14 @@ mod tests {
                     self.ep
                         .write_local(self.ack_region, 0, &acked.to_le_bytes());
                     let data = Bytes::copy_from_slice(self.ep.read(self.ack_region, 0, 8));
-                    let _ = self
-                        .ep
-                        .post_write(ctx, self.sender, self.ack_region, 0, data);
+                    let _ = self.ep.post_write(
+                        ctx,
+                        self.sender,
+                        self.ack_region,
+                        0,
+                        data,
+                        MsgKind::Ack,
+                    );
                 }
             }
             self.got.extend(batch);
@@ -656,7 +669,11 @@ mod tests {
         }
         impl Process<Wire> for Once {
             fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
-                self.out = Some(self.ring.send_to(ctx, &mut self.ep, 1, &[0u8; 60]));
+                self.out =
+                    Some(
+                        self.ring
+                            .send_to(ctx, &mut self.ep, 1, &[0u8; 60], MsgKind::Payload),
+                    );
             }
             fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {
                 self.ep.on_packet(ctx, from, msg.0);
@@ -700,8 +717,12 @@ mod tests {
         }
         impl Process<Wire> for S {
             fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
-                self.ring.send_to(ctx, &mut self.ep, 1, b"one").unwrap();
-                self.ring.send_to(ctx, &mut self.ep, 1, b"two").unwrap();
+                self.ring
+                    .send_to(ctx, &mut self.ep, 1, b"one", MsgKind::Payload)
+                    .unwrap();
+                self.ring
+                    .send_to(ctx, &mut self.ep, 1, b"two", MsgKind::Payload)
+                    .unwrap();
                 ctx.set_timer(Duration::from_micros(100), 0);
             }
             fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {
@@ -709,7 +730,10 @@ mod tests {
             }
             fn on_timer(&mut self, ctx: &mut Ctx<Wire>, _t: u64) {
                 self.ring.retarget_lane(1, RegionId(2));
-                let seq = self.ring.send_to(ctx, &mut self.ep, 1, b"three").unwrap();
+                let seq = self
+                    .ring
+                    .send_to(ctx, &mut self.ep, 1, b"three", MsgKind::Payload)
+                    .unwrap();
                 assert_eq!(seq, 0, "retarget restarts the sequence space");
             }
         }
@@ -774,10 +798,14 @@ mod tests {
         }
         impl Process<Wire> for Multi {
             fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
-                self.ring.send_to(ctx, &mut self.ep, 1, b"to-one").unwrap();
-                self.ring.send_to(ctx, &mut self.ep, 2, b"to-two").unwrap();
                 self.ring
-                    .send_to(ctx, &mut self.ep, 2, b"more-two")
+                    .send_to(ctx, &mut self.ep, 1, b"to-one", MsgKind::Payload)
+                    .unwrap();
+                self.ring
+                    .send_to(ctx, &mut self.ep, 2, b"to-two", MsgKind::Payload)
+                    .unwrap();
+                self.ring
+                    .send_to(ctx, &mut self.ep, 2, b"more-two", MsgKind::Payload)
                     .unwrap();
             }
             fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: NodeId, msg: Wire) {

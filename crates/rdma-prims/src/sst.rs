@@ -2,7 +2,7 @@
 
 use crate::codec::FixedCodec;
 use rdma_sim::{Endpoint, PostError, RdmaPkt, RegionId};
-use simnet::{Counter, Ctx, NodeId};
+use simnet::{Counter, Ctx, MsgKind, NodeId};
 use std::marker::PhantomData;
 
 /// A replicated array of `n` cells of type `T`, one per node.
@@ -99,7 +99,8 @@ impl<T: FixedCodec> Sst<T> {
         let off = (self.me * T::SIZE) as u32;
         let data = bytes::Bytes::copy_from_slice(ep.read(self.region, off, T::SIZE));
         ctx.count(Counter::SstPushes, 1);
-        ep.post_write(ctx, peer, self.region, off, data)
+        // SST rows carry acknowledgment/visibility state, never payload.
+        ep.post_write(ctx, peer, self.region, off, data, MsgKind::Ack)
     }
 
     /// Replicate this node's slot to every node in `peers` except itself.

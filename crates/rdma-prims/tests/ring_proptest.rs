@@ -6,7 +6,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
-use simnet::{Ctx, NetParams, NodeId, Process, Sim, SimTime};
+use simnet::{Ctx, MsgKind, NetParams, NodeId, Process, Sim, SimTime};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -38,7 +38,7 @@ impl Process<Wire> for Sender {
             self.ring.ack(1, acked - 1);
         }
         while let Some(p) = self.to_send.front() {
-            match self.ring.send_to(ctx, &mut self.ep, 1, p) {
+            match self.ring.send_to(ctx, &mut self.ep, 1, p, MsgKind::Payload) {
                 Ok(_) => {
                     self.to_send.pop_front();
                 }
@@ -69,7 +69,9 @@ impl Process<Wire> for Receiver {
             let upto = self.ring.next_seq();
             self.ep.write_local(self.ack_region, 0, &upto.to_le_bytes());
             let data = Bytes::copy_from_slice(self.ep.read(self.ack_region, 0, 8));
-            let _ = self.ep.post_write(ctx, 0, self.ack_region, 0, data);
+            let _ = self
+                .ep
+                .post_write(ctx, 0, self.ack_region, 0, data, MsgKind::Ack);
             self.got.extend(batch.into_iter().map(|(_, p)| p));
         }
         ctx.set_timer(Duration::from_micros(1), 0);

@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use rdma_prims::{RingMode, RingReceiver, RingSender};
 use rdma_sim::{Endpoint, QpConfig, RdmaPkt, RegionId};
-use simnet::{Ctx, NetParams, NodeId, Process, Sim, SimTime};
+use simnet::{Ctx, MsgKind, NetParams, NodeId, Process, Sim, SimTime};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -94,7 +94,9 @@ impl Process<Wire> for Node {
                 self.ep
                     .write_local(self.ack_region, off, &upto.to_le_bytes());
                 let data = Bytes::copy_from_slice(self.ep.read(self.ack_region, off, 8));
-                let _ = self.ep.post_write(ctx, s, self.ack_region, off, data);
+                let _ = self
+                    .ep
+                    .post_write(ctx, s, self.ack_region, off, data, MsgKind::Ack);
                 self.got[s].extend(batch);
             }
         }
@@ -106,7 +108,10 @@ impl Process<Wire> for Node {
                 }
             }
             for dst in 0..self.n {
-                match self.out.send_to(ctx, &mut self.ep, dst, p) {
+                match self
+                    .out
+                    .send_to(ctx, &mut self.ep, dst, p, MsgKind::Payload)
+                {
                     Ok(_) => {}
                     Err(e) => {
                         self.errors.push(e);

@@ -27,7 +27,7 @@
 
 use bytes::Bytes;
 use simnet::params::cpu;
-use simnet::{Counter, Ctx, DeliveryClass, NodeId};
+use simnet::{Counter, Ctx, DeliveryClass, MsgKind, NodeId};
 use std::time::Duration;
 
 /// Identifier of a registered memory region. Region ids are assigned in
@@ -225,7 +225,10 @@ impl Endpoint {
     /// Charges the verb-post CPU cost, consumes a send-queue slot, and
     /// requests a completion every `signal_interval` posts. The write is
     /// delivered [`DeliveryClass::Dma`]: it lands in the target's memory even
-    /// if the target process is descheduled.
+    /// if the target process is descheduled. `kind` classifies the bytes for
+    /// the resource-accounting layer (the caller knows whether this write
+    /// carries payload, an SST/ack row, a retransmission, or control state —
+    /// the verb layer does not).
     pub fn post_write<M: From<RdmaPkt>>(
         &mut self,
         ctx: &mut Ctx<M>,
@@ -233,6 +236,7 @@ impl Endpoint {
         region: RegionId,
         offset: u32,
         data: Bytes,
+        kind: MsgKind,
     ) -> Result<(), PostError> {
         let cfg = self.config;
         let qp = self
@@ -256,10 +260,11 @@ impl Endpoint {
         ctx.count(Counter::VerbPosts, 1);
         ctx.use_cpu(cfg.post_cost);
         let wire = data.len() as u32 + WRITE_OVERHEAD;
-        ctx.send(
+        ctx.send_kind(
             dst,
             DeliveryClass::Dma,
             wire,
+            kind,
             M::from(RdmaPkt::Write {
                 region,
                 offset,
@@ -349,10 +354,11 @@ impl Endpoint {
                 self.write_local(region, offset, &data);
                 if let Some(wr) = signal {
                     // Generated by the NIC: no CPU charge.
-                    ctx.send(
+                    ctx.send_kind(
                         from,
                         DeliveryClass::Dma,
                         ACK_WIRE,
+                        MsgKind::Ack,
                         M::from(RdmaPkt::Ack { upto: wr }),
                     );
                 }
@@ -424,10 +430,14 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
             let script = std::mem::take(&mut self.script);
             for (dst, region, offset, data) in script {
-                if let Err(e) = self
-                    .ep
-                    .post_write(ctx, dst, region, offset, Bytes::from(data))
-                {
+                if let Err(e) = self.ep.post_write(
+                    ctx,
+                    dst,
+                    region,
+                    offset,
+                    Bytes::from(data),
+                    MsgKind::Payload,
+                ) {
                     self.post_errors.push(e);
                 }
             }

@@ -1,7 +1,7 @@
 //! The effect context handed to [`Process`](crate::Process) handlers.
 
 use crate::time::SimTime;
-use crate::trace::{Counter, Event, Gauge, Probe, SpanStage, TraceEvent};
+use crate::trace::{Counter, Event, Gauge, MsgKind, Probe, SpanStage, TraceEvent};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use std::time::Duration;
@@ -30,6 +30,8 @@ pub(crate) enum Effect<M> {
         /// CPU accrued in this handler at the moment of the send; the packet
         /// is posted at `dispatch_time + at_cpu`.
         at_cpu: Duration,
+        /// What the message is for (resource-accounting axis).
+        kind: MsgKind,
         msg: M,
     },
     Timer {
@@ -105,9 +107,40 @@ impl<'a, M> Ctx<'a, M> {
     /// Charge `d` of CPU time to this node. Subsequent effects are
     /// timestamped after the charge; CPU-class deliveries and timers for this
     /// node are deferred while it is busy.
+    ///
+    /// The charge is attributed to the `"other"` CPU slot of the resource
+    /// accounting layer; use [`Ctx::use_cpu_at`] where the cost belongs to a
+    /// specific lifecycle stage.
     #[inline]
     pub fn use_cpu(&mut self, d: Duration) {
-        self.cpu += Duration::from_nanos((d.as_nanos() as f64 * self.cpu_scale) as u64);
+        self.charge(SpanStage::COUNT, d);
+    }
+
+    /// Charge `d` of CPU time to this node, attributed to lifecycle `stage`
+    /// in the resource accounting layer. Identical timing semantics to
+    /// [`Ctx::use_cpu`] — attribution is bookkeeping only (a plain array
+    /// add), so swapping one for the other can never perturb a run.
+    #[inline]
+    pub fn use_cpu_at(&mut self, stage: SpanStage, d: Duration) {
+        self.charge(stage as usize, d);
+    }
+
+    /// Charge `d` of CPU time to this node as busy-wait polling (the
+    /// `"idle_poll"` attribution slot). Identical timing semantics to
+    /// [`Ctx::use_cpu`]; the separate slot lets the bottleneck ranker tell a
+    /// core that spins on an empty completion queue apart from one doing
+    /// real work.
+    #[inline]
+    pub fn use_cpu_idle(&mut self, d: Duration) {
+        self.charge(crate::trace::CPU_SLOT_IDLE, d);
+    }
+
+    #[inline]
+    fn charge(&mut self, slot: usize, d: Duration) {
+        let scaled = Duration::from_nanos((d.as_nanos() as f64 * self.cpu_scale) as u64);
+        self.cpu += scaled;
+        self.probe
+            .cpu_charge(self.self_id, slot, scaled.as_nanos() as u64);
     }
 
     /// Total CPU charged so far in this handler invocation.
@@ -118,12 +151,31 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Send `msg` to `dst`. `wire_bytes` is the logical size on the wire
     /// (clamped up to the NIC minimum by the network model).
+    ///
+    /// The message is accounted as [`MsgKind::Control`]; hot paths that move
+    /// payload or acknowledgements tag themselves through
+    /// [`Ctx::send_kind`].
     pub fn send(&mut self, dst: NodeId, class: DeliveryClass, wire_bytes: u32, msg: M) {
+        self.send_kind(dst, class, wire_bytes, MsgKind::Control, msg);
+    }
+
+    /// [`Ctx::send`] with an explicit [`MsgKind`] for the resource
+    /// accounting layer. The kind changes byte attribution only — never
+    /// routing, timing, or delivery.
+    pub fn send_kind(
+        &mut self,
+        dst: NodeId,
+        class: DeliveryClass,
+        wire_bytes: u32,
+        kind: MsgKind,
+        msg: M,
+    ) {
         self.effects.push(Effect::Send {
             dst,
             class,
             wire_bytes,
             at_cpu: self.cpu,
+            kind,
             msg,
         });
     }

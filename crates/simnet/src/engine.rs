@@ -325,9 +325,13 @@ impl<M: 'static> Sim<M> {
         self.probe.take_events()
     }
 
-    /// Snapshot every node's counters and final gauge levels.
+    /// Snapshot every node's counters and final gauge levels. The resource
+    /// snapshot's elapsed clock is stamped from the engine's virtual time so
+    /// utilization (busy / elapsed) can be computed by consumers.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.probe.snapshot()
+        let mut m = self.probe.snapshot();
+        m.res.elapsed_ns = self.now.as_nanos();
+        m
     }
 
     /// Read one node's counter.
@@ -933,7 +937,11 @@ impl<M: 'static> Sim<M> {
                 (Effect::Send { .. }, Prep::Skip) => {}
                 (
                     Effect::Send {
-                        dst, class, msg, ..
+                        dst,
+                        class,
+                        kind,
+                        msg,
+                        ..
                     },
                     Prep::Routed { info, post },
                 ) => {
@@ -941,6 +949,25 @@ impl<M: 'static> Sim<M> {
                     self.probe
                         .count(node, Counter::WireBytes, u64::from(info.wire_bytes));
                     self.probe.count(node, Counter::Packets, 1);
+                    // Resource accounting (always on, plain adds): the exact
+                    // egress-serialization interval feeds link and NIC-egress
+                    // utilization; ingress busy mirrors the NicIngress trace
+                    // rule, so loopback (no NIC traversed) is not accounted.
+                    self.probe.account_tx(
+                        node,
+                        dst,
+                        kind,
+                        u64::from(info.wire_bytes),
+                        info.depart.as_nanos() - info.depart_start.as_nanos(),
+                    );
+                    if dst != node {
+                        self.probe.account_rx(
+                            dst,
+                            kind,
+                            u64::from(info.wire_bytes),
+                            info.delivered.as_nanos() - info.ingress_start.as_nanos(),
+                        );
+                    }
                     if self.probe.recording() {
                         self.probe.record(TraceEvent::Send {
                             at: post,

@@ -324,6 +324,206 @@ pub struct GaugeSample {
     pub value: u64,
 }
 
+/// What a message on the wire *is for*, from the protocol's point of view.
+///
+/// Every send carries a kind (default [`MsgKind::Control`]; protocol crates
+/// tag their hot paths through [`Ctx::send_kind`](crate::Ctx::send_kind) and
+/// the RDMA post wrappers), and the engine splits per-link and per-NIC byte
+/// accounting by it — the axis the bottleneck ranker reasons over: a leader
+/// whose egress is payload fan-out wants ring dissemination; one drowning in
+/// acks wants batching.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum MsgKind {
+    /// Application payload moving toward replicas: client requests, ring
+    /// data frames, AppendEntries/Propose/Accept with entries, log-entry
+    /// RDMA writes.
+    Payload,
+    /// Acknowledgement traffic: SST cell pushes (accept/commit/vote cells),
+    /// AppendReply/Ack/Accepted, ring cumulative-ack writes, and hardware
+    /// write-completion acks.
+    Ack,
+    /// Client-side retransmissions of requests already sent once.
+    Retransmit,
+    /// Everything else: heartbeats, elections, view changes, recovery
+    /// diffs/state transfer, client responses, read probes.
+    Control,
+}
+
+impl MsgKind {
+    /// Number of message kinds.
+    pub const COUNT: usize = 4;
+
+    /// All kinds, in slot order.
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::Payload,
+        MsgKind::Ack,
+        MsgKind::Retransmit,
+        MsgKind::Control,
+    ];
+
+    /// Stable snake_case name (JSON key in utilization summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Payload => "payload",
+            MsgKind::Ack => "ack",
+            MsgKind::Retransmit => "retransmit",
+            MsgKind::Control => "control",
+        }
+    }
+
+    /// Inverse of [`name`](MsgKind::name) (used by report ingestion).
+    pub fn from_name(s: &str) -> Option<MsgKind> {
+        MsgKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+// Same registry-desync guard as for `Counter` and `Gauge`.
+const _: () = {
+    assert!(MsgKind::ALL.len() == MsgKind::COUNT);
+    let mut i = 0;
+    while i < MsgKind::COUNT {
+        assert!(
+            MsgKind::ALL[i] as usize == i,
+            "ALL must list slots in order"
+        );
+        i += 1;
+    }
+};
+
+/// Number of CPU-attribution slots: one per [`SpanStage`] plus two trailing
+/// slots — `"other"` for charges made through plain
+/// [`Ctx::use_cpu`](crate::Ctx::use_cpu) (verb posts, election work, TCP
+/// demux — real cost that belongs to no single message lifecycle stage) and
+/// `"idle_poll"` for busy-wait poll ticks charged through
+/// [`Ctx::use_cpu_idle`](crate::Ctx::use_cpu_idle). The split matters
+/// because an RDMA process idles by spinning on an empty completion queue:
+/// its core is 100% busy in wall-clock terms while doing no work, so
+/// `idle_poll` is counted as scheduler busy time but excluded from CPU
+/// *utilization* by the bottleneck ranker.
+pub const CPU_SLOTS: usize = SpanStage::COUNT + 2;
+
+/// Index of the `"other"` slot (plain `use_cpu` charges).
+pub const CPU_SLOT_OTHER: usize = SpanStage::COUNT;
+
+/// Index of the `"idle_poll"` slot (busy-wait poll ticks).
+pub const CPU_SLOT_IDLE: usize = SpanStage::COUNT + 1;
+
+/// JSON key of CPU slot `i` ([`SpanStage::name`] for stage slots, `"other"`
+/// and `"idle_poll"` for the trailing slots).
+pub fn cpu_slot_name(i: usize) -> &'static str {
+    if i < SpanStage::COUNT {
+        SpanStage::ALL[i].name()
+    } else if i == CPU_SLOT_OTHER {
+        "other"
+    } else {
+        "idle_poll"
+    }
+}
+
+/// Byte/frame/busy tallies for one direction of one NIC, or for one directed
+/// link, split by [`MsgKind`].
+///
+/// `busy_ns` integrates serializer occupancy: for egress it sums exact
+/// serialization intervals (`depart - depart_start`), for ingress the
+/// receive-side intervals; divided by elapsed sim time it is the classic
+/// utilization fraction.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Wire bytes (after min-wire-size clamping), by kind slot.
+    pub bytes: [u64; MsgKind::COUNT],
+    /// Frames (packets), by kind slot.
+    pub frames: [u64; MsgKind::COUNT],
+    /// Nanoseconds the serializer spent on these frames.
+    pub busy_ns: u64,
+}
+
+impl DirStats {
+    /// Total bytes across kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total frames across kinds.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.iter().sum()
+    }
+
+    fn add(&mut self, kind: MsgKind, bytes: u64, busy_ns: u64) {
+        self.bytes[kind as usize] += bytes;
+        self.frames[kind as usize] += 1;
+        self.busy_ns += busy_ns;
+    }
+}
+
+/// One node's resource tallies: NIC egress, NIC ingress, and attributed CPU
+/// busy-time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeRes {
+    /// Egress-NIC accounting (everything this node put on the wire).
+    pub tx: DirStats,
+    /// Ingress-NIC accounting (everything delivered to this node, loopback
+    /// excluded).
+    pub rx: DirStats,
+    /// CPU busy nanoseconds by attribution slot (see [`CPU_SLOTS`]); the sum
+    /// over slots equals the node's total charged CPU time.
+    pub cpu_ns: [u64; CPU_SLOTS],
+}
+
+impl NodeRes {
+    /// Total attributed CPU nanoseconds, busy-wait polling included.
+    pub fn cpu_total_ns(&self) -> u64 {
+        self.cpu_ns.iter().sum()
+    }
+
+    /// CPU nanoseconds spent on real work: everything except the
+    /// `"idle_poll"` slot. This is the numerator of the utilization the
+    /// bottleneck ranker compares against NIC busy time — a spinning poll
+    /// loop occupies a core without being a throughput limiter.
+    pub fn cpu_work_ns(&self) -> u64 {
+        self.cpu_total_ns() - self.cpu_ns[CPU_SLOT_IDLE]
+    }
+}
+
+/// Tallies for one directed link `src -> dst`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LinkRes {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Byte/frame/busy tallies for the link's traffic (busy is the sender's
+    /// egress serialization time spent on this link's frames).
+    pub stats: DirStats,
+}
+
+/// A point-in-time copy of the resource-utilization layer: per-node NIC and
+/// CPU tallies plus per-directed-link tallies, with the elapsed sim time
+/// needed to turn busy integrals into utilization fractions.
+///
+/// Accounting is **always on** and zero-perturbation: plain array adds on
+/// paths the engine already executes, no RNG draws, no CPU charges, no queue
+/// touches — traced and untraced runs of one seed produce identical
+/// snapshots (`tests/observability.rs`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourceSnapshot {
+    /// Sim time elapsed at snapshot (0 when taken outside an engine, e.g.
+    /// straight off a [`Probe`]).
+    pub elapsed_ns: u64,
+    /// One [`NodeRes`] per node, indexed by [`NodeId`].
+    pub nodes: Vec<NodeRes>,
+    /// Directed links with at least one frame, sorted by `(src, dst)` —
+    /// deterministic regardless of accounting order.
+    pub links: Vec<LinkRes>,
+}
+
+impl ResourceSnapshot {
+    /// Cluster-total egress bytes of `kind`.
+    pub fn tx_bytes(&self, kind: MsgKind) -> u64 {
+        self.nodes.iter().map(|n| n.tx.bytes[kind as usize]).sum()
+    }
+}
+
 /// A protocol-level instant: a static name plus up to two numeric arguments
 /// (what they mean is up to the emitting protocol — typically an epoch and a
 /// sequence number).
@@ -611,6 +811,11 @@ pub struct Probe {
     /// from `events[flight_synced..]` only when something reads or
     /// reconfigures them. This keeps the traced hot path to one `Vec` push.
     flight_synced: usize,
+    /// Per-node NIC/CPU resource tallies (always on), parallel to `counters`.
+    res_nodes: Vec<NodeRes>,
+    /// Per-directed-link tallies; sparse because most protocols use O(n) of
+    /// the n² possible links. Sorted into determinism at snapshot time.
+    res_links: std::collections::HashMap<(NodeId, NodeId), DirStats>,
 }
 
 impl Default for Probe {
@@ -627,6 +832,8 @@ impl Default for Probe {
             flight_seq: 0,
             flight: Vec::new(),
             flight_synced: 0,
+            res_nodes: Vec::new(),
+            res_links: std::collections::HashMap::new(),
         }
     }
 }
@@ -657,6 +864,9 @@ impl Probe {
         }
         if node >= self.flight.len() {
             self.flight.resize_with(node + 1, Default::default);
+        }
+        if node >= self.res_nodes.len() {
+            self.res_nodes.resize(node + 1, NodeRes::default());
         }
     }
 
@@ -867,6 +1077,65 @@ impl Probe {
         self.counters.get(node).map_or(0, |s| s.get(c))
     }
 
+    /// Account one frame leaving `src` toward `dst`: egress-NIC and
+    /// directed-link tallies. `busy_ns` is the frame's exact egress
+    /// serialization time. Always on; plain adds only.
+    #[inline]
+    pub fn account_tx(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        bytes: u64,
+        busy_ns: u64,
+    ) {
+        self.ensure_node(src);
+        self.res_nodes[src].tx.add(kind, bytes, busy_ns);
+        self.res_links
+            .entry((src, dst))
+            .or_default()
+            .add(kind, bytes, busy_ns);
+    }
+
+    /// Account one frame arriving at `dst`: ingress-NIC tallies. `busy_ns`
+    /// is the receive-side serialization time. Loopback deliveries are not
+    /// accounted (no NIC is traversed), mirroring the trace layer's
+    /// [`TraceEvent::NicIngress`] rule.
+    #[inline]
+    pub fn account_rx(&mut self, dst: NodeId, kind: MsgKind, bytes: u64, busy_ns: u64) {
+        self.ensure_node(dst);
+        self.res_nodes[dst].rx.add(kind, bytes, busy_ns);
+    }
+
+    /// Attribute `ns` of (already-scaled) CPU busy-time on `node` to
+    /// attribution slot `slot` (a [`SpanStage`] index, or
+    /// [`SpanStage::COUNT`] for "other"). Called by
+    /// [`Ctx::use_cpu`](crate::Ctx::use_cpu) /
+    /// [`Ctx::use_cpu_at`](crate::Ctx::use_cpu_at) on every charge.
+    #[inline]
+    pub fn cpu_charge(&mut self, node: NodeId, slot: usize, ns: u64) {
+        self.ensure_node(node);
+        self.res_nodes[node].cpu_ns[slot] += ns;
+    }
+
+    /// Copy out the resource tallies. `elapsed_ns` is left at zero — the
+    /// engine's [`Sim::metrics`](crate::Sim::metrics) fills in its clock.
+    pub fn resource_snapshot(&self) -> ResourceSnapshot {
+        let mut nodes = self.res_nodes.clone();
+        nodes.resize(self.counters.len().max(nodes.len()), NodeRes::default());
+        let mut links: Vec<LinkRes> = self
+            .res_links
+            .iter()
+            .map(|(&(src, dst), &stats)| LinkRes { src, dst, stats })
+            .collect();
+        links.sort_unstable_by_key(|l| (l.src, l.dst));
+        ResourceSnapshot {
+            elapsed_ns: 0,
+            nodes,
+            links,
+        }
+    }
+
     /// The recorded timeline so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -887,6 +1156,7 @@ impl Probe {
         MetricsSnapshot {
             nodes: self.counters.clone(),
             gauges,
+            res: self.resource_snapshot(),
         }
     }
 }
@@ -899,6 +1169,9 @@ pub struct MetricsSnapshot {
     /// One [`GaugeSet`] per node (final levels at snapshot time), parallel
     /// to `nodes`.
     pub gauges: Vec<GaugeSet>,
+    /// Resource-utilization tallies (NIC/link byte accounting by message
+    /// kind, CPU busy-time by stage) at snapshot time.
+    pub res: ResourceSnapshot,
 }
 
 impl MetricsSnapshot {

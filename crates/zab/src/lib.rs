@@ -27,8 +27,8 @@ use bytes::Bytes;
 use simnet::params::cpu;
 use simnet::FastMap;
 use simnet::{
-    client_span, msg_span, Ctx, DeliveryClass, Gauge, NetParams, NodeId, Process, Sim, SimTime,
-    SpanStage,
+    client_span, msg_span, Ctx, DeliveryClass, Gauge, MsgKind, NetParams, NodeId, Process, Sim,
+    SimTime, SpanStage,
 };
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -271,8 +271,13 @@ impl ZabNode {
     }
 
     fn send(&self, ctx: &mut Ctx<ZkWire>, dst: NodeId, wire: u32, msg: ZkWire) {
-        ctx.use_cpu(cpu::TCP_SEND);
-        ctx.send(dst, DeliveryClass::Cpu, wire, msg);
+        ctx.use_cpu_at(SpanStage::RingWrite, cpu::TCP_SEND);
+        let kind = match &msg {
+            ZkWire::Req(_) | ZkWire::Propose { .. } => MsgKind::Payload,
+            ZkWire::Ack { .. } => MsgKind::Ack,
+            _ => MsgKind::Control,
+        };
+        ctx.send_kind(dst, DeliveryClass::Cpu, wire, kind, msg);
     }
 
     // ---- broadcast ------------------------------------------------------------
@@ -287,7 +292,7 @@ impl ZabNode {
             return;
         }
         // ZooKeeper's request pipeline (serialization, txn processing).
-        ctx.use_cpu(cpu::ZK_ENTRY);
+        ctx.use_cpu_at(SpanStage::LeaderRecv, cpu::ZK_ENTRY);
         self.counter += 1;
         let zxid = (self.epoch, self.counter);
         ctx.span(
@@ -393,6 +398,12 @@ impl ZabNode {
     }
 
     fn deliver_upto(&mut self, ctx: &mut Ctx<ZkWire>, upto: Zxid) {
+        // A commit at or below the delivery frontier is stale (a periodic
+        // re-broadcast or an ack racing ahead of it) — and an inverted
+        // range panics the BTreeMap.
+        if upto <= self.delivered {
+            return;
+        }
         let pending: Vec<(Zxid, (u32, u64, Bytes))> = self
             .log
             .range((
@@ -402,7 +413,7 @@ impl ZabNode {
             .map(|(z, v)| (*z, v.clone()))
             .collect();
         for (z, (client, id, value)) in pending {
-            ctx.use_cpu(DELIVER_COST);
+            ctx.use_cpu_at(SpanStage::Deliver, DELIVER_COST);
             ctx.span(Self::zspan(z), SpanStage::Commit, 0);
             let hdr = MsgHdr::new(Epoch::new(z.0, self.leader_of_epoch(z.0)), z.1);
             self.app.deliver(hdr, &value);

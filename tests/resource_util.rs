@@ -1,0 +1,153 @@
+//! The resource-utilization layer: per-link byte accounting and CPU-time
+//! attribution are always-on plain-array adds, so (a) turning tracing on
+//! must not change a single accounted byte or nanosecond, (b) two runs of
+//! the same seed must render byte-identical `"util"` summaries, and (c) on
+//! a hand-built schedule with no NIC contention, link busy time is exactly
+//! `frames x serialize_time(wire_bytes)` and utilization is exactly
+//! `busy / elapsed`.
+
+use acuerdo_repro::bench::{self, util, RunSpec, System};
+use acuerdo_repro::simnet::{
+    Ctx, DeliveryClass, MsgKind, NetParams, NodeId, Process, Sim, SimTime,
+};
+
+#[derive(Clone, Debug)]
+struct Blob;
+
+/// Sends `sends` payload frames of `wire` bytes to `peer` at time zero.
+struct Talker {
+    peer: NodeId,
+    sends: u32,
+    wire: u32,
+}
+
+impl Process<Blob> for Talker {
+    fn on_start(&mut self, ctx: &mut Ctx<Blob>) {
+        for _ in 0..self.sends {
+            ctx.send_kind(
+                self.peer,
+                DeliveryClass::Dma,
+                self.wire,
+                MsgKind::Payload,
+                Blob,
+            );
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<Blob>, _from: NodeId, _msg: Blob) {}
+}
+
+struct Mute;
+
+impl Process<Blob> for Mute {
+    fn on_message(&mut self, _ctx: &mut Ctx<Blob>, _from: NodeId, _msg: Blob) {}
+}
+
+#[test]
+fn link_utilization_is_exactly_bytes_times_byte_time_over_elapsed() {
+    let params = NetParams::rdma();
+    let mut sim = Sim::new(7, params);
+    let a = sim.add_node(Box::new(Talker {
+        peer: 1,
+        sends: 10,
+        wire: 1_000,
+    }));
+    let b = sim.add_node(Box::new(Mute));
+    sim.run_until(SimTime::from_millis(1));
+
+    // 25 Gb/s is 0.32 ns/byte: one 1000-byte frame serializes in 320 ns,
+    // and with a single sender there is no egress contention, so each of
+    // the 10 frames contributes exactly one serialization time.
+    let ser = params.nic.serialize_time(1_000).as_nanos() as u64;
+    assert_eq!(ser, 320);
+
+    let res = sim.metrics().res;
+    assert_eq!(res.elapsed_ns, 1_000_000);
+    let link = res
+        .links
+        .iter()
+        .find(|l| l.src == a && l.dst == b)
+        .expect("the only directed link with traffic");
+    assert_eq!(link.stats.bytes[MsgKind::Payload as usize], 10_000);
+    assert_eq!(link.stats.frames[MsgKind::Payload as usize], 10);
+    assert_eq!(link.stats.total_bytes(), 10_000);
+    assert_eq!(link.stats.busy_ns, 10 * ser);
+
+    // The node-level egress view mirrors the node's single outbound link,
+    // and the receiver's ingress saw the same serialization time.
+    assert_eq!(res.nodes[a].tx.busy_ns, 10 * ser);
+    assert_eq!(res.nodes[a].tx.total_bytes(), 10_000);
+    assert_eq!(res.nodes[b].rx.bytes[MsgKind::Payload as usize], 10_000);
+
+    // The rendered summary shows exactly busy/elapsed to one digit:
+    // 3200 / 1_000_000 = 0.32% -> "0.3".
+    let s = util::summary_json(&res, 2);
+    assert!(
+        s.contains("\"top_links\":[{\"src\":0,\"dst\":1,\"bytes\":10000,\"util_pct\":0.3}]"),
+        "summary: {s}"
+    );
+    // No process charged CPU, so attribution stays all-zero.
+    assert!(
+        s.contains("\"cpu_ns\":{") && s.contains("\"total\":0}"),
+        "summary: {s}"
+    );
+}
+
+/// One full metrics record (the suite/sidecar JSON object) for an acuerdo
+/// point at a fixed seed, traced or untraced.
+fn acuerdo_record(traced: bool) -> String {
+    let spec = RunSpec::quick(System::Acuerdo);
+    let (point, metrics) = if traced {
+        // Event recording on, gauge sampler off: the sampler writes the
+        // sampled NIC-depth *level* into the gauge (a pre-existing, documented
+        // observer artifact), which would make the `gauges` member an unfair
+        // comparison. Resource accounting itself is always-on either way.
+        let obs = bench::Observe {
+            traced: true,
+            ..bench::Observe::default()
+        };
+        let (p, m, _events, _gauges) =
+            bench::run_broadcast_observed(System::Acuerdo, 3, 64, 8, 42, spec, obs);
+        (p, m)
+    } else {
+        bench::run_broadcast_metrics(System::Acuerdo, 3, 64, 8, 42, spec)
+    };
+    bench::run_record_json("zp", "acuerdo", 3, 64, 42, spec, &point, &metrics, None)
+}
+
+#[test]
+fn tracing_does_not_perturb_the_utilization_record() {
+    // Byte-identical documents: the event recorder only observes; bytes,
+    // frames, busy windows and CPU charges are accounted on the same code
+    // path either way.
+    assert_eq!(acuerdo_record(false), acuerdo_record(true));
+}
+
+#[test]
+fn gauge_sampling_does_not_perturb_the_util_member() {
+    // The fully traced surface (recorder + gauge sampler, what `--trace-out`
+    // bins run) must still leave the resource-utilization summary untouched.
+    let spec = RunSpec::quick(System::Acuerdo);
+    let (_, plain) = bench::run_broadcast_metrics(System::Acuerdo, 3, 64, 8, 42, spec);
+    let (_, sampled, _events, _gauges) =
+        bench::run_broadcast_traced(System::Acuerdo, 3, 64, 8, 42, spec);
+    assert_eq!(
+        util::summary_json(&plain.res, 3),
+        util::summary_json(&sampled.res, 3)
+    );
+}
+
+#[test]
+fn utilization_summaries_are_byte_identical_across_runs() {
+    assert_eq!(acuerdo_record(false), acuerdo_record(false));
+
+    // Same determinism through a TCP baseline (different kind/CPU mapping).
+    let spec = RunSpec {
+        warmup: std::time::Duration::from_millis(2),
+        measure: std::time::Duration::from_millis(10),
+    };
+    let run = || {
+        let (_, m) = bench::run_broadcast_metrics(System::Etcd, 3, 64, 8, 9, spec);
+        util::summary_json(&m.res, 3)
+    };
+    assert_eq!(run(), run());
+}
