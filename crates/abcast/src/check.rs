@@ -36,6 +36,15 @@ pub enum Violation {
     OutOfThinAir { node: usize, hdr: MsgHdr },
     /// Two nodes delivered different payloads for the same header.
     PayloadMismatch { hdr: MsgHdr },
+    /// An entry that was committed (delivered somewhere) earlier is no
+    /// longer in any live replica's history — durability was lost across a
+    /// fault (see [`DurabilityAuditor`]).
+    CommittedEntryLost {
+        /// Position in the committed prefix where the loss was detected.
+        position: usize,
+        /// Length of the committed prefix at the time of the observation.
+        committed_len: usize,
+    },
 }
 
 /// Check delivery histories (one per correct node).
@@ -198,6 +207,64 @@ impl Auditor {
     }
 }
 
+/// Cross-fault durability monitor: asserts that no committed entry is ever
+/// lost, across any fault schedule.
+///
+/// Unlike [`Auditor`] (one per node, amnesiac across restarts), one
+/// `DurabilityAuditor` lives **outside** the cluster for the whole run — in
+/// the fault harness — and observes the live replicas' delivery histories at
+/// fault boundaries and at the horizon. Its high-water mark is the longest
+/// live history seen so far: everything delivered anywhere is committed, and
+/// a committed entry must reappear in some live history at every later
+/// observation point. An observation with *no* live replicas is skipped (a
+/// fully-crashed cluster asserts nothing until someone recovers).
+///
+/// Under volatile fresh-state rejoin this auditor is expected to fire on
+/// adversarial schedules (that is the gap durable mode closes); in durable
+/// mode any violation is a bug.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityAuditor {
+    /// The committed prefix: longest live history observed so far.
+    committed: Vec<(MsgHdr, Bytes)>,
+}
+
+impl DurabilityAuditor {
+    /// A fresh auditor with an empty committed prefix.
+    pub fn new() -> Self {
+        DurabilityAuditor::default()
+    }
+
+    /// Length of the committed prefix observed so far.
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Feed one snapshot of the live replicas' delivery histories. Returns
+    /// the first violation found: a committed entry missing from (or
+    /// diverging in) every live history.
+    pub fn observe(&mut self, histories: &[Vec<(MsgHdr, Bytes)>]) -> Result<(), Violation> {
+        let Some(longest) = histories.iter().max_by_key(|h| h.len()) else {
+            return Ok(()); // all replicas crashed: nothing to assert yet
+        };
+        if longest.len() < self.committed.len() {
+            return Err(Violation::CommittedEntryLost {
+                position: longest.len(),
+                committed_len: self.committed.len(),
+            });
+        }
+        for (pos, (hdr, payload)) in self.committed.iter().enumerate() {
+            if longest[pos].0 != *hdr || longest[pos].1 != *payload {
+                return Err(Violation::CommittedEntryLost {
+                    position: pos,
+                    committed_len: self.committed.len(),
+                });
+            }
+        }
+        self.committed = longest.clone();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +403,61 @@ mod tests {
         let r = a.check(e, MsgHdr::new(e, 3), MsgHdr::new(e, 5));
         assert!(r.commit_ahead_accept);
         assert!(!r.commit_regress);
+    }
+
+    #[test]
+    fn durability_auditor_tracks_growing_prefix() {
+        let mut d = DurabilityAuditor::new();
+        let h1 = vec![entry(1, b"a")];
+        let h2 = vec![entry(1, b"a"), entry(2, b"b")];
+        assert_eq!(d.observe(&[h1.clone(), h2.clone()]), Ok(()));
+        assert_eq!(d.committed_len(), 2);
+        // Same or longer histories later stay clean.
+        let h3 = vec![entry(1, b"a"), entry(2, b"b"), entry(3, b"c")];
+        assert_eq!(d.observe(&[h2, h3]), Ok(()));
+        assert_eq!(d.committed_len(), 3);
+    }
+
+    #[test]
+    fn durability_auditor_skips_fully_crashed_observations() {
+        let mut d = DurabilityAuditor::new();
+        let h = vec![entry(1, b"a"), entry(2, b"b")];
+        assert_eq!(d.observe(std::slice::from_ref(&h)), Ok(()));
+        // Whole cluster down: nothing to assert, mark survives.
+        assert_eq!(d.observe(&[]), Ok(()));
+        assert_eq!(d.committed_len(), 2);
+        assert_eq!(d.observe(&[h]), Ok(()));
+    }
+
+    #[test]
+    fn durability_auditor_detects_lost_committed_entry() {
+        let mut d = DurabilityAuditor::new();
+        let h = vec![entry(1, b"a"), entry(2, b"b")];
+        assert_eq!(d.observe(&[h]), Ok(()));
+        // After a crash-recovery, the longest live history lost entry 2.
+        let short = vec![entry(1, b"a")];
+        assert_eq!(
+            d.observe(&[short]),
+            Err(Violation::CommittedEntryLost {
+                position: 1,
+                committed_len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn durability_auditor_detects_divergent_committed_entry() {
+        let mut d = DurabilityAuditor::new();
+        let h = vec![entry(1, b"a"), entry(2, b"b")];
+        assert_eq!(d.observe(&[h]), Ok(()));
+        // Same length, but the committed entry at position 1 was replaced.
+        let diverged = vec![entry(1, b"a"), entry(2, b"X")];
+        assert_eq!(
+            d.observe(&[diverged]),
+            Err(Violation::CommittedEntryLost {
+                position: 1,
+                committed_len: 2
+            })
+        );
     }
 }

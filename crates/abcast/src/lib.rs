@@ -30,7 +30,7 @@ pub mod types;
 pub mod workload;
 
 pub use app::{App, DeliveryLog};
-pub use check::{check_histories, AuditReport, Auditor, Violation};
+pub use check::{check_histories, AuditReport, Auditor, DurabilityAuditor, Violation};
 pub use client::{ClientPort, ClientReq, ClientResp, OpenLoopClient, WindowClient};
 pub use spans::{hdr_span, Lifecycle};
 pub use stats::{LatencyHist, RunResult, StageClass, StageHist};

@@ -15,16 +15,22 @@ pub fn build_cluster(sim: &mut Sim<AcWire>, cfg: &AcuerdoConfig) -> Vec<NodeId> 
     for me in 0..cfg.n {
         let id = sim.add_node(Box::new(AcuerdoNode::new(cfg.clone(), me)));
         assert_eq!(id, me, "replicas must occupy ids 0..n");
+        // Durable mode journals to persistent memory; volatile mode never
+        // touches the device.
+        sim.set_log_device(id, simnet::LogDevParams::pmem());
         ids.push(id);
     }
     ids
 }
 
 /// Register restart factories so `Sim::restart_at` brings a crashed replica
-/// back as a fresh-state rejoiner ([`AcuerdoNode::rejoining`]): empty log,
-/// epoch zero, resync handshake. The fault harness calls this once after
-/// [`build_cluster`]; configs should set `retain_log` so the survivors can
-/// re-seed the full history.
+/// back as a rejoiner ([`AcuerdoNode::rejoining`]): resync handshake instead
+/// of a start-up election. In volatile mode the rejoiner starts with an
+/// empty log and epoch zero; in durable mode `on_start` first replays the
+/// node's persistent log, so its recovered `accepted` re-enters elections
+/// with its true weight. The fault harness calls this once after
+/// [`build_cluster`]; volatile configs should set `retain_log` so the
+/// survivors can re-seed the full history.
 pub fn enable_restarts(sim: &mut Sim<AcWire>, cfg: &AcuerdoConfig, ids: &[NodeId]) {
     for &id in ids {
         let cfg = cfg.clone();

@@ -48,6 +48,13 @@ pub struct AcuerdoConfig {
     /// can be re-seeded with the complete history by a recovery diff. The
     /// fault-injection harness sets this; steady-state benchmarks keep GC on.
     pub retain_log: bool,
+    /// Volatile (default, the paper's configuration) keeps the log in
+    /// registered memory only. Durable appends every accepted entry to the
+    /// node's persistent-log device and fsyncs before the acceptance is
+    /// pushed to the leader's Accept_SST (append-before-ack); a restarted
+    /// node recovers its log from the fsync'd prefix instead of rejoining
+    /// with empty state.
+    pub durability: simnet::DurabilityMode,
 }
 
 impl Default for AcuerdoConfig {
@@ -67,6 +74,7 @@ impl Default for AcuerdoConfig {
             max_diff_part: 32 << 10,
             max_client_backlog: 1 << 20,
             retain_log: false,
+            durability: simnet::DurabilityMode::Volatile,
         }
     }
 }

@@ -111,6 +111,49 @@ const MAX_RESYNC_ATTEMPTS: u32 = 3;
 
 /// CPU cost of delivering one committed message to the application.
 const DELIVER_COST: Duration = Duration::from_nanos(100);
+
+// ---- persistent-log record format (durable mode) ----------------------------
+//
+// Durable mode journals the log to the node's simulated persistent-log device
+// so a restarted replica recovers its accepted state instead of rejoining
+// empty. Replay is order-sensitive: entry records re-insert by header, and a
+// cut record replays the uncommitted-suffix truncation `apply_diff` performs.
+
+/// Entry record: `[tag, hdr(12), payload...]`.
+const REC_ENTRY: u8 = 1;
+/// Truncation record: `[tag, cut_hdr(12), diff_epoch(8)]` — replay removes
+/// log entries in `[cut, (epoch, 0))`.
+const REC_CUT: u8 = 2;
+
+fn put_wal_hdr(v: &mut Vec<u8>, h: MsgHdr) {
+    v.extend_from_slice(&h.epoch.round.to_le_bytes());
+    v.extend_from_slice(&h.epoch.ldr.to_le_bytes());
+    v.extend_from_slice(&h.cnt.to_le_bytes());
+}
+
+fn get_wal_hdr(b: &[u8]) -> MsgHdr {
+    let round = u32::from_le_bytes(b[0..4].try_into().expect("round"));
+    let ldr = u32::from_le_bytes(b[4..8].try_into().expect("ldr"));
+    let cnt = u32::from_le_bytes(b[8..12].try_into().expect("cnt"));
+    MsgHdr::new(Epoch::new(round, ldr), cnt)
+}
+
+fn encode_wal_entry(hdr: MsgHdr, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(13 + payload.len());
+    v.push(REC_ENTRY);
+    put_wal_hdr(&mut v, hdr);
+    v.extend_from_slice(payload);
+    v
+}
+
+fn encode_wal_cut(cut: MsgHdr, e: Epoch) -> Vec<u8> {
+    let mut v = Vec::with_capacity(21);
+    v.push(REC_CUT);
+    put_wal_hdr(&mut v, cut);
+    v.extend_from_slice(&e.round.to_le_bytes());
+    v.extend_from_slice(&e.ldr.to_le_bytes());
+    v
+}
 /// Followers push their Commit_SST (needed only for diff construction) every
 /// this many push ticks.
 const FOLLOWER_PUSH_PERIOD: u64 = 10;
@@ -388,6 +431,12 @@ impl AcuerdoNode {
             SpanStage::LeaderRecv,
             client_span(from, req.id),
         );
+        // Append-before-ack on the leader's own hot path: the entry hits the
+        // persistent log before the ring writes that solicit follower acks.
+        if self.cfg.durability.is_durable() {
+            ctx.log_append(&encode_wal_entry(hdr, &req.payload));
+            ctx.log_fsync();
+        }
         self.log.insert(hdr, req.payload);
         self.origin.insert(hdr, (from, req.id));
         self.flush_all(ctx);
@@ -468,7 +517,12 @@ impl AcuerdoNode {
                 match frame {
                     Frame::Normal { hdr, payload } => {
                         if hdr.epoch == self.e_new && hdr.epoch == self.e_cur {
-                            // Normal message acceptance (line 47).
+                            // Normal message acceptance (line 47). Durable
+                            // mode stages the entry; the fsync barrier lands
+                            // in push_accept, before the ack becomes visible.
+                            if self.cfg.durability.is_durable() {
+                                ctx.log_append(&encode_wal_entry(hdr, &payload));
+                            }
                             self.log.insert(hdr, payload);
                             self.accepted = hdr;
                             self.last_leader_activity = ctx.now();
@@ -511,6 +565,11 @@ impl AcuerdoNode {
     }
 
     fn push_accept(&mut self, ctx: &mut Ctx<AcWire>) {
+        // Append-before-ack: everything staged by this acceptance batch is
+        // fsync'd before the Accept_SST cell that acknowledges it is pushed.
+        if self.cfg.durability.is_durable() {
+            ctx.log_fsync();
+        }
         self.accept_sst.write_mine(&mut self.ep, &self.accepted);
         let ldr = self.e_cur.ldr as usize;
         if ldr != self.me {
@@ -576,6 +635,15 @@ impl AcuerdoNode {
                 self.log.remove(&h);
             }
         }
+        // Journal the truncation and the adopted entries so replay after a
+        // crash reproduces this splice (the fsync barrier lands in the
+        // push_accept this diff application triggers).
+        if self.cfg.durability.is_durable() {
+            ctx.log_append(&encode_wal_cut(cut, e));
+            for (h, p) in &entries {
+                ctx.log_append(&encode_wal_entry(*h, p));
+            }
+        }
         for (h, p) in entries {
             self.log.insert(h, p);
         }
@@ -615,6 +683,15 @@ impl AcuerdoNode {
     }
 
     fn commit_ready(&self) -> bool {
+        // Pre-first-epoch there is nothing to commit, and the zeroed SST
+        // cells of a fresh boot would trivially satisfy both arms below
+        // (`ZERO >= next` when `next` is still `MsgHdr::ZERO`). The window
+        // is real for an elected leader whose multi-part self-diff is still
+        // in flight through the loopback ring — e.g. a node that recovered
+        // a long log from its WAL after a whole-cluster power failure.
+        if self.e_cur == Epoch::ZERO {
+            return false;
+        }
         match self.role {
             Role::Leader => {
                 let mut cnt = 0;
@@ -654,12 +731,17 @@ impl AcuerdoNode {
                 self.committed = hdr;
             } else {
                 // Diff commit: deliver everything between the old committed
-                // point and the diff header (Figure 6 lines 83–89).
-                let pending: Vec<(MsgHdr, Bytes)> = self
-                    .log
-                    .range((Excluded(self.committed), Excluded(self.next)))
-                    .map(|(h, p)| (*h, p.clone()))
-                    .collect();
+                // point and the diff header (Figure 6 lines 83–89). The
+                // bounds check keeps a diff at or below the committed point
+                // (re-applied after a recovery) from panicking the range.
+                let pending: Vec<(MsgHdr, Bytes)> = if self.committed < self.next {
+                    self.log
+                        .range((Excluded(self.committed), Excluded(self.next)))
+                        .map(|(h, p)| (*h, p.clone()))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 for (h, p) in pending {
                     ctx.span(hdr_span(&h), SpanStage::Quorum, 0);
                     ctx.span(hdr_span(&h), SpanStage::Commit, 0);
@@ -866,10 +948,17 @@ impl AcuerdoNode {
             ctx.use_cpu(cpu::FRAME_PROC);
         }
 
-        // Win check (lines 113–127).
+        // Win check (lines 113–127). A winnable candidacy must name an epoch
+        // strictly above `e_cur`: the resync retraction vote is written as
+        // `(e_cur, accepted)` exactly so peers see the node's floor, and on a
+        // node whose id happens to match `e_cur.ldr` (say replica 0 after a
+        // whole-cluster power failure restores everyone to epoch `(1, 0)`)
+        // that retraction would otherwise read as a self-candidacy the
+        // identical retractions of its peers appear to support.
         let votes = self.vote_sst.snapshot(&self.ep);
         let mine = votes[self.me];
-        if mine == Vote::default() || mine.e_new.ldr as usize != self.me {
+        if mine == Vote::default() || mine.e_new.ldr as usize != self.me || mine.e_new <= self.e_cur
+        {
             return;
         }
         let supporters = votes.iter().filter(|v| **v == mine).count();
@@ -1123,10 +1212,74 @@ impl AcuerdoNode {
             self.initiate_resync(ctx);
         }
     }
+
+    // ---- durable recovery -----------------------------------------------------
+
+    /// Rebuild the log from the fsync'd prefix of the persistent-log device,
+    /// restore `accepted` to the log tip, and restore the epoch floor
+    /// (`e_cur`/`e_new`) to the highest epoch the journal ever saw. The node
+    /// then runs the normal resync/election flow: if a leader survives, its
+    /// recovery diff splices the node back in; if the whole cluster lost
+    /// power, the recovered `accepted` value is the node's election bid, so
+    /// the vote-by-max-accepted rule picks a winner whose log holds every
+    /// committed entry.
+    ///
+    /// The epoch floor matters as much as the entries: a recovered node that
+    /// still believed `e_cur == ZERO` would bid `bigger_for(ZERO, ..) ==
+    /// round 1` in the post-reboot election and *reuse* an epoch whose
+    /// headers already name committed payloads — fresh `(1, 0, cnt)`
+    /// proposals would collide with the recovered ones. Restoring the floor
+    /// forces every post-recovery bid strictly above any epoch that can
+    /// appear in any replica's journal.
+    fn recover(&mut self, ctx: &mut Ctx<AcWire>) {
+        let records: Vec<Vec<u8>> = ctx.log_synced().to_vec();
+        let mut top_epoch = Epoch::ZERO;
+        for rec in &records {
+            match rec.first() {
+                Some(&REC_ENTRY) if rec.len() >= 13 => {
+                    let hdr = get_wal_hdr(&rec[1..13]);
+                    self.log.insert(hdr, Bytes::copy_from_slice(&rec[13..]));
+                }
+                Some(&REC_CUT) if rec.len() >= 21 => {
+                    let cut = get_wal_hdr(&rec[1..13]);
+                    let round = u32::from_le_bytes(rec[13..17].try_into().expect("round"));
+                    let ldr = u32::from_le_bytes(rec[17..21].try_into().expect("ldr"));
+                    // A cut names the epoch of the diff that caused it, which
+                    // may be newer than any entry that survived to the tip.
+                    top_epoch = top_epoch.max(Epoch::new(round, ldr));
+                    let upper = MsgHdr::new(Epoch::new(round, ldr), 0);
+                    if cut < upper {
+                        let stale: Vec<MsgHdr> = self
+                            .log
+                            .range((Included(cut), Excluded(upper)))
+                            .map(|(h, _)| *h)
+                            .collect();
+                        for h in stale {
+                            self.log.remove(&h);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(&top) = self.log.keys().next_back() {
+            self.accepted = top;
+        }
+        top_epoch = top_epoch.max(self.accepted.epoch);
+        if top_epoch != Epoch::ZERO {
+            self.e_cur = top_epoch;
+            self.e_new = top_epoch;
+        }
+        ctx.count(Counter::WalRecoveredRecords, records.len() as u64);
+        ctx.trace(Event::new("wal_recover").a(records.len() as u64));
+    }
 }
 
 impl Process<AcWire> for AcuerdoNode {
     fn on_start(&mut self, ctx: &mut Ctx<AcWire>) {
+        if self.cfg.durability.is_durable() && ctx.log_len() > 0 {
+            self.recover(ctx);
+        }
         self.last_leader_activity = ctx.now();
         if self.resyncing {
             // Crash-restarted rejoiner: handshake for a recovery diff

@@ -13,9 +13,9 @@
 //! protocols) or convergence failure (Acuerdo only — baselines without a
 //! rejoin path may safely stall and are merely reported).
 
-use bench::chaos::{run_chaos_full_at, Proto, CHAOS_N};
+use bench::chaos::{run_chaos_opts, ChaosOpts, Proto, Tier, CHAOS_N};
 use bench::{write_flightrec, write_metrics_file};
-use simnet::SimTime;
+use simnet::{DurabilityMode, SchedKind, SimTime};
 use std::process::exit;
 
 struct Args {
@@ -24,6 +24,9 @@ struct Args {
     seeds: u64,
     nodes: usize,
     max_time_ms: u64,
+    tier: Tier,
+    durability: DurabilityMode,
+    sched: SchedKind,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -31,8 +34,15 @@ struct Args {
 fn usage() {
     eprintln!(
         "usage: chaos [--proto acuerdo|raft|zab|paxos|derecho|all] [--seed N]\n\
-         \x20            [--seeds N] [--nodes N] [--max-time-ms MS] [--metrics-out FILE]\n\
-         \x20            [--trace-out FILE]   (single --proto + --seed only)"
+         \x20            [--seeds N] [--nodes N] [--max-time-ms MS]\n\
+         \x20            [--tier basic|correlated] [--durability volatile|durable]\n\
+         \x20            [--sched heap|calendar] [--metrics-out FILE]\n\
+         \x20            [--trace-out FILE]   (single --proto + --seed only)\n\
+         \n\
+         The correlated tier (power failure / majority crash / crash-during-\n\
+         recovery) drives acuerdo, raft and zab only, and is meant to run\n\
+         with --durability durable; volatile correlated runs record the\n\
+         committed entries the reboots lose instead of failing on them."
     );
 }
 
@@ -43,6 +53,9 @@ fn parse_args() -> Args {
         seeds: 20,
         nodes: CHAOS_N,
         max_time_ms: 50,
+        tier: Tier::Basic,
+        durability: DurabilityMode::Volatile,
+        sched: SchedKind::default(),
         metrics_out: None,
         trace_out: None,
     };
@@ -79,6 +92,27 @@ fn parse_args() -> Args {
                 }
             }
             "--max-time-ms" => out.max_time_ms = parse_num(&need(&mut args, "--max-time-ms")),
+            "--tier" => {
+                let v = need(&mut args, "--tier");
+                out.tier = Tier::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown tier {v}");
+                    exit(2);
+                });
+            }
+            "--durability" => {
+                let v = need(&mut args, "--durability");
+                out.durability = DurabilityMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown durability mode {v}");
+                    exit(2);
+                });
+            }
+            "--sched" => {
+                let v = need(&mut args, "--sched");
+                out.sched = SchedKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scheduler {v}");
+                    exit(2);
+                });
+            }
             "--metrics-out" => out.metrics_out = Some(need(&mut args, "--metrics-out")),
             "--trace-out" => out.trace_out = Some(need(&mut args, "--trace-out")),
             "--help" | "-h" => {
@@ -103,7 +137,7 @@ fn parse_num(s: &str) -> u64 {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
     let horizon = SimTime::from_millis(args.max_time_ms);
     let seed_list: Vec<u64> = match args.seed {
         Some(s) => vec![s],
@@ -114,14 +148,34 @@ fn main() {
         eprintln!("--trace-out needs a single --proto and an explicit --seed");
         exit(2);
     }
+    if args.tier == Tier::Correlated {
+        // Drop the protocols the correlated tier cannot drive (no restart
+        // factory, no durable log) rather than panicking mid-matrix.
+        let before = args.protos.len();
+        args.protos.retain(|p| p.correlated_capable());
+        if args.protos.len() < before {
+            eprintln!("note: correlated tier skips paxos/derecho (no restart/durable-log path)");
+        }
+        if args.protos.is_empty() {
+            eprintln!("no correlated-capable protocol selected");
+            exit(2);
+        }
+    }
 
     let mut records = Vec::new();
     let mut fatal = 0usize;
     let mut stalled = 0usize;
     for &proto in &args.protos {
         for &seed in &seed_list {
-            let (r, events, flight) =
-                run_chaos_full_at(proto, seed, horizon, args.trace_out.is_some(), args.nodes);
+            let opts = ChaosOpts {
+                n: args.nodes,
+                tier: args.tier,
+                durability: args.durability,
+                sched: args.sched,
+                traced: args.trace_out.is_some(),
+                ..ChaosOpts::new(proto, seed, horizon)
+            };
+            let (r, events, flight) = run_chaos_opts(&opts);
             if let Some(path) = &args.trace_out {
                 std::fs::write(path, simnet::chrome_trace_json(&events)).unwrap_or_else(|e| {
                     eprintln!("cannot write {path}: {e}");
@@ -131,6 +185,8 @@ fn main() {
             }
             let verdict = if r.fatal() {
                 "FAIL"
+            } else if r.durability_violation.is_some() {
+                "lost" // volatile run: committed entries gone, by design
             } else if !r.converged {
                 "stall" // baseline without a rejoin path: safe but behind
             } else {
@@ -151,6 +207,9 @@ fn main() {
                 fatal += 1;
                 if let Some(v) = &r.safety {
                     eprintln!("  safety violation: {v:?}");
+                }
+                if let Some(v) = &r.durability_violation {
+                    eprintln!("  durability violation: {v:?}");
                 }
                 eprintln!("  repro: {}", r.repro());
                 // The flight recorder is always on: the last-N events per

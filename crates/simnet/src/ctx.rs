@@ -1,5 +1,6 @@
 //! The effect context handed to [`Process`](crate::Process) handlers.
 
+use crate::disk::DurableLog;
 use crate::time::SimTime;
 use crate::trace::{Counter, Event, Gauge, MsgKind, Probe, SpanStage, TraceEvent};
 use crate::NodeId;
@@ -54,6 +55,7 @@ pub struct Ctx<'a, M> {
     cpu_scale: f64,
     rng: &'a mut SmallRng,
     probe: &'a mut Probe,
+    disk: &'a mut DurableLog,
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) halt: bool,
 }
@@ -68,6 +70,7 @@ impl<'a, M> Ctx<'a, M> {
         cpu_scale: f64,
         rng: &'a mut SmallRng,
         probe: &'a mut Probe,
+        disk: &'a mut DurableLog,
         effects: Vec<Effect<M>>,
     ) -> Self {
         debug_assert!(effects.is_empty());
@@ -78,6 +81,7 @@ impl<'a, M> Ctx<'a, M> {
             cpu_scale,
             rng,
             probe,
+            disk,
             effects,
             halt: false,
         }
@@ -147,6 +151,47 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn cpu_used(&self) -> Duration {
         self.cpu
+    }
+
+    /// Stage one record on this node's persistent log and charge the
+    /// device's append cost (attributed to [`SpanStage::Commit`], scaled by
+    /// the node's CPU scale exactly like any other charge). The record is
+    /// *not* persisted until [`Ctx::log_fsync`] — a crash in between loses
+    /// it.
+    pub fn log_append(&mut self, rec: &[u8]) {
+        let cost = self.disk.append(rec);
+        self.charge(SpanStage::Commit as usize, cost);
+        self.probe
+            .count(self.self_id, Counter::WalAppendBytes, rec.len() as u64);
+        self.probe
+            .count(self.self_id, Counter::WalDeviceNs, cost.as_nanos() as u64);
+    }
+
+    /// Issue an fsync barrier on this node's persistent log: everything
+    /// staged so far becomes crash-safe, and the device's barrier cost is
+    /// charged (attributed to [`SpanStage::Commit`] so the bottleneck ranker
+    /// shows device time under the commit stage, not `other`). The charge is
+    /// unconditional — the etcd baseline fsyncs through here in volatile
+    /// mode too, so its WAL discipline is costed from the same device
+    /// parameters as the durable-mode protocols.
+    pub fn log_fsync(&mut self) {
+        let cost = self.disk.fsync();
+        self.charge(SpanStage::Commit as usize, cost);
+        self.probe.count(self.self_id, Counter::WalFsyncs, 1);
+        self.probe
+            .count(self.self_id, Counter::WalDeviceNs, cost.as_nanos() as u64);
+    }
+
+    /// The persisted records of this node's log — what survived the last
+    /// crash. Recovery paths read this from `on_start`; records staged after
+    /// the last [`Ctx::log_fsync`] are invisible.
+    pub fn log_synced(&self) -> &[Vec<u8>] {
+        self.disk.synced_records()
+    }
+
+    /// Total records on this node's log, staged included.
+    pub fn log_len(&self) -> usize {
+        self.disk.len()
     }
 
     /// Send `msg` to `dst`. `wire_bytes` is the logical size on the wire
@@ -271,12 +316,14 @@ mod tests {
     fn cpu_accrues_and_scales() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
+        let mut disk = DurableLog::default();
         let mut ctx: Ctx<'_, ()> = Ctx::new(
             SimTime::from_micros(10),
             3,
             2.0,
             &mut rng,
             &mut probe,
+            &mut disk,
             Vec::new(),
         );
         assert_eq!(ctx.id(), 3);
@@ -290,8 +337,16 @@ mod tests {
     fn effects_capture_cpu_offset() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
-        let mut ctx: Ctx<'_, u32> =
-            Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe, Vec::new());
+        let mut disk = DurableLog::default();
+        let mut ctx: Ctx<'_, u32> = Ctx::new(
+            SimTime::ZERO,
+            0,
+            1.0,
+            &mut rng,
+            &mut probe,
+            &mut disk,
+            Vec::new(),
+        );
         ctx.send(1, DeliveryClass::Dma, 64, 42);
         ctx.use_cpu(Duration::from_nanos(500));
         ctx.send(1, DeliveryClass::Dma, 64, 43);
@@ -315,10 +370,50 @@ mod tests {
     fn halt_flag() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut probe = Probe::new();
-        let mut ctx: Ctx<'_, ()> =
-            Ctx::new(SimTime::ZERO, 0, 1.0, &mut rng, &mut probe, Vec::new());
+        let mut disk = DurableLog::default();
+        let mut ctx: Ctx<'_, ()> = Ctx::new(
+            SimTime::ZERO,
+            0,
+            1.0,
+            &mut rng,
+            &mut probe,
+            &mut disk,
+            Vec::new(),
+        );
         assert!(!ctx.halt);
         ctx.halt();
         assert!(ctx.halt);
+    }
+
+    #[test]
+    fn log_api_charges_device_time_at_commit() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut probe = Probe::new();
+        let mut disk = DurableLog::new(crate::disk::LogDevParams {
+            append_per_kib: Duration::from_nanos(1024),
+            fsync: Duration::from_micros(2),
+        });
+        let mut ctx: Ctx<'_, ()> = Ctx::new(
+            SimTime::ZERO,
+            0,
+            1.0,
+            &mut rng,
+            &mut probe,
+            &mut disk,
+            Vec::new(),
+        );
+        ctx.log_append(&[0u8; 512]);
+        assert_eq!(ctx.cpu_used(), Duration::from_nanos(512));
+        assert!(ctx.log_synced().is_empty());
+        ctx.log_fsync();
+        assert_eq!(ctx.cpu_used(), Duration::from_nanos(2512));
+        assert_eq!(ctx.log_synced().len(), 1);
+        assert_eq!(ctx.log_len(), 1);
+        let snap = probe.snapshot();
+        assert_eq!(snap.nodes[0].get(Counter::WalAppendBytes), 512);
+        assert_eq!(snap.nodes[0].get(Counter::WalFsyncs), 1);
+        assert_eq!(snap.nodes[0].get(Counter::WalDeviceNs), 2512);
+        // Attribution landed on the commit slot of the CPU table.
+        assert_eq!(snap.res.nodes[0].cpu_ns[SpanStage::Commit as usize], 2512);
     }
 }

@@ -33,6 +33,7 @@
 //! time, no real I/O, and no hidden nondeterminism.
 
 mod ctx;
+pub mod disk;
 mod engine;
 pub mod hash;
 mod net;
@@ -43,6 +44,7 @@ mod time;
 pub mod trace;
 
 pub use ctx::{Ctx, DeliveryClass};
+pub use disk::{DurabilityMode, DurableLog, LogDevParams};
 pub use engine::{DeschedProfile, EngineStats, Process, Sim};
 pub use hash::{FastMap, FastSet};
 pub use net::{LinkParams, NicParams};

@@ -100,11 +100,6 @@ pub mod cpu {
     /// Extra per-entry cost used by the etcd baseline (gRPC marshalling,
     /// Raft bookkeeping).
     pub const ETCD_ENTRY: Duration = Duration::from_micros(30);
-    /// WAL fsync charged by the etcd baseline per appended entry on both the
-    /// leader and follower paths (etcd commits durably per entry; this is
-    /// what puts its Figure 8 latency near a millisecond and its Figure 9
-    /// throughput ~50x under Acuerdo's).
-    pub const ETCD_FSYNC: Duration = Duration::from_micros(250);
     /// Extra per-entry cost used by the ZooKeeper baseline (request pipeline
     /// threads, serialization, in-memory txn processing).
     pub const ZK_ENTRY: Duration = Duration::from_micros(40);

@@ -142,6 +142,9 @@ fn run_node<M: Send + 'static>(
     // Each thread owns a disabled probe: protocol count()/trace() calls stay
     // valid on real threads, but nothing is collected (non-goal: see above).
     let mut probe = crate::trace::Probe::new();
+    // Likewise a thread-local scratch log: durable-mode protocols can append
+    // and fsync, but there is no crash model on real threads.
+    let mut disk = crate::disk::DurableLog::default();
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let now_sim = |epoch: Instant| {
         crate::SimTime::from_nanos(epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
@@ -149,7 +152,15 @@ fn run_node<M: Send + 'static>(
 
     // on_start
     {
-        let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
+        let mut ctx = Ctx::new(
+            now_sim(epoch),
+            id,
+            1.0,
+            &mut rng,
+            &mut probe,
+            &mut disk,
+            Vec::new(),
+        );
         proc.on_start(&mut ctx);
         apply_effects(id, ctx, &senders, &mut timers, epoch);
     }
@@ -159,7 +170,15 @@ fn run_node<M: Send + 'static>(
         let now = Instant::now();
         while timers.peek().is_some_and(|t| t.at <= now) {
             let t = timers.pop().expect("peeked");
-            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
+            let mut ctx = Ctx::new(
+                now_sim(epoch),
+                id,
+                1.0,
+                &mut rng,
+                &mut probe,
+                &mut disk,
+                Vec::new(),
+            );
             proc.on_timer(&mut ctx, t.token);
             apply_effects(id, ctx, &senders, &mut timers, epoch);
         }
@@ -171,12 +190,28 @@ fn run_node<M: Send + 'static>(
             .min(Duration::from_millis(1));
         // On timeout the loop simply re-checks timers and the stop flag.
         if let Ok((from, msg)) = rx.recv_timeout(wait) {
-            let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
+            let mut ctx = Ctx::new(
+                now_sim(epoch),
+                id,
+                1.0,
+                &mut rng,
+                &mut probe,
+                &mut disk,
+                Vec::new(),
+            );
             proc.on_message(&mut ctx, from, msg);
             apply_effects(id, ctx, &senders, &mut timers, epoch);
             // Drain whatever else is queued (receiver-side batching).
             while let Ok((from, msg)) = rx.try_recv() {
-                let mut ctx = Ctx::new(now_sim(epoch), id, 1.0, &mut rng, &mut probe, Vec::new());
+                let mut ctx = Ctx::new(
+                    now_sim(epoch),
+                    id,
+                    1.0,
+                    &mut rng,
+                    &mut probe,
+                    &mut disk,
+                    Vec::new(),
+                );
                 proc.on_message(&mut ctx, from, msg);
                 apply_effects(id, ctx, &senders, &mut timers, epoch);
             }

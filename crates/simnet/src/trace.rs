@@ -108,11 +108,28 @@ pub enum Counter {
     AuditCommitRegress,
     /// Invariant auditor: a node's commit point overtook its accept point.
     AuditCommitAheadAccept,
+    /// Bytes appended to this node's persistent log
+    /// ([`Ctx::log_append`](crate::Ctx::log_append)).
+    WalAppendBytes,
+    /// Fsync barriers issued on this node's persistent log
+    /// ([`Ctx::log_fsync`](crate::Ctx::log_fsync)).
+    WalFsyncs,
+    /// Nanoseconds of log-device time (append + fsync) charged to this node,
+    /// unscaled — the device-time share of the commit stage's CPU slot.
+    WalDeviceNs,
+    /// Staged (un-fsync'd) log records dropped by crash truncation.
+    WalTruncatedRecords,
+    /// Records replayed from the persistent log during a durable-mode
+    /// recovery.
+    WalRecoveredRecords,
+    /// Durability auditor: a committed entry vanished from the cluster's
+    /// adopted history after a fault (bumped by the chaos harness).
+    AuditCommitLost,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 33;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -143,6 +160,12 @@ impl Counter {
         Counter::AuditEpochRegress,
         Counter::AuditCommitRegress,
         Counter::AuditCommitAheadAccept,
+        Counter::WalAppendBytes,
+        Counter::WalFsyncs,
+        Counter::WalDeviceNs,
+        Counter::WalTruncatedRecords,
+        Counter::WalRecoveredRecords,
+        Counter::AuditCommitLost,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -175,6 +198,12 @@ impl Counter {
             Counter::AuditEpochRegress => "audit_epoch_regress",
             Counter::AuditCommitRegress => "audit_commit_regress",
             Counter::AuditCommitAheadAccept => "audit_commit_ahead_accept",
+            Counter::WalAppendBytes => "wal_append_bytes",
+            Counter::WalFsyncs => "wal_fsyncs",
+            Counter::WalDeviceNs => "wal_device_ns",
+            Counter::WalTruncatedRecords => "wal_truncated_records",
+            Counter::WalRecoveredRecords => "wal_recovered_records",
+            Counter::AuditCommitLost => "audit_commit_lost",
         }
     }
 }
@@ -195,9 +224,18 @@ const _: () = {
 };
 
 /// One node's counter registers.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct CounterSet {
     vals: [u64; Counter::COUNT],
+}
+
+// Std's array Default stops at 32 elements; the registry outgrew it.
+impl Default for CounterSet {
+    fn default() -> Self {
+        CounterSet {
+            vals: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl CounterSet {

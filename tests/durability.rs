@@ -1,0 +1,124 @@
+//! Durable-log robustness at the whole-repo level: recovery equivalence
+//! (a replica rebuilt from its persistent log converges to the same
+//! delivered prefix as a fresh-state rejoiner) and the negative control for
+//! the durability auditor (a deliberately corrupted log tail MUST be
+//! reported as a committed-entry loss — if this test fails, the auditor is
+//! blind and every green chaos run is meaningless).
+
+use acuerdo_repro::abcast::{DurabilityAuditor, Violation, WindowClient};
+use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
+use acuerdo_repro::simnet::{Counter, DurabilityMode, SimTime};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// One acuerdo run with a crash/restart of replica 2: returns every live
+/// replica's delivered payload sequence plus replica 2's delivered length.
+fn crash_restart_run(mode: DurabilityMode) -> (Vec<Vec<Bytes>>, usize, u64) {
+    let cfg = AcuerdoConfig {
+        retain_log: true,
+        durability: mode,
+        ..AcuerdoConfig::stable(5)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(7, &cfg, 8, 32, Duration::ZERO);
+    acuerdo::enable_restarts(&mut sim, &cfg, &ids);
+    // Inert retransmit: the leader never crashes in this schedule, so the
+    // client's ingest order (and with it the payload sequence) is identical
+    // across durability modes even though fsync charges shift the clock.
+    sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(100));
+    sim.crash_at(2, SimTime::from_millis(10));
+    sim.restart_at(2, SimTime::from_millis(15));
+    sim.run_until(SimTime::from_millis(50));
+    acuerdo::check_cluster(&sim, &ids).expect("abcast safety");
+    let hs = acuerdo::histories(&sim, &ids);
+    assert_eq!(hs.len(), 5, "everyone is live at the horizon");
+    let recovered_len = hs[2].len();
+    // Within-run: the restarted replica's history is a prefix of the longest.
+    let longest = hs.iter().max_by_key(|h| h.len()).expect("nonempty").clone();
+    assert_eq!(
+        &longest[..recovered_len],
+        &hs[2][..],
+        "restarted replica diverged from the cluster prefix"
+    );
+    let wal_records = sim.counter(2, Counter::WalRecoveredRecords);
+    let payloads = hs
+        .into_iter()
+        .map(|h| h.into_iter().map(|(_, p)| p).collect())
+        .collect();
+    (payloads, recovered_len, wal_records)
+}
+
+/// Satellite: a replica recovered from its durable log must converge to
+/// byte-identical delivered state vs a fresh-state rejoiner (volatile mode,
+/// re-seeded by the leader's retained log) on the same seed. Headers may
+/// differ across modes — fsync charges shift election timing — but the
+/// delivered payload sequence is the state machine's input and must match.
+#[test]
+fn acuerdo_recovery_equivalence_durable_vs_fresh_rejoin() {
+    let (durable, durable_len, durable_wal) = crash_restart_run(DurabilityMode::Durable);
+    let (fresh, fresh_len, fresh_wal) = crash_restart_run(DurabilityMode::Volatile);
+    assert!(durable_wal > 0, "durable restart must replay its WAL");
+    assert_eq!(fresh_wal, 0, "volatile restart must not touch a WAL");
+    assert!(
+        durable_len > 100 && fresh_len > 100,
+        "recovered replica re-delivered too little (durable {durable_len}, fresh {fresh_len})"
+    );
+    let k = durable[2].len().min(fresh[2].len());
+    assert!(k > 100, "common prefix too short to be meaningful ({k})");
+    assert_eq!(
+        &durable[2][..k],
+        &fresh[2][..k],
+        "durable recovery and fresh rejoin delivered different payload sequences"
+    );
+}
+
+/// Negative control: wipe half of every replica's persisted records behind
+/// the cluster's back during a whole-cluster power failure. The recovered
+/// cluster restarts from shorter logs, so the committed prefix the auditor
+/// ratcheted before the failure can no longer be covered — `observe` at the
+/// horizon MUST report the loss.
+#[test]
+fn corrupted_log_tail_is_reported_as_committed_entry_loss() {
+    let cfg = AcuerdoConfig {
+        retain_log: true,
+        durability: DurabilityMode::Durable,
+        ..AcuerdoConfig::stable(5)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(11, &cfg, 8, 32, Duration::ZERO);
+    acuerdo::enable_restarts(&mut sim, &cfg, &ids);
+    sim.node_mut::<WindowClient<AcWire>>(client).retransmit = Some(Duration::from_millis(1));
+    sim.run_until(SimTime::from_millis(15));
+
+    let mut auditor = DurabilityAuditor::new();
+    let pre = acuerdo::histories(&sim, &ids);
+    let committed = pre.iter().map(Vec::len).max().unwrap_or(0);
+    assert!(
+        committed > 200,
+        "need a substantial committed prefix ({committed})"
+    );
+    auditor.observe(&pre).expect("clean before the fault");
+
+    sim.power_failure(&ids);
+    for &id in &ids {
+        let disk = sim.disk_mut(id);
+        let keep = disk.synced_records().len() / 2;
+        let drop = disk.synced_records().len() - keep;
+        assert!(drop > 0, "tampering must remove something");
+        disk.corrupt_drop_tail(drop);
+    }
+    let t = sim.now() + Duration::from_millis(2);
+    for &id in &ids {
+        sim.restart_at(id, t);
+    }
+    sim.run_until(SimTime::from_millis(50));
+
+    let verdict = auditor.observe(&acuerdo::histories(&sim, &ids));
+    match verdict {
+        Err(Violation::CommittedEntryLost { committed_len, .. }) => {
+            assert_eq!(
+                committed_len, committed,
+                "auditor tracked the ratcheted prefix"
+            );
+        }
+        other => panic!("tampered logs must be caught, got {other:?}"),
+    }
+}
