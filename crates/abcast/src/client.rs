@@ -241,6 +241,10 @@ impl<M: ClientPort> Process<M> for WindowClient<M> {
                     ctx.count(Counter::Retransmits, 1);
                     ctx.trace(Event::new("retransmit").a(id).b(u64::from(broadcast)));
                     ctx.use_cpu_at(SpanStage::Submit, CLIENT_SEND_CPU);
+                    // A duplicate Submit mark: the forensics collector counts
+                    // it as a retransmit round (latency keeps the first
+                    // submit as its origin, matching `sent_at` above).
+                    ctx.span(client_span(ctx.id(), id), SpanStage::Submit, 1);
                     let dsts: Vec<NodeId> = if broadcast {
                         self.replicas.clone()
                     } else {

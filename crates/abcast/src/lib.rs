@@ -24,6 +24,7 @@
 pub mod app;
 pub mod check;
 pub mod client;
+pub mod forensics;
 pub mod spans;
 pub mod stats;
 pub mod types;
@@ -32,6 +33,7 @@ pub mod workload;
 pub use app::{App, DeliveryLog};
 pub use check::{check_histories, AuditReport, Auditor, DurabilityAuditor, Violation};
 pub use client::{ClientPort, ClientReq, ClientResp, OpenLoopClient, WindowClient};
+pub use forensics::{blame, Blame, BlameCause};
 pub use spans::{hdr_span, Lifecycle};
 pub use stats::{LatencyHist, RunResult, StageClass, StageHist};
 pub use types::{Epoch, MsgHdr, Vote};

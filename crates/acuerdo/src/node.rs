@@ -249,6 +249,12 @@ pub struct AcuerdoNode {
     /// Highest Accept_SST cell observed per peer, for `ack_visible`
     /// lifecycle marks (leader-side; cells are read anyway for commits).
     ack_seen: Vec<MsgHdr>,
+    /// Observation order of `ack_seen` advances: `ack_obs_seq[k]` is the
+    /// tick at which peer `k`'s cell last moved. Sorting quorum members by
+    /// it names the last-acking follower (the straggler) per commit.
+    ack_obs_seq: Vec<u64>,
+    /// Monotonic source for `ack_obs_seq` ticks.
+    ack_obs_counter: u64,
     /// Online invariant monitor (fed every poll; see [`abcast::Auditor`]).
     audit: Auditor,
 
@@ -346,6 +352,8 @@ impl AcuerdoNode {
             elect_hb_seen: vec![SimTime::ZERO; n],
             hello_from: vec![false; n],
             ack_seen: vec![MsgHdr::ZERO; n],
+            ack_obs_seq: vec![0; n],
+            ack_obs_counter: 0,
             audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
@@ -678,8 +686,33 @@ impl AcuerdoNode {
                     ctx.span(hdr_span(&a), SpanStage::AckVisible, k as u64);
                 }
                 self.ack_seen[k] = a;
+                self.ack_obs_counter += 1;
+                self.ack_obs_seq[k] = self.ack_obs_counter;
             }
         }
+    }
+
+    /// Name the last-acking member of `hdr`'s commit quorum: sort the
+    /// covering `ack_seen` cells by observation order and take the one that
+    /// completed the quorum. Returns the [`SpanStage::Quorum`] mark argument
+    /// (node id + 1; 0 when unknown — follower role, or cells not yet
+    /// re-observed).
+    fn quorum_straggler(&self, hdr: MsgHdr) -> u64 {
+        if self.role != Role::Leader {
+            return 0;
+        }
+        let mut covering: Vec<(u64, usize)> = (0..self.cfg.n)
+            .filter(|&k| {
+                let a = self.ack_seen[k];
+                a >= hdr && a.epoch == self.e_cur
+            })
+            .map(|k| (self.ack_obs_seq[k], k))
+            .collect();
+        if covering.len() < self.cfg.quorum() {
+            return 0;
+        }
+        covering.sort_unstable();
+        covering[self.cfg.quorum() - 1].1 as u64 + 1
     }
 
     fn commit_ready(&self) -> bool {
@@ -725,7 +758,11 @@ impl AcuerdoNode {
                     break;
                 };
                 let hdr = self.next;
-                ctx.span(hdr_span(&hdr), SpanStage::Quorum, 0);
+                ctx.span(
+                    hdr_span(&hdr),
+                    SpanStage::Quorum,
+                    self.quorum_straggler(hdr),
+                );
                 ctx.span(hdr_span(&hdr), SpanStage::Commit, 0);
                 self.deliver(ctx, hdr, payload);
                 self.committed = hdr;

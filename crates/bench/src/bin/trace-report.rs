@@ -14,24 +14,84 @@
 //! utilization tables are rendered and one ranked `bottleneck <system>@<n>`
 //! verdict line is printed per run.
 //!
+//! With `--forensics` the input is likewise a metrics document: per-run tail
+//! blame histograms, the straggler leaderboard, one explanatory paragraph
+//! per captured outlier, and one `blame <system>@<n>` headline line per run.
+//!
 //! ```text
 //! cargo run --release -p bench --bin trace-report -- --bottleneck BENCH_scale.json
+//! cargo run --release -p bench --bin trace-report -- --forensics BENCH_scale.json
 //! ```
 //!
-//! Exit status: 0 on a report, 1 when the input holds nothing to analyze
-//! (a trace without lifecycle stage marks, or a metrics document without
-//! utilization summaries), 2 on usage or parse errors.
+//! Exit status: 0 on a report, 1 when the input holds nothing for the
+//! requested analysis — the error names which analysis sections the
+//! document *does* support (`util`, `forensics`, `stages`) so older exports
+//! fail with a pointer instead of a bare refusal — and 2 on usage or parse
+//! errors.
 
-use bench::{json, report, util};
+use bench::json::{self, Value};
+use bench::{forensics, report, util};
 use std::process::exit;
 
-const USAGE: &str =
-    "usage: trace-report [--top N] FILE.json\n       trace-report --bottleneck METRICS.json";
+const USAGE: &str = "usage: trace-report [--top N] FILE.json\n       \
+     trace-report [--top N] --bottleneck|--forensics METRICS.json";
+
+/// Which analysis sections a metrics document's runs carry, by member name.
+fn supported_sections(doc: &Value) -> Vec<&'static str> {
+    let empty = Vec::new();
+    let runs = doc
+        .get("runs")
+        .or_else(|| doc.get("records"))
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let mut out = Vec::new();
+    for (member, flag) in [
+        ("util", "util (--bottleneck)"),
+        ("forensics", "forensics (--forensics)"),
+        ("stages", "stages (traced runs)"),
+    ] {
+        if runs.iter().any(|r| r.get(member).is_some()) {
+            out.push(flag);
+        }
+    }
+    out
+}
+
+/// Render the requested metrics-document analysis, or exit 1 naming what the
+/// document supports instead.
+fn metrics_doc_report(file: &str, forensic: bool, top: usize) -> ! {
+    let doc = json::read_doc(file).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    let rendered = if forensic {
+        forensics::forensics_report(&doc, Some(top))
+    } else {
+        util::bottleneck_report(&doc)
+    };
+    match rendered {
+        Ok(rep) => {
+            print!("{rep}");
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            let supported = supported_sections(&doc);
+            if supported.is_empty() {
+                eprintln!("{file}: supports no analysis sections");
+            } else {
+                eprintln!("{file}: supports: {}", supported.join(", "));
+            }
+            exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut file: Option<String> = None;
     let mut top = 8usize;
     let mut bottleneck = false;
+    let mut forensic = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -44,6 +104,7 @@ fn main() {
                 });
             }
             "--bottleneck" => bottleneck = true,
+            "--forensics" => forensic = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 exit(0);
@@ -66,19 +127,12 @@ fn main() {
         eprintln!("{USAGE}");
         exit(2);
     };
-    if bottleneck {
-        let doc = json::read_doc(&file).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(2);
-        });
-        match util::bottleneck_report(&doc) {
-            Ok(rep) => print!("{rep}"),
-            Err(e) => {
-                eprintln!("{file}: {e}");
-                exit(1);
-            }
-        }
-        return;
+    if bottleneck && forensic {
+        eprintln!("--bottleneck and --forensics are separate reports; pick one");
+        exit(2);
+    }
+    if bottleneck || forensic {
+        metrics_doc_report(&file, forensic, top);
     }
     let (events, gauges) = report::load_trace_file(&file).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -87,6 +141,14 @@ fn main() {
     let r = report::build(&events);
     if r.is_empty() {
         eprintln!("{file}: no lifecycle stage marks in trace (untraced run?)");
+        eprintln!(
+            "{file}: supports: {}",
+            if gauges.is_empty() {
+                "nothing to analyze"
+            } else {
+                "gauge series (rendered below)"
+            }
+        );
         if !gauges.is_empty() {
             print!("{}", report::render_gauge_series(&gauges));
         }

@@ -31,10 +31,12 @@ impl Default for DiffOptions {
 }
 
 /// Members whose value (and, for objects, whole subtree) must match
-/// exactly: deterministic counts, integer gauge extremes, and the
+/// exactly: deterministic counts, integer gauge extremes, the
 /// resource-utilization summary (rendered at fixed precision from exact
-/// counters, so any drift is a real accounting change).
-const EXACT_KEYS: [&str; 10] = [
+/// counters, so any drift is a real accounting change), and the tail-latency
+/// forensics summary (integer nanoseconds from the deterministic collector,
+/// so any drift is a real timing or attribution change).
+const EXACT_KEYS: [&str; 11] = [
     "metrics",
     "window",
     "nodes",
@@ -45,6 +47,7 @@ const EXACT_KEYS: [&str; 10] = [
     "max",
     "count",
     "util",
+    "forensics",
 ];
 
 /// Gauge p99 is an integer level pulled straight from the sorted samples —
@@ -345,6 +348,52 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.contains("util: missing from current")));
+    }
+
+    #[test]
+    fn forensics_member_is_exact_and_warns_when_new() {
+        let with_forensics = |lat: u64| {
+            json::parse(&format!(
+                "{{\"schema\":\"acuerdo-bench-suite-v1\",\"mode\":\"quick\",\"seed\":42,\
+                 \"nodes\":3,\"payload_bytes\":64,\"sample_every_us\":100,\"cpu_scale\":null,\
+                 \"runs\":[{{\"label\":\"acuerdo-w1\",\"window\":1,\
+                 \"forensics\":{{\"commits\":1000,\"outliers\":[{{\"id\":\"0x1\",\
+                 \"latency_ns\":{lat},\"straggler\":2}}]}}}}]}}"
+            ))
+            .unwrap()
+        };
+        // The forensics subtree is integer-exact: a 1 ns outlier-latency
+        // drift is a finding, not formatting noise.
+        let a = with_forensics(400_000);
+        let b = with_forensics(400_001);
+        let rep = diff_docs(&a, &b, &DiffOptions::default()).unwrap();
+        assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+        assert!(rep.findings[0].contains("forensics.outliers[0].latency_ns"));
+        // Against a pre-forensics baseline the new member is a named
+        // warning, not a failure; losing it again is a regression.
+        let old = doc(5.25, 1000, "null");
+        let mut cur = doc(5.25, 1000, "null");
+        if let Value::Obj(kv) = &mut cur {
+            if let Some((_, Value::Arr(runs))) = kv.iter_mut().find(|(k, _)| k == "runs") {
+                if let Value::Obj(run) = &mut runs[0] {
+                    run.push((
+                        "forensics".to_string(),
+                        json::parse("{\"commits\":1000}").unwrap(),
+                    ));
+                }
+            }
+        }
+        let rep = diff_docs(&old, &cur, &DiffOptions::default()).unwrap();
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(
+            rep.warnings,
+            vec!["runs[acuerdo-w1].forensics: not in baseline"]
+        );
+        let rep = diff_docs(&cur, &old, &DiffOptions::default()).unwrap();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.contains("forensics: missing from current")));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 pub mod chaos;
 pub mod diff;
+pub mod forensics;
 pub mod json;
 pub mod plot;
 pub mod report;
@@ -824,10 +825,11 @@ pub fn ablation_point_metrics(
 }
 
 /// One `--metrics-out` record: run metadata, the client-visible point, the
-/// per-node counter snapshot, and the resource-utilization summary, as one
-/// hand-rolled JSON object (DESIGN.md §6 keeps serde out of the tree). When
-/// the run was traced, `stages` adds the per-stage commit-latency anatomy
-/// under a `"stages"` member.
+/// per-node counter snapshot, the resource-utilization summary, and the
+/// tail-latency forensics summary, as one hand-rolled JSON object
+/// (DESIGN.md §6 keeps serde out of the tree). When the run was traced,
+/// `stages` adds the per-stage commit-latency anatomy under a `"stages"`
+/// member.
 #[allow(clippy::too_many_arguments)]
 pub fn run_record_json(
     label: &str,
@@ -848,7 +850,8 @@ pub fn run_record_json(
         "{{\"label\":\"{}\",\"system\":\"{}\",\"nodes\":{},\"payload_bytes\":{},\
          \"seed\":{},\"warmup_ms\":{:.3},\"measure_ms\":{:.3},\"window\":{},\
          \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
-         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{},\"util\":{}{}}}",
+         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{},\"util\":{},\
+         \"forensics\":{}{}}}",
         simnet::json_escape(label),
         simnet::json_escape(system),
         n,
@@ -864,6 +867,7 @@ pub fn run_record_json(
         point.p99_us,
         metrics.to_json(),
         util::summary_json(&metrics.res, n),
+        forensics::summary_json(&metrics.forensics),
         stages_json
     )
 }

@@ -397,6 +397,18 @@ impl DerechoNode {
             .unwrap_or(0)
     }
 
+    /// The member holding stability back: the argmin of the SST rows the
+    /// stability min ranges over (ties toward the smaller member id).
+    /// Returns the [`SpanStage::Quorum`] mark argument (member id + 1; 0
+    /// when the view is empty).
+    fn stability_straggler(&self, sender: usize) -> u64 {
+        self.members
+            .iter()
+            .map(|&m| (self.row_count(m, sender), m))
+            .min()
+            .map_or(0, |(_, m)| m as u64 + 1)
+    }
+
     // ---- sending -------------------------------------------------------------
 
     fn is_sender(&self) -> bool {
@@ -514,7 +526,11 @@ impl DerechoNode {
             let stab = self.stability(s);
             if stab > self.stab_seen[s] {
                 ctx.span(Self::dspan(s, stab - 1), SpanStage::AckVisible, 0);
-                ctx.span(Self::dspan(s, stab - 1), SpanStage::Quorum, 0);
+                ctx.span(
+                    Self::dspan(s, stab - 1),
+                    SpanStage::Quorum,
+                    self.stability_straggler(s),
+                );
                 self.stab_seen[s] = stab;
             }
         }

@@ -227,7 +227,7 @@ impl PaxosNode {
             ctx.span(Self::pspan(inst), SpanStage::RingWrite, a as u64);
         }
         // A single-replica "cluster" chooses immediately.
-        self.try_choose(ctx, inst);
+        self.try_choose(ctx, inst, Some(self.me));
     }
 
     fn on_accept(&mut self, ctx: &mut Ctx<PxWire>, inst: u64, client: u32, id: u64, value: Bytes) {
@@ -244,17 +244,19 @@ impl PaxosNode {
         let _ = (inst, client, id, value);
     }
 
-    fn on_accepted(&mut self, ctx: &mut Ctx<PxWire>, inst: u64) {
+    fn on_accepted(&mut self, ctx: &mut Ctx<PxWire>, from: NodeId, inst: u64) {
         if let Some(c) = self.acks.get_mut(&inst) {
             *c += 1;
-            ctx.span(Self::pspan(inst), SpanStage::AckVisible, 0);
+            ctx.span(Self::pspan(inst), SpanStage::AckVisible, from as u64);
             if *c == self.quorum() {
-                self.try_choose(ctx, inst);
+                self.try_choose(ctx, inst, Some(from));
             }
         }
     }
 
-    fn try_choose(&mut self, ctx: &mut Ctx<PxWire>, inst: u64) {
+    /// `last_ack` names the acceptor whose Accepted completed the quorum —
+    /// the straggler the [`SpanStage::Quorum`] mark records.
+    fn try_choose(&mut self, ctx: &mut Ctx<PxWire>, inst: u64, last_ack: Option<NodeId>) {
         let quorum = self.quorum();
         let Some(&c) = self.acks.get(&inst) else {
             return;
@@ -266,7 +268,8 @@ impl PaxosNode {
             return;
         };
         self.acks.remove(&inst);
-        ctx.span(Self::pspan(inst), SpanStage::Quorum, 0);
+        let straggler = last_ack.map_or(0, |a| a as u64 + 1);
+        ctx.span(Self::pspan(inst), SpanStage::Quorum, straggler);
         let wire = value.len() as u32 + 48;
         for l in 1..self.cfg.n {
             self.send(
@@ -321,7 +324,7 @@ impl Process<PxWire> for PaxosNode {
                 id,
                 value,
             } => self.on_accept(ctx, inst, client, id, value),
-            PxWire::Accepted { inst } => self.on_accepted(ctx, inst),
+            PxWire::Accepted { inst } => self.on_accepted(ctx, from, inst),
             PxWire::Learn {
                 inst,
                 client,

@@ -439,7 +439,7 @@ impl RaftNode {
                 self.replicate(ctx, j);
             }
         }
-        self.advance_commit(ctx);
+        self.advance_commit(ctx, Some(self.me));
     }
 
     fn replicate(&mut self, ctx: &mut Ctx<RfWire>, j: usize) {
@@ -475,7 +475,10 @@ impl RaftNode {
         self.send(ctx, j, wire, msg);
     }
 
-    fn advance_commit(&mut self, ctx: &mut Ctx<RfWire>) {
+    /// `last_ack` names the member whose AppendReply (or the leader's own
+    /// append) triggered this check — if the commit index advances, that
+    /// member is the quorum straggler the covering mark records.
+    fn advance_commit(&mut self, ctx: &mut Ctx<RfWire>, last_ack: Option<NodeId>) {
         // Largest N replicated on a majority with log[N].term == currentTerm.
         let mut n = self.last_idx();
         while n > self.commit_index {
@@ -487,7 +490,12 @@ impl RaftNode {
         }
         if n > self.commit_index {
             // One covering mark: the quorum index commits the whole prefix.
-            ctx.span(Self::ispan(self.term_at(n), n), SpanStage::Quorum, 0);
+            let straggler = last_ack.map_or(0, |m| m as u64 + 1);
+            ctx.span(
+                Self::ispan(self.term_at(n), n),
+                SpanStage::Quorum,
+                straggler,
+            );
             self.commit_index = n;
             self.apply(ctx);
         }
@@ -743,7 +751,7 @@ impl RaftNode {
                     from as u64,
                 );
             }
-            self.advance_commit(ctx);
+            self.advance_commit(ctx, Some(from));
         } else {
             // The hint is authoritative about the follower's log length: a
             // restarted replica can be far behind what match_index remembers

@@ -2,7 +2,7 @@
 
 use crate::disk::DurableLog;
 use crate::time::SimTime;
-use crate::trace::{Counter, Event, Gauge, MsgKind, Probe, SpanStage, TraceEvent};
+use crate::trace::{Counter, Event, Gauge, MsgKind, Probe, SpanStage, TraceEvent, WaitReason};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use std::time::Duration;
@@ -180,6 +180,11 @@ impl<'a, M> Ctx<'a, M> {
         self.probe.count(self.self_id, Counter::WalFsyncs, 1);
         self.probe
             .count(self.self_id, Counter::WalDeviceNs, cost.as_nanos() as u64);
+        // Forensics: the handler stalls for the scaled barrier time — the
+        // same duration `charge` just added to this dispatch's CPU.
+        let scaled = (cost.as_nanos() as f64 * self.cpu_scale) as u64;
+        self.probe
+            .wait(self.self_id, WaitReason::FsyncBarrier, scaled);
     }
 
     /// The persisted records of this node's log — what survived the last
@@ -295,6 +300,11 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn span(&mut self, id: u64, stage: SpanStage, arg: u64) {
         self.probe.count(self.self_id, Counter::SpanMarks, 1);
+        // Always-on tail-latency forensics: every mark also feeds the
+        // per-commit collector, independent of tracing, so untraced runs
+        // still capture their outlier ring.
+        self.probe
+            .span_mark(self.now + self.cpu, self.self_id, id, stage, arg);
         if self.probe.recording() {
             self.probe.record(TraceEvent::Span {
                 at: self.now + self.cpu,

@@ -6,7 +6,7 @@ use crate::net::{BatchPost, Network, RouteInfo};
 use crate::params::NetParams;
 use crate::sched::{EventKey, SchedKind, Scheduler};
 use crate::time::SimTime;
-use crate::trace::{Counter, Gauge, GaugeSample, MetricsSnapshot, Probe, TraceEvent};
+use crate::trace::{Counter, Gauge, GaugeSample, MetricsSnapshot, Probe, TraceEvent, WaitReason};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -703,6 +703,15 @@ impl<M: 'static> Sim<M> {
                 }
                 let free = slot.busy_until.max(slot.paused_until);
                 if free > self.now {
+                    // Forensics: the timer waits for the node — attribute
+                    // the deferral to the binding frontier.
+                    let reason = if slot.paused_until > slot.busy_until {
+                        WaitReason::SchedHold
+                    } else {
+                        WaitReason::BusyDefer
+                    };
+                    self.probe
+                        .wait(node, reason, free.as_nanos() - self.now.as_nanos());
                     self.requeue(free, key.slot);
                     return true;
                 }
@@ -733,6 +742,16 @@ impl<M: 'static> Sim<M> {
                 if matches!(class, DeliveryClass::Cpu) {
                     let free = slot.busy_until.max(slot.paused_until);
                     if free > self.now {
+                        // Forensics: a deliverable message waits for the
+                        // destination node — attribute the deferral to the
+                        // binding frontier.
+                        let reason = if slot.paused_until > slot.busy_until {
+                            WaitReason::SchedHold
+                        } else {
+                            WaitReason::BusyDefer
+                        };
+                        self.probe
+                            .wait(node, reason, free.as_nanos() - self.now.as_nanos());
                         // Same gauge sequence as a pop-then-repush so the
                         // observable trace is unchanged by the in-place path.
                         self.probe.gauge_add(node, Gauge::InflightMsgs, 1);
@@ -1040,6 +1059,25 @@ impl<M: 'static> Sim<M> {
                             kind,
                             u64::from(info.wire_bytes),
                             info.delivered.as_nanos() - info.ingress_start.as_nanos(),
+                        );
+                    }
+                    // Forensics wait integrals, charged to the sender (the
+                    // node whose queue the frame sat in / whose link it
+                    // crossed): egress queueing is the lag between posting
+                    // and serialization start; link delay is propagation
+                    // plus remote ingress queueing.
+                    self.probe.wait(
+                        node,
+                        WaitReason::EgressQueue,
+                        info.depart_start.as_nanos().saturating_sub(post.as_nanos()),
+                    );
+                    if dst != node {
+                        self.probe.wait(
+                            node,
+                            WaitReason::LinkDelay,
+                            info.ingress_start
+                                .as_nanos()
+                                .saturating_sub(info.depart.as_nanos()),
                         );
                     }
                     if self.probe.recording() {

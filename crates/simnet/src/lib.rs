@@ -54,9 +54,10 @@ pub use threaded::ThreadedRunner;
 pub use time::SimTime;
 pub use trace::{
     chrome_trace_json, chrome_trace_json_full, client_span, cpu_slot_name, json_escape, msg_span,
-    msg_span_parts, Counter, CounterSet, DirStats, Event, Gauge, GaugeSample, GaugeSet, LinkRes,
-    MetricsSnapshot, MsgKind, NodeRes, Probe, ResourceSnapshot, SpanStage, TraceEvent, CPU_SLOTS,
-    CPU_SLOT_IDLE, CPU_SLOT_OTHER, FLIGHT_RECORDER_DEPTH,
+    msg_span_parts, CommitForensics, Counter, CounterSet, DirStats, Event, ForensicMark,
+    ForensicsSnapshot, Gauge, GaugeSample, GaugeSet, LinkRes, MetricsSnapshot, MsgKind, NodeRes,
+    Probe, ResourceSnapshot, SpanStage, TraceEvent, WaitReason, WaitStats, CPU_SLOTS,
+    CPU_SLOT_IDLE, CPU_SLOT_OTHER, FLIGHT_RECORDER_DEPTH, OUTLIER_RING_DEPTH,
 };
 
 /// Identifier of a node (process) inside one simulation.

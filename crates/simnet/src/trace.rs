@@ -710,6 +710,216 @@ pub fn msg_span_parts(id: u64) -> Option<(u32, u32, u32)> {
     }
 }
 
+/// Machine-readable reasons a message (or a node's handler) waited inside
+/// the fabric, for tail-latency forensics. Every queueing interval the
+/// engine schedules is attributed to exactly one reason and integrated into
+/// per-node [`WaitStats`] — always on, plain adds, zero-perturbation like
+/// the counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum WaitReason {
+    /// A posted frame sat in the sender NIC's egress queue behind earlier
+    /// serializations (`depart_start - post`).
+    EgressQueue,
+    /// A deliverable event was deferred because the destination node's CPU
+    /// was still busy with earlier handler work (`busy_until` frontier).
+    BusyDefer,
+    /// A deliverable event was deferred because the destination node was
+    /// descheduled by the fault layer (`paused_until` frontier binding).
+    SchedHold,
+    /// Wire propagation plus remote ingress queueing
+    /// (`ingress_start - depart`).
+    LinkDelay,
+    /// The persistent-log device stalled the handler on an fsync barrier
+    /// ([`Ctx::log_fsync`](crate::Ctx::log_fsync), scaled device time).
+    FsyncBarrier,
+}
+
+impl WaitReason {
+    /// Number of wait reasons.
+    pub const COUNT: usize = 5;
+
+    /// All reasons, in slot order.
+    pub const ALL: [WaitReason; WaitReason::COUNT] = [
+        WaitReason::EgressQueue,
+        WaitReason::BusyDefer,
+        WaitReason::SchedHold,
+        WaitReason::LinkDelay,
+        WaitReason::FsyncBarrier,
+    ];
+
+    /// Stable snake_case name (JSON key in forensics summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitReason::EgressQueue => "egress_queue",
+            WaitReason::BusyDefer => "busy_defer",
+            WaitReason::SchedHold => "sched_hold",
+            WaitReason::LinkDelay => "link_delay",
+            WaitReason::FsyncBarrier => "fsync_barrier",
+        }
+    }
+
+    /// Inverse of [`name`](WaitReason::name) (used by report ingestion).
+    pub fn from_name(s: &str) -> Option<WaitReason> {
+        WaitReason::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+// Same registry-desync guard as for `Counter`, `Gauge`, and `MsgKind`.
+const _: () = {
+    assert!(WaitReason::ALL.len() == WaitReason::COUNT);
+    let mut i = 0;
+    while i < WaitReason::COUNT {
+        assert!(
+            WaitReason::ALL[i] as usize == i,
+            "ALL must list slots in order"
+        );
+        i += 1;
+    }
+};
+
+/// One node's accumulated wait integrals: nanoseconds waited and wait events
+/// observed, by [`WaitReason`] slot.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Nanoseconds waited, by reason slot.
+    pub ns: [u64; WaitReason::COUNT],
+    /// Number of nonzero waits observed, by reason slot.
+    pub events: [u64; WaitReason::COUNT],
+}
+
+/// One lifecycle-stage observation captured by the forensics collector: when
+/// and where the stage happened, plus a snapshot of the observing node's
+/// [`WaitStats`] integrals at that instant. Differencing two marks on the
+/// same node bounds how much of each wait reason accrued *between* them —
+/// the raw material of a blame vector.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForensicMark {
+    /// Stage instant in nanoseconds of sim time.
+    pub at_ns: u64,
+    /// Node the stage happened on.
+    pub node: NodeId,
+    /// The node's wait integrals at the mark.
+    pub waits: WaitStats,
+}
+
+/// The forensic record of one committed broadcast: the full stage chain with
+/// wait-integral snapshots, the named quorum straggler, and the retransmit
+/// count. Collected online and always-on (see [`Probe::span_mark`]); the
+/// slowest [`OUTLIER_RING_DEPTH`] of these per run form the outlier ring.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommitForensics {
+    /// Canonical span id: the client-space id once known, else the
+    /// message-space id.
+    pub id: u64,
+    /// Message-space span id (0 before the leader joined the spaces).
+    pub msg_id: u64,
+    /// Earliest observed mark per lifecycle stage.
+    pub marks: [Option<ForensicMark>; SpanStage::COUNT],
+    /// Last-acking follower of the commit quorum, when the committer named
+    /// one (the [`SpanStage::Quorum`] mark's `arg` minus one).
+    pub straggler: Option<NodeId>,
+    /// Client retransmit rounds observed for this request (duplicate
+    /// [`SpanStage::Submit`] marks).
+    pub retransmits: u32,
+    /// Instant of the latest Submit mark (first == latest when
+    /// `retransmits == 0`).
+    pub last_submit_ns: u64,
+    /// Commit latency the client measured: ClientResp minus first Submit.
+    /// Zero until finalized.
+    pub latency_ns: u64,
+}
+
+impl CommitForensics {
+    /// The mark for `stage`, if observed.
+    pub fn mark(&self, stage: SpanStage) -> Option<ForensicMark> {
+        self.marks[stage as usize]
+    }
+}
+
+/// Depth of the slowest-commit outlier ring kept per run.
+pub const OUTLIER_RING_DEPTH: usize = 64;
+
+/// Bound on concurrently-open (not yet client-acknowledged) forensic
+/// records. Far above any real in-flight window; on overflow the oldest
+/// span id is evicted deterministically.
+const FORENSICS_OPEN_CAP: usize = 16384;
+
+/// A point-in-time copy of the tail-latency forensics layer: per-node wait
+/// integrals, the straggler leaderboard tallies, and the slowest-commit
+/// outlier ring (sorted slowest-first).
+///
+/// Like the counters and the resource tallies this layer is **always on**
+/// and zero-perturbation: plain map/array bookkeeping on instants the
+/// engine already visits, no RNG draws, no CPU charges, no queue touches —
+/// traced and untraced runs of one seed produce identical snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForensicsSnapshot {
+    /// One [`WaitStats`] per node, indexed by [`NodeId`].
+    pub waits: Vec<WaitStats>,
+    /// Per-node count of quorums this node was named the straggler of,
+    /// indexed by [`NodeId`].
+    pub straggler_quorums: Vec<u64>,
+    /// Total client-acknowledged commits finalized by the collector.
+    pub commits: u64,
+    /// The slowest commits of the run, slowest first (ties broken toward
+    /// the smaller span id), at most [`OUTLIER_RING_DEPTH`] entries.
+    pub outliers: Vec<CommitForensics>,
+}
+
+/// Online per-commit collector behind [`Probe::span_mark`]. Open records
+/// live in `BTreeMap`s keyed by span id so covering-mark inheritance is a
+/// range scan and eviction order is deterministic.
+#[derive(Debug, Default)]
+struct ForensicsCollector {
+    /// Client-space records that no ordering node has adopted yet.
+    client: std::collections::BTreeMap<u64, CommitForensics>,
+    /// Message-space records (post-join they carry the client id in `id`).
+    msgs: std::collections::BTreeMap<u64, CommitForensics>,
+    /// client-space id -> message-space id, installed at the LeaderRecv
+    /// join so the ClientResp mark can find the adopted record.
+    alias: std::collections::BTreeMap<u64, u64>,
+    /// Straggler leaderboard tallies, indexed by node.
+    straggler_quorums: Vec<u64>,
+    /// Finalized commits.
+    commits: u64,
+    /// Bounded slowest-commit ring (unsorted; sorted at snapshot time).
+    outliers: Vec<CommitForensics>,
+}
+
+impl ForensicsCollector {
+    /// Keep the earliest observation per stage (covering marks and repeated
+    /// per-peer marks arrive later than the first real occurrence).
+    fn merge_mark(rec: &mut CommitForensics, slot: usize, mark: ForensicMark) {
+        match &mut rec.marks[slot] {
+            Some(m) if m.at_ns <= mark.at_ns => {}
+            m => *m = Some(mark),
+        }
+    }
+
+    /// Finalize one client-acknowledged record into the tallies and, if slow
+    /// enough, the outlier ring. Replacement is deterministic: the current
+    /// minimum (ties toward the earliest-captured entry) is evicted only by
+    /// a strictly slower commit.
+    fn finalize(&mut self, rec: CommitForensics) {
+        self.commits += 1;
+        if self.outliers.len() < OUTLIER_RING_DEPTH {
+            self.outliers.push(rec);
+            return;
+        }
+        let (mi, min_lat) = self
+            .outliers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.latency_ns))
+            .min_by_key(|&(i, lat)| (lat, i))
+            .expect("ring is non-empty");
+        if rec.latency_ns > min_lat {
+            self.outliers[mi] = rec;
+        }
+    }
+}
+
 /// One recorded timeline entry (virtual-time stamped).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -854,6 +1064,10 @@ pub struct Probe {
     /// Per-directed-link tallies; sparse because most protocols use O(n) of
     /// the n² possible links. Sorted into determinism at snapshot time.
     res_links: std::collections::HashMap<(NodeId, NodeId), DirStats>,
+    /// Per-node wait-reason integrals (always on), parallel to `counters`.
+    waits: Vec<WaitStats>,
+    /// Always-on per-commit forensics collector fed by [`Probe::span_mark`].
+    forensics: ForensicsCollector,
 }
 
 impl Default for Probe {
@@ -872,6 +1086,8 @@ impl Default for Probe {
             flight_synced: 0,
             res_nodes: Vec::new(),
             res_links: std::collections::HashMap::new(),
+            waits: Vec::new(),
+            forensics: ForensicsCollector::default(),
         }
     }
 }
@@ -905,6 +1121,12 @@ impl Probe {
         }
         if node >= self.res_nodes.len() {
             self.res_nodes.resize(node + 1, NodeRes::default());
+        }
+        if node >= self.waits.len() {
+            self.waits.resize(node + 1, WaitStats::default());
+        }
+        if node >= self.forensics.straggler_quorums.len() {
+            self.forensics.straggler_quorums.resize(node + 1, 0);
         }
     }
 
@@ -1156,6 +1378,204 @@ impl Probe {
         self.res_nodes[node].cpu_ns[slot] += ns;
     }
 
+    /// Integrate `ns` of waiting on `node` attributed to `reason`. Always
+    /// on; a plain array add on instants the engine already computes, so it
+    /// cannot perturb the run. Zero-length waits are not counted as events.
+    #[inline]
+    pub fn wait(&mut self, node: NodeId, reason: WaitReason, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        self.ensure_node(node);
+        let w = &mut self.waits[node];
+        w.ns[reason as usize] += ns;
+        w.events[reason as usize] += 1;
+    }
+
+    /// Read one node's wait integrals (zeros for unregistered nodes).
+    pub fn wait_stats(&self, node: NodeId) -> WaitStats {
+        self.waits.get(node).copied().unwrap_or_default()
+    }
+
+    /// Feed one lifecycle stage mark to the always-on forensics collector.
+    ///
+    /// Called unconditionally from [`Ctx::span`](crate::Ctx::span) —
+    /// independent of tracing and of the flight recorder, so untraced runs
+    /// (the 64-node scale study) still capture their tail. All bookkeeping
+    /// is deterministic map/array work keyed on the span id; no RNG, no CPU
+    /// charge, no queue touch.
+    ///
+    /// Collection rules:
+    /// * records are **created** only by `Submit` (client space) and by
+    ///   `LeaderRecv` / `RingWrite` (message space) — late follower marks
+    ///   cannot resurrect an already-finalized commit;
+    /// * a message-space `LeaderRecv` whose `arg` carries a client-space id
+    ///   joins the spaces: the client record is adopted and aliased;
+    /// * duplicate `Submit` marks count client retransmit rounds;
+    /// * covering stages ([`SpanStage::covering`]) are inherited by every
+    ///   open lower count of the same epoch via a range scan, straggler
+    ///   included;
+    /// * `ClientResp` finalizes (latency = resp − first submit) into the
+    ///   commit tallies and the bounded outlier ring.
+    pub fn span_mark(&mut self, at: SimTime, node: NodeId, id: u64, stage: SpanStage, arg: u64) {
+        self.ensure_node(node);
+        let mark = ForensicMark {
+            at_ns: at.as_nanos(),
+            node,
+            waits: self.waits[node],
+        };
+        let f = &mut self.forensics;
+        if id >> 63 == 0 {
+            // Client-space id.
+            match stage {
+                SpanStage::Submit => {
+                    if let Some(rec) = f
+                        .alias
+                        .get(&id)
+                        .copied()
+                        .and_then(|mid| f.msgs.get_mut(&mid))
+                        .or_else(|| f.client.get_mut(&id))
+                    {
+                        // A repeated Submit is a client retransmit round;
+                        // the first submit instant stays the latency origin
+                        // (mirroring the client's own latency measurement).
+                        rec.retransmits += 1;
+                        rec.last_submit_ns = mark.at_ns;
+                    } else {
+                        let mut rec = CommitForensics {
+                            id,
+                            last_submit_ns: mark.at_ns,
+                            ..CommitForensics::default()
+                        };
+                        rec.marks[SpanStage::Submit as usize] = Some(mark);
+                        f.client.insert(id, rec);
+                        if f.client.len() > FORENSICS_OPEN_CAP {
+                            f.client.pop_first();
+                        }
+                    }
+                }
+                SpanStage::ClientResp => {
+                    let rec = match f.alias.remove(&id) {
+                        Some(mid) => f.msgs.remove(&mid),
+                        None => f.client.remove(&id),
+                    };
+                    if let Some(mut rec) = rec {
+                        if let Some(sub) = rec.marks[SpanStage::Submit as usize] {
+                            ForensicsCollector::merge_mark(
+                                &mut rec,
+                                SpanStage::ClientResp as usize,
+                                mark,
+                            );
+                            rec.latency_ns = mark.at_ns.saturating_sub(sub.at_ns);
+                            f.finalize(rec);
+                        }
+                    }
+                }
+                other => {
+                    // Mid-lifecycle stages on a client-space id (a protocol
+                    // that never re-keys): merge if the record is open.
+                    if let Some(rec) = f.client.get_mut(&id) {
+                        ForensicsCollector::merge_mark(rec, other as usize, mark);
+                    }
+                }
+            }
+            return;
+        }
+        // Message-space id.
+        if stage == SpanStage::LeaderRecv && arg != 0 && arg >> 63 == 0 {
+            // The ordering node joined the spaces: adopt the client record.
+            if !f.msgs.contains_key(&id) {
+                let mut rec = f.client.remove(&arg).unwrap_or_else(|| CommitForensics {
+                    id: arg,
+                    ..CommitForensics::default()
+                });
+                rec.id = arg;
+                rec.msg_id = id;
+                f.msgs.insert(id, rec);
+                f.alias.insert(arg, id);
+                if f.msgs.len() > FORENSICS_OPEN_CAP {
+                    if let Some((_, dead)) = f.msgs.pop_first() {
+                        f.alias.remove(&dead.id);
+                    }
+                }
+            }
+        } else if matches!(stage, SpanStage::LeaderRecv | SpanStage::RingWrite)
+            && !f.msgs.contains_key(&id)
+        {
+            f.msgs.insert(
+                id,
+                CommitForensics {
+                    id,
+                    msg_id: id,
+                    ..CommitForensics::default()
+                },
+            );
+            if f.msgs.len() > FORENSICS_OPEN_CAP {
+                if let Some((_, dead)) = f.msgs.pop_first() {
+                    f.alias.remove(&dead.id);
+                }
+            }
+        }
+        let straggler = if stage == SpanStage::Quorum && arg != 0 {
+            Some((arg - 1) as NodeId)
+        } else {
+            None
+        };
+        if let Some(s) = straggler {
+            self.ensure_node(s);
+            // ensure_node may have reallocated the collector's tally row —
+            // reborrow (the closure-free way to keep the borrow checker
+            // happy after &mut self use).
+            let f = &mut self.forensics;
+            f.straggler_quorums[s] += 1;
+        }
+        let f = &mut self.forensics;
+        if let Some(rec) = f.msgs.get_mut(&id) {
+            ForensicsCollector::merge_mark(rec, stage as usize, mark);
+            if let Some(s) = straggler {
+                rec.straggler.get_or_insert(s);
+            }
+        }
+        if stage.covering() {
+            // Inherit into every open lower count of the same (round, ldr)
+            // epoch: the msg-span packing keeps the count in the low 32
+            // bits, so the epoch's ids form one contiguous key range.
+            let lo = id & !0xFFFF_FFFFu64;
+            let slot = stage as usize;
+            for (_, rec) in f.msgs.range_mut(lo..id) {
+                if rec.marks[slot].is_none() {
+                    rec.marks[slot] = Some(mark);
+                    if let Some(s) = straggler {
+                        rec.straggler.get_or_insert(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy out the tail-latency forensics: per-node wait integrals,
+    /// straggler tallies, and the outlier ring sorted slowest-first (ties
+    /// toward the smaller span id).
+    pub fn forensics_snapshot(&self) -> ForensicsSnapshot {
+        let rows = self.counters.len();
+        let mut waits = self.waits.clone();
+        waits.resize(rows.max(waits.len()), WaitStats::default());
+        let mut straggler_quorums = self.forensics.straggler_quorums.clone();
+        straggler_quorums.resize(rows.max(straggler_quorums.len()), 0);
+        let mut outliers = self.forensics.outliers.clone();
+        outliers.sort_by(|a, b| {
+            b.latency_ns
+                .cmp(&a.latency_ns)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        ForensicsSnapshot {
+            waits,
+            straggler_quorums,
+            commits: self.forensics.commits,
+            outliers,
+        }
+    }
+
     /// Copy out the resource tallies. `elapsed_ns` is left at zero — the
     /// engine's [`Sim::metrics`](crate::Sim::metrics) fills in its clock.
     pub fn resource_snapshot(&self) -> ResourceSnapshot {
@@ -1195,6 +1615,7 @@ impl Probe {
             nodes: self.counters.clone(),
             gauges,
             res: self.resource_snapshot(),
+            forensics: self.forensics_snapshot(),
         }
     }
 }
@@ -1210,6 +1631,9 @@ pub struct MetricsSnapshot {
     /// Resource-utilization tallies (NIC/link byte accounting by message
     /// kind, CPU busy-time by stage) at snapshot time.
     pub res: ResourceSnapshot,
+    /// Tail-latency forensics (wait integrals, straggler tallies, outlier
+    /// ring) at snapshot time.
+    pub forensics: ForensicsSnapshot,
 }
 
 impl MetricsSnapshot {

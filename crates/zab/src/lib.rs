@@ -352,7 +352,7 @@ impl ZabNode {
                 ctx.span(Self::zspan(zxid), SpanStage::RingWrite, f as u64);
             }
         }
-        self.maybe_commit(ctx, zxid);
+        self.maybe_commit(ctx, Some(self.me));
     }
 
     fn on_propose(
@@ -379,18 +379,21 @@ impl ZabNode {
         self.send(ctx, from, 48, ZkWire::Ack { zxid });
     }
 
-    fn on_ack(&mut self, ctx: &mut Ctx<ZkWire>, zxid: Zxid) {
+    fn on_ack(&mut self, ctx: &mut Ctx<ZkWire>, from: NodeId, zxid: Zxid) {
         if self.role != ZabRole::Leading {
             return;
         }
         if let Some(c) = self.acks.get_mut(&zxid) {
             *c += 1;
-            ctx.span(Self::zspan(zxid), SpanStage::AckVisible, 0);
+            ctx.span(Self::zspan(zxid), SpanStage::AckVisible, from as u64);
         }
-        self.maybe_commit(ctx, zxid);
+        self.maybe_commit(ctx, Some(from));
     }
 
-    fn maybe_commit(&mut self, ctx: &mut Ctx<ZkWire>, _hint: Zxid) {
+    /// `last_ack` names the member whose acknowledgement triggered this
+    /// check — if the watermark advances, that member is the quorum
+    /// straggler the covering mark records.
+    fn maybe_commit(&mut self, ctx: &mut Ctx<ZkWire>, last_ack: Option<NodeId>) {
         // Advance the cumulative commit watermark over the acked prefix.
         let quorum = self.quorum();
         let mut new_committed = self.committed;
@@ -406,7 +409,8 @@ impl ZabNode {
         }
         if new_committed > self.committed {
             // One covering mark: the watermark commits the whole prefix.
-            ctx.span(Self::zspan(new_committed), SpanStage::Quorum, 0);
+            let straggler = last_ack.map_or(0, |n| n as u64 + 1);
+            ctx.span(Self::zspan(new_committed), SpanStage::Quorum, straggler);
             self.committed = new_committed;
             for f in 0..self.cfg.n {
                 if f != self.me {
@@ -722,7 +726,7 @@ impl Process<ZkWire> for ZabNode {
                 id,
                 value,
             } => self.on_propose(ctx, from, zxid, client, id, value),
-            ZkWire::Ack { zxid } => self.on_ack(ctx, zxid),
+            ZkWire::Ack { zxid } => self.on_ack(ctx, from, zxid),
             ZkWire::Commit { zxid } => self.on_commit(ctx, from, zxid),
             ZkWire::Ping { epoch } => {
                 if self.role == ZabRole::Following && epoch == self.epoch && from == self.leader {

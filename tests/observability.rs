@@ -366,6 +366,131 @@ fn auditor_firing_produces_a_loadable_flight_recorder_dump() {
 }
 
 #[test]
+fn forensics_is_zero_perturbation_and_deterministic() {
+    // The tail-latency forensics collector is always on — traced and
+    // untraced runs of one seed must produce byte-identical snapshots
+    // (wait integrals, straggler tallies, and the full outlier ring), and
+    // identical runs must reproduce them exactly.
+    use acuerdo_repro::simnet::ForensicsSnapshot;
+
+    fn forensics_of(seed: u64, traced: bool) -> ForensicsSnapshot {
+        let cfg = AcuerdoConfig::stable(3);
+        let (mut sim, _ids, _client) =
+            acuerdo::cluster_with_client(seed, &cfg, 8, 10, Duration::ZERO);
+        sim.set_tracing(traced);
+        sim.run_until(SimTime::from_millis(10));
+        sim.metrics().forensics
+    }
+
+    let traced = forensics_of(42, true);
+    let untraced = forensics_of(42, false);
+    assert_eq!(traced, untraced, "forensics snapshot depends on tracing");
+    assert_eq!(
+        untraced,
+        forensics_of(42, false),
+        "snapshot not reproducible"
+    );
+
+    assert!(
+        traced.commits > 100,
+        "only {} commits finalized",
+        traced.commits
+    );
+    assert!(!traced.outliers.is_empty(), "outlier ring stayed empty");
+    assert!(
+        traced.outliers.len() <= acuerdo_repro::simnet::OUTLIER_RING_DEPTH,
+        "outlier ring overflowed its bound"
+    );
+    assert!(
+        traced.straggler_quorums.iter().sum::<u64>() > 0,
+        "no quorum named a straggler"
+    );
+    assert!(
+        traced.waits.iter().any(|w| w.ns.iter().any(|&ns| ns > 0)),
+        "no wait interval was attributed"
+    );
+}
+
+#[test]
+fn outlier_blame_sums_exactly_and_names_stragglers() {
+    // Every captured outlier must decompose: its blame vector sums to the
+    // measured commit latency exactly (the within-1% acceptance bound is
+    // met with zero slack), the ring is sorted slowest-first, and each
+    // outlier names the commit quorum's last-acking follower.
+    use acuerdo_repro::abcast::blame;
+
+    let cfg = AcuerdoConfig::stable(3);
+    let (mut sim, _ids, _client) = acuerdo::cluster_with_client(21, &cfg, 8, 10, Duration::ZERO);
+    sim.run_until(SimTime::from_millis(10));
+    let f = sim.metrics().forensics;
+    assert!(!f.outliers.is_empty());
+    let mut prev = u64::MAX;
+    for rec in &f.outliers {
+        assert!(
+            rec.latency_ns <= prev,
+            "outlier ring not sorted slowest-first"
+        );
+        prev = rec.latency_ns;
+        let b = blame(rec).expect("finalized outlier must be blameable");
+        assert_eq!(
+            b.total_ns(),
+            rec.latency_ns,
+            "blame vector does not sum to the measured latency"
+        );
+        assert!(
+            rec.straggler.is_some(),
+            "outlier 0x{:016x} names no straggler",
+            rec.id
+        );
+        assert!(b.dominant().is_some(), "no dominant cause");
+    }
+}
+
+#[test]
+fn crash_induced_outliers_blame_the_retransmit_rounds() {
+    // A leader crash mid-run stalls in-flight requests until the client's
+    // retransmit timer re-submits them to the new leader. Those commits are
+    // the run's slowest by an order of magnitude, so the outlier ring must
+    // capture them with their retransmit rounds, and the blame assembler
+    // must charge the dead time to the retransmit cause.
+    use acuerdo_repro::abcast::{blame, BlameCause};
+
+    let cfg = AcuerdoConfig {
+        fail_timeout: Duration::from_micros(400),
+        ..AcuerdoConfig::stable(3)
+    };
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(555, &cfg, 8, 10, Duration::ZERO);
+    {
+        let c = sim.node_mut::<WindowClient<AcWire>>(client);
+        c.retransmit = Some(Duration::from_millis(1));
+        c.replicas = ids.clone();
+    }
+    sim.crash_at(0, SimTime::from_millis(2));
+    sim.run_until(SimTime::from_millis(10));
+
+    let f = sim.metrics().forensics;
+    let retried: Vec<_> = f
+        .outliers
+        .iter()
+        .filter(|rec| rec.retransmits > 0)
+        .collect();
+    assert!(
+        !retried.is_empty(),
+        "no crash-stalled commit with retransmit rounds reached the outlier ring"
+    );
+    for rec in retried {
+        let b = blame(rec).expect("retried outlier must be blameable");
+        assert!(
+            b.ns[BlameCause::Retransmit as usize] > 0,
+            "outlier 0x{:016x} with {} retransmit rounds has zero retransmit blame",
+            rec.id,
+            rec.retransmits
+        );
+        assert_eq!(b.total_ns(), rec.latency_ns);
+    }
+}
+
+#[test]
 fn trace_report_agrees_with_the_metrics_sidecar() {
     // The offline pipeline (chrome export → re-parse → trace-report) must
     // account for exactly the stage marks the online counters saw, and the
