@@ -110,6 +110,12 @@ impl LatencyHist {
         self.quantile_us(0.99)
     }
 
+    /// 99.9th percentile in microseconds — the tail the forensics layer
+    /// blames; exported so what-if deltas can price tail relief.
+    pub fn p999_us(&self) -> f64 {
+        self.quantile_us(0.999)
+    }
+
     /// Largest sample in microseconds.
     pub fn max_us(&self) -> f64 {
         self.max_ns as f64 / 1_000.0
@@ -286,11 +292,12 @@ impl StageHist {
 
     fn hist_json(h: &LatencyHist) -> String {
         format!(
-            "{{\"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"max_us\":{:.3}}}",
+            "{{\"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\"max_us\":{:.3}}}",
             h.count(),
             h.mean_us(),
             h.p50_us(),
             h.p99_us(),
+            h.p999_us(),
             h.max_us()
         )
     }
@@ -330,44 +337,48 @@ impl StageHist {
     /// Render a human-readable per-stage table (for fig8 / table1 output).
     pub fn table(&self, label: &str) -> String {
         let mut out = format!(
-            "stage anatomy [{label}] ({} complete lifecycles)\n  {:<18} {:>8} {:>10} {:>10} {:>10}\n",
+            "stage anatomy [{label}] ({} complete lifecycles)\n  {:<18} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
             self.totals_count(),
             "transition",
             "count",
             "mean_us",
             "p50_us",
-            "p99_us"
+            "p99_us",
+            "p999_us"
         );
         for to in SpanStage::ALL.iter().skip(1) {
             let h = self.transition(*to);
             out.push_str(&format!(
-                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
                 format!("-> {}", to.name()),
                 h.count(),
                 h.mean_us(),
                 h.p50_us(),
-                h.p99_us()
+                h.p99_us(),
+                h.p999_us()
             ));
         }
         for c in [StageClass::Wire, StageClass::QuorumWait, StageClass::Cpu] {
             let h = self.class(c);
             out.push_str(&format!(
-                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
                 format!("class {}", c.name()),
                 h.count(),
                 h.mean_us(),
                 h.p50_us(),
-                h.p99_us()
+                h.p99_us(),
+                h.p999_us()
             ));
         }
         let t = &self.total;
         out.push_str(&format!(
-            "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+            "  {:<18} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
             "total",
             t.count(),
             t.mean_us(),
             t.p50_us(),
-            t.p99_us()
+            t.p99_us(),
+            t.p999_us()
         ));
         out
     }

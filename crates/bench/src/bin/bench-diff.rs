@@ -7,6 +7,12 @@
 //! cargo run --release -p bench --bin bench-diff -- baselines/BENCH_quick.json BENCH_quick.json
 //! ```
 //!
+//! `--json` swaps the human lines for one machine-readable JSON object on
+//! stdout (`{"ok":…,"findings":[…],"warnings":[…]}`); exit status is
+//! unchanged, so scripted callers can keep gating on it while parsing the
+//! detail. The document shapes and exactness rules are specified in
+//! docs/SIDECARS.md.
+//!
 //! Exit status: 0 when the documents agree (warnings about members the
 //! baseline lacks — new instrumentation — are printed but do not fail the
 //! gate), 1 on any regression (each offending metric is printed), 2 on
@@ -16,11 +22,21 @@ use bench::diff::{diff_files, DiffOptions};
 use std::process::exit;
 
 fn usage() {
-    eprintln!("usage: bench-diff [--eps REL] BASELINE.json CURRENT.json");
+    eprintln!("usage: bench-diff [--eps REL] [--json] BASELINE.json CURRENT.json");
+}
+
+/// One string-array member of the machine-readable report.
+fn json_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", simnet::json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
 }
 
 fn main() {
     let mut opts = DiffOptions::default();
+    let mut json_out = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,6 +51,7 @@ fn main() {
                     exit(2);
                 });
             }
+            "--json" => json_out = true,
             "--help" | "-h" => {
                 usage();
                 exit(0);
@@ -52,13 +69,33 @@ fn main() {
         exit(2);
     };
     let report = diff_files(baseline, current, &opts).unwrap_or_else(|e| {
-        eprintln!("bench-diff: {e}");
+        if json_out {
+            println!(
+                "{{\"ok\":false,\"comparable\":false,\"error\":\"{}\"}}",
+                simnet::json_escape(&e)
+            );
+        } else {
+            eprintln!("bench-diff: {e}");
+            eprintln!("bench-diff: document shapes are specified in docs/SIDECARS.md");
+        }
         exit(2);
     });
+    let ok = report.findings.is_empty();
+    if json_out {
+        println!(
+            "{{\"ok\":{ok},\"comparable\":true,\"baseline\":\"{}\",\"current\":\"{}\",\
+             \"findings\":{},\"warnings\":{}}}",
+            simnet::json_escape(baseline),
+            simnet::json_escape(current),
+            json_list(&report.findings),
+            json_list(&report.warnings),
+        );
+        exit(if ok { 0 } else { 1 });
+    }
     for w in &report.warnings {
         eprintln!("bench-diff: warning: {w} (refresh the baseline to gate on it)");
     }
-    if report.findings.is_empty() {
+    if ok {
         println!("bench-diff: {current} matches {baseline}");
         return;
     }
@@ -69,5 +106,6 @@ fn main() {
     for f in &report.findings {
         eprintln!("  {f}");
     }
+    eprintln!("bench-diff: member semantics and exactness rules: docs/SIDECARS.md");
     exit(1);
 }

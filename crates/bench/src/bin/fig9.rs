@@ -105,6 +105,7 @@ fn main() {
                     mean_us: 0.0,
                     p50_us: 0.0,
                     p99_us: 0.0,
+                    p999_us: 0.0,
                 };
                 records.push(bench::run_record_json(
                     &label,

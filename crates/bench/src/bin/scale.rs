@@ -153,6 +153,7 @@ fn main() {
                         sample_every: Some(cfg.sample_every),
                         cpu_scale: None,
                         scheduler: cfg.scheduler,
+                        ..Observe::default()
                     },
                 );
                 let stages = trace_this.then(|| spans::stage_hist(&spans::collect(&events)));

@@ -18,23 +18,29 @@
 //! blame histograms, the straggler leaderboard, one explanatory paragraph
 //! per captured outlier, and one `blame <system>@<n>` headline line per run.
 //!
+//! With `--whatif` the input is a `BENCH_whatif.json` document: per-run
+//! counterfactual tables, one `whatif <system>@<n>` headline per measured
+//! intervention (gain order), and one `whatif-verdict <system>@<n>` line
+//! stating whether the measurement agrees with the blame-vector prediction.
+//!
 //! ```text
 //! cargo run --release -p bench --bin trace-report -- --bottleneck BENCH_scale.json
 //! cargo run --release -p bench --bin trace-report -- --forensics BENCH_scale.json
+//! cargo run --release -p bench --bin trace-report -- --whatif BENCH_whatif.json
 //! ```
 //!
 //! Exit status: 0 on a report, 1 when the input holds nothing for the
 //! requested analysis — the error names which analysis sections the
-//! document *does* support (`util`, `forensics`, `stages`) so older exports
-//! fail with a pointer instead of a bare refusal — and 2 on usage or parse
-//! errors.
+//! document *does* support (`util`, `forensics`, `whatif`, `stages`) so
+//! older exports fail with a pointer instead of a bare refusal — and 2 on
+//! usage or parse errors.
 
 use bench::json::{self, Value};
-use bench::{forensics, report, util};
+use bench::{forensics, report, util, whatif};
 use std::process::exit;
 
 const USAGE: &str = "usage: trace-report [--top N] FILE.json\n       \
-     trace-report [--top N] --bottleneck|--forensics METRICS.json";
+     trace-report [--top N] --bottleneck|--forensics|--whatif METRICS.json";
 
 /// Which analysis sections a metrics document's runs carry, by member name.
 fn supported_sections(doc: &Value) -> Vec<&'static str> {
@@ -48,6 +54,7 @@ fn supported_sections(doc: &Value) -> Vec<&'static str> {
     for (member, flag) in [
         ("util", "util (--bottleneck)"),
         ("forensics", "forensics (--forensics)"),
+        ("whatif", "whatif (--whatif)"),
         ("stages", "stages (traced runs)"),
     ] {
         if runs.iter().any(|r| r.get(member).is_some()) {
@@ -57,17 +64,25 @@ fn supported_sections(doc: &Value) -> Vec<&'static str> {
     out
 }
 
+/// Which metrics-document analysis to render.
+#[derive(Copy, Clone, PartialEq)]
+enum DocMode {
+    Bottleneck,
+    Forensics,
+    Whatif,
+}
+
 /// Render the requested metrics-document analysis, or exit 1 naming what the
 /// document supports instead.
-fn metrics_doc_report(file: &str, forensic: bool, top: usize) -> ! {
+fn metrics_doc_report(file: &str, mode: DocMode, top: usize) -> ! {
     let doc = json::read_doc(file).unwrap_or_else(|e| {
         eprintln!("{e}");
         exit(2);
     });
-    let rendered = if forensic {
-        forensics::forensics_report(&doc, Some(top))
-    } else {
-        util::bottleneck_report(&doc)
+    let rendered = match mode {
+        DocMode::Forensics => forensics::forensics_report(&doc, Some(top)),
+        DocMode::Bottleneck => util::bottleneck_report(&doc),
+        DocMode::Whatif => whatif::whatif_report(&doc),
     };
     match rendered {
         Ok(rep) => {
@@ -90,8 +105,7 @@ fn metrics_doc_report(file: &str, forensic: bool, top: usize) -> ! {
 fn main() {
     let mut file: Option<String> = None;
     let mut top = 8usize;
-    let mut bottleneck = false;
-    let mut forensic = false;
+    let mut modes: Vec<DocMode> = Vec::new();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -103,8 +117,9 @@ fn main() {
                     exit(2);
                 });
             }
-            "--bottleneck" => bottleneck = true,
-            "--forensics" => forensic = true,
+            "--bottleneck" => modes.push(DocMode::Bottleneck),
+            "--forensics" => modes.push(DocMode::Forensics),
+            "--whatif" => modes.push(DocMode::Whatif),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 exit(0);
@@ -127,12 +142,12 @@ fn main() {
         eprintln!("{USAGE}");
         exit(2);
     };
-    if bottleneck && forensic {
-        eprintln!("--bottleneck and --forensics are separate reports; pick one");
+    if modes.len() > 1 {
+        eprintln!("--bottleneck, --forensics and --whatif are separate reports; pick one");
         exit(2);
     }
-    if bottleneck || forensic {
-        metrics_doc_report(&file, forensic, top);
+    if let Some(&mode) = modes.first() {
+        metrics_doc_report(&file, mode, top);
     }
     let (events, gauges) = report::load_trace_file(&file).unwrap_or_else(|e| {
         eprintln!("{e}");

@@ -35,8 +35,10 @@ impl Default for DiffOptions {
 /// resource-utilization summary (rendered at fixed precision from exact
 /// counters, so any drift is a real accounting change), and the tail-latency
 /// forensics summary (integer nanoseconds from the deterministic collector,
-/// so any drift is a real timing or attribution change).
-const EXACT_KEYS: [&str; 11] = [
+/// so any drift is a real timing or attribution change), and the what-if
+/// counterfactual table (measured deltas at fixed precision from
+/// deterministic runs — see docs/SIDECARS.md).
+const EXACT_KEYS: [&str; 12] = [
     "metrics",
     "window",
     "nodes",
@@ -48,6 +50,7 @@ const EXACT_KEYS: [&str; 11] = [
     "count",
     "util",
     "forensics",
+    "whatif",
 ];
 
 /// Gauge p99 is an integer level pulled straight from the sorted samples —
@@ -298,6 +301,26 @@ mod tests {
             }
         }
         assert!(diff_docs(&a, &b, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_name_the_offending_member() {
+        let good = doc(5.25, 1000, "null");
+        // A comparability key of the wrong type is named, not diffed past.
+        let head = "{\"schema\":\"acuerdo-bench-suite-v1\",\"mode\":\"quick\",\"seed\":42,\
+                    \"nodes\":3,\"payload_bytes\":64,\"sample_every_us\":100";
+        // "runs" holding a number instead of an array.
+        let bad_runs = json::parse(&format!("{head},\"runs\":7}}")).unwrap();
+        let err = diff_docs(&good, &bad_runs, &DiffOptions::default()).unwrap_err();
+        assert!(err.contains("\"runs\""), "{err}");
+        // A run without a "label".
+        let unlabeled = json::parse(&format!("{head},\"runs\":[{{\"window\":1}}]}}")).unwrap();
+        let err = diff_docs(&good, &unlabeled, &DiffOptions::default()).unwrap_err();
+        assert!(err.contains("\"label\""), "{err}");
+        // A truncated top level names the first missing comparability key.
+        let bare = json::parse("{\"schema\":\"acuerdo-bench-suite-v1\"}").unwrap();
+        let err = diff_docs(&good, &bare, &DiffOptions::default()).unwrap_err();
+        assert!(err.contains("current: missing \"mode\""), "{err}");
     }
 
     #[test]

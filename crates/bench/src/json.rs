@@ -333,6 +333,35 @@ mod tests {
     }
 
     #[test]
+    fn truncated_documents_report_the_byte_offset() {
+        // Cutting a realistic sidecar anywhere must yield a located error,
+        // never a panic or a silent partial value.
+        let full = "{\"bench\":\"suite\",\"seed\":42,\"records\":[{\"label\":\"a\"}]}";
+        for cut in [1, 9, full.len() - 10, full.len() - 1] {
+            let err = parse(&full[..cut]).unwrap_err();
+            assert!(err.starts_with("json error at byte"), "cut {cut}: {err}");
+        }
+        // read_doc tags the path so the operator knows which sidecar broke.
+        let path = std::env::temp_dir().join("bench-json-truncated-test.json");
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let err = read_doc(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("bench-json-truncated-test.json"), "{err}");
+        assert!(err.contains("json error at byte"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_typed_accessors_return_none_not_panic() {
+        let v = parse("{\"seed\":\"not-a-number\",\"runs\":7}").unwrap();
+        assert_eq!(v.get("seed").unwrap().as_f64(), None);
+        assert_eq!(v.get("seed").unwrap().as_u64(), None);
+        assert_eq!(v.get("runs").unwrap().as_array(), None);
+        assert_eq!(v.get("runs").unwrap().as_str(), None);
+        // Negative numbers refuse the unsigned view.
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+
+    #[test]
     fn round_trips_own_exports() {
         // The metrics sidecar and chrome trace writers must produce documents
         // this parser accepts.

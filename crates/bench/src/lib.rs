@@ -24,6 +24,7 @@ pub mod report;
 pub mod scale;
 pub mod suite;
 pub mod util;
+pub mod whatif;
 
 use abcast::{RunResult, StageHist, WindowClient};
 use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
@@ -33,7 +34,9 @@ use derecho::{DcWire, DerechoConfig, Mode};
 use kvstore::{ReplicatedMap, YcsbLoad};
 use paxos::{PaxosConfig, PxWire};
 use raft::{RaftConfig, RaftNode, RfWire};
-use simnet::{GaugeSample, MetricsSnapshot, NetParams, SchedKind, Sim, SimTime, TraceEvent};
+use simnet::{
+    GaugeSample, InterventionSet, MetricsSnapshot, NetParams, SchedKind, Sim, SimTime, TraceEvent,
+};
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
@@ -107,6 +110,8 @@ pub struct Point {
     pub p50_us: f64,
     /// Tail latency.
     pub p99_us: f64,
+    /// Extreme-tail latency (the forensics layer's territory).
+    pub p999_us: f64,
 }
 
 impl Point {
@@ -118,6 +123,7 @@ impl Point {
             mean_us: r.latency.mean_us(),
             p50_us: r.latency.p50_us(),
             p99_us: r.latency.p99_us(),
+            p999_us: r.latency.p999_us(),
         }
     }
 }
@@ -173,7 +179,7 @@ fn finish<M: 'static>(sim: &mut Sim<M>, spec: RunSpec) {
 /// point and counters are bit-identical to a bare run at the same seed.
 /// `cpu_scale` is the opposite — a deliberate physics change used to inject
 /// a slowdown for the regression walkthrough.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Observe {
     /// Record the full trace-event timeline.
     pub traced: bool,
@@ -187,6 +193,10 @@ pub struct Observe {
     /// `simnet::sched`) — so it defaults to the fast calendar queue and is
     /// pinned to the reference heap only by differential tests.
     pub scheduler: SchedKind,
+    /// What-if counterfactual applied to the constructed fabric before the
+    /// run starts. The default (null) set is a no-op and reproduces the
+    /// uninstrumented run byte-identically (`tests/whatif.rs`).
+    pub interventions: InterventionSet,
 }
 
 impl Observe {
@@ -199,6 +209,7 @@ impl Observe {
         if let Some(scale) = self.cpu_scale {
             sim.set_cpu_scale(0, scale);
         }
+        sim.apply_interventions(&self.interventions);
     }
 }
 
@@ -258,8 +269,7 @@ pub fn run_broadcast_traced(
         Observe {
             traced: true,
             sample_every: Some(SAMPLE_EVERY),
-            cpu_scale: None,
-            scheduler: SchedKind::default(),
+            ..Observe::default()
         },
     )
 }
@@ -850,7 +860,8 @@ pub fn run_record_json(
         "{{\"label\":\"{}\",\"system\":\"{}\",\"nodes\":{},\"payload_bytes\":{},\
          \"seed\":{},\"warmup_ms\":{:.3},\"measure_ms\":{:.3},\"window\":{},\
          \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
-         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"metrics\":{},\"util\":{},\
+         \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
+         \"metrics\":{},\"util\":{},\
          \"forensics\":{}{}}}",
         simnet::json_escape(label),
         simnet::json_escape(system),
@@ -865,6 +876,7 @@ pub fn run_record_json(
         point.mean_us,
         point.p50_us,
         point.p99_us,
+        point.p999_us,
         metrics.to_json(),
         util::summary_json(&metrics.res, n),
         forensics::summary_json(&metrics.forensics),

@@ -116,6 +116,7 @@ pub fn run_scale(cfg: &ScaleConfig) -> String {
                     sample_every: Some(cfg.sample_every),
                     cpu_scale: None,
                     scheduler: cfg.scheduler,
+                    ..Observe::default()
                 },
             );
             let mut rec = run_record_json(

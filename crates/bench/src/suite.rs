@@ -94,6 +94,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> String {
                     sample_every: Some(cfg.sample_every),
                     cpu_scale: cfg.cpu_scale,
                     scheduler: cfg.scheduler,
+                    ..Observe::default()
                 },
             );
             let hist = spans::stage_hist(&spans::collect(&events));

@@ -1,0 +1,666 @@
+//! The causal what-if profiler: measured counterfactuals that rank the next
+//! optimisation.
+//!
+//! The utilization observatory (`"util"`, PR 6) says which resource is
+//! saturated and the tail forensics (`"forensics"`, PR 8) say which resource
+//! the slow commits *waited on* — but both are predictions about what would
+//! help. This module closes the loop COZ-style: it re-runs the pinned-seed
+//! workload on counterfactual hardware (a leader NIC with twice the egress
+//! bandwidth, a straggler with a faster core, links at half latency, a pmem
+//! fsync, a deeper client window) and measures what each intervention is
+//! actually worth. Because the simulator is deterministic and interventions
+//! change *parameters only* (see `simnet::Intervention`), every delta is
+//! causal by construction — same seed, same workload, different physics.
+//!
+//! The emitted document (`BENCH_whatif.json`, schema
+//! [`SCHEMA`]) carries, per system × cluster size, the baseline record in
+//! the shared sidecar shape plus a `"whatif"` member: one fixed-order row
+//! per counterfactual with the measured throughput/latency deltas, the
+//! gain ranking, and an agree/disagree cross-check against the blame
+//! vector's prediction. `bench-diff` holds the member exact
+//! (docs/SIDECARS.md).
+//!
+//! The report grammar is deliberately greppable (CI anchors on the
+//! `whatif ` prefix): `whatif <system>@<nodes>: <intervention> → <gain>`,
+//! one line per counterfactual in measured-gain order, plus a
+//! `whatif-verdict` line naming the blame prediction and whether the
+//! measurement agrees.
+
+use crate::json::Value;
+use crate::{run_broadcast_observed, run_record_json, Observe, Point, RunSpec, System};
+use abcast::{blame, BlameCause};
+use simnet::{Intervention, InterventionSet, LogDevParams, MetricsSnapshot, SchedKind};
+
+/// Document schema tag; bump when the document shape changes so `bench-diff`
+/// refuses to compare across shapes.
+pub const SCHEMA: &str = "acuerdo-bench-whatif-v1";
+
+/// The five systems priced, one representative per protocol class (the same
+/// matrix as the scale sweep).
+pub const WHATIF_SYSTEMS: [System; 5] = crate::scale::SCALE_SYSTEMS;
+
+/// The fixed counterfactual catalog, in document order. Names are part of
+/// the document contract.
+pub const CATALOG: [&str; 6] = [
+    "leader-egress-x2",
+    "leader-egress-x4",
+    "straggler-cpu-x2",
+    "links-latency-half",
+    "fsync-pmem",
+    "window-x2",
+];
+
+/// The intervention family a catalog entry belongs to — the unit the blame
+/// cross-check matches on (`leader-egress-x2` and `-x4` both confirm a
+/// `leader_egress_queue` prediction).
+pub fn family(name: &str) -> &'static str {
+    match name {
+        "leader-egress-x2" | "leader-egress-x4" => "leader-egress",
+        "straggler-cpu-x2" => "straggler-cpu",
+        "links-latency-half" => "links-latency",
+        "fsync-pmem" => "fsync",
+        "window-x2" => "window",
+        _ => "unknown",
+    }
+}
+
+/// The intervention family a blame cause predicts should help. This is the
+/// forensics layer's claim, stated before measuring; the whatif table is the
+/// measurement that confirms or refutes it.
+pub fn predicted_family(cause: BlameCause) -> &'static str {
+    match cause {
+        BlameCause::LeaderEgressQueue => "leader-egress",
+        BlameCause::Retransmit | BlameCause::LinkDelay => "links-latency",
+        BlameCause::FsyncBarrier => "fsync",
+        BlameCause::StragglerWait
+        | BlameCause::BusyDefer
+        | BlameCause::SchedHold
+        | BlameCause::CpuExec => "straggler-cpu",
+    }
+}
+
+/// Pinned matrix parameters. Mirrors `ScaleConfig` — the whatif document
+/// prices interventions at the scale sweep's dissemination-bound operating
+/// point, where the committed forensics blame the leader NIC.
+#[derive(Clone, Debug)]
+pub struct WhatifConfig {
+    /// Down-sampled sizes (CI / committed baseline) vs the full matrix.
+    pub quick: bool,
+    /// Simulation seed shared by every run, baseline and counterfactual.
+    pub seed: u64,
+    /// Payload bytes.
+    pub payload: usize,
+    /// Client window of the baseline (the `window-x2` counterfactual doubles
+    /// it).
+    pub window: usize,
+    /// Cluster sizes priced per system.
+    pub sizes: Vec<usize>,
+    /// Systems priced (default: the five-system matrix).
+    pub systems: Vec<System>,
+    /// Counterfactuals run, a subset of [`CATALOG`] in catalog order.
+    pub interventions: Vec<&'static str>,
+    /// Event-queue implementation; can never change the document (the
+    /// schedulers share one total order), so it is not part of the emitted
+    /// JSON.
+    pub scheduler: SchedKind,
+}
+
+impl WhatifConfig {
+    /// The canonical matrix (this is the configuration the committed
+    /// baseline was produced with; change it and the baseline together).
+    pub fn new(quick: bool) -> WhatifConfig {
+        WhatifConfig {
+            quick,
+            seed: 42,
+            payload: 16384,
+            window: 8,
+            // The floor and the top of the scale sweep: n = 3 (where nothing
+            // saturates) and n = 64 (where the leader NIC does). The full
+            // matrix adds the knee.
+            sizes: if quick { vec![3, 64] } else { vec![3, 16, 64] },
+            systems: WHATIF_SYSTEMS.to_vec(),
+            interventions: CATALOG.to_vec(),
+            scheduler: SchedKind::default(),
+        }
+    }
+}
+
+/// The replica whose NIC the leader-egress counterfactuals speed up: the
+/// one with the highest measured egress busy time in the baseline run (ties
+/// toward the lower id — node 0, the initial leader, in every stable run).
+pub fn leader_of(m: &MetricsSnapshot, n: usize) -> usize {
+    m.res
+        .nodes
+        .iter()
+        .take(n)
+        .enumerate()
+        .max_by_key(|(i, node)| (node.tx.busy_ns, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// The replica the straggler counterfactual speeds up: the one most often
+/// last into the quorum in the baseline run (ties toward the lower id;
+/// falls back to the highest-numbered replica when the run recorded no
+/// straggler tallies).
+pub fn straggler_of(m: &MetricsSnapshot, n: usize) -> usize {
+    m.forensics
+        .straggler_quorums
+        .iter()
+        .take(n)
+        .copied()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(n.saturating_sub(1))
+}
+
+/// Aggregate blame nanoseconds per cause over the baseline run's outlier
+/// ring, and the top cause (ties toward the enum order). `None` when the
+/// ring assembled no blame at all.
+pub fn tail_blame_top(m: &MetricsSnapshot) -> Option<(BlameCause, f64)> {
+    let mut ns = [0u64; BlameCause::COUNT];
+    for rec in &m.forensics.outliers {
+        let b = blame(rec).unwrap_or_default();
+        for c in BlameCause::ALL {
+            ns[c as usize] += b.ns[c as usize];
+        }
+    }
+    let total: u64 = ns.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let top = BlameCause::ALL
+        .into_iter()
+        .max_by_key(|&c| (ns[c as usize], std::cmp::Reverse(c as usize)))?;
+    Some((top, ns[top as usize] as f64 * 100.0 / total as f64))
+}
+
+/// Build one catalog entry: the client window to run with and the
+/// intervention set to apply. Factors are time multipliers, so a ×2
+/// speedup is factor 0.5 (`simnet::Intervention`).
+fn build(
+    name: &str,
+    leader: usize,
+    straggler: usize,
+    n: usize,
+    window: usize,
+) -> (usize, InterventionSet) {
+    let mut set = InterventionSet::null();
+    let mut w = window;
+    match name {
+        "leader-egress-x2" => set.push(Intervention::EgressTimeScale {
+            node: leader,
+            factor: 0.5,
+        }),
+        "leader-egress-x4" => set.push(Intervention::EgressTimeScale {
+            node: leader,
+            factor: 0.25,
+        }),
+        "straggler-cpu-x2" => set.push(Intervention::CpuScale {
+            node: straggler,
+            factor: 0.5,
+        }),
+        "links-latency-half" => set.push(Intervention::LinkLatencyScale { factor: 0.5 }),
+        "fsync-pmem" => {
+            for node in 0..n {
+                set.push(Intervention::LogDevice {
+                    node,
+                    dev: LogDevParams::pmem(),
+                });
+            }
+        }
+        "window-x2" => w = window * 2,
+        other => panic!("unknown intervention {other}"),
+    }
+    (w, set)
+}
+
+/// One measured counterfactual row.
+struct Row {
+    name: &'static str,
+    point: Point,
+    gain_pct: f64,
+    p50_delta_pct: f64,
+    p99_delta_pct: f64,
+}
+
+fn delta_pct(cur: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (cur - base) * 100.0 / base
+    }
+}
+
+/// Run the whole matrix and emit the complete `BENCH_*.json` document
+/// (newline-terminated).
+pub fn run_whatif(cfg: &WhatifConfig) -> String {
+    let mut records = Vec::new();
+    for &system in &cfg.systems {
+        let spec = if cfg.quick {
+            RunSpec::quick(system)
+        } else {
+            RunSpec::for_system(system)
+        };
+        for &n in &cfg.sizes {
+            let label = format!("{}-n{}", system.name(), n);
+            let observe = |set: InterventionSet| Observe {
+                traced: false,
+                sample_every: None,
+                cpu_scale: None,
+                scheduler: cfg.scheduler,
+                interventions: set,
+            };
+            // Baseline: the null intervention, byte-identical to the
+            // uninstrumented run (tests/whatif.rs holds the proof).
+            let (base, metrics, _, _) = run_broadcast_observed(
+                system,
+                n,
+                cfg.payload,
+                cfg.window,
+                cfg.seed,
+                spec,
+                observe(InterventionSet::null()),
+            );
+            let leader = leader_of(&metrics, n);
+            let straggler = straggler_of(&metrics, n);
+            let blame_top = tail_blame_top(&metrics);
+
+            let mut rows: Vec<Row> = Vec::new();
+            for &name in &cfg.interventions {
+                let (w, set) = build(name, leader, straggler, n, cfg.window);
+                let (p, _, _, _) =
+                    run_broadcast_observed(system, n, cfg.payload, w, cfg.seed, spec, observe(set));
+                rows.push(Row {
+                    name,
+                    gain_pct: delta_pct(p.mbps, base.mbps),
+                    p50_delta_pct: delta_pct(p.p50_us, base.p50_us),
+                    p99_delta_pct: delta_pct(p.p99_us, base.p99_us),
+                    point: p,
+                });
+            }
+
+            // Ranking by measured throughput gain, ties toward catalog order.
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by(|&a, &b| {
+                rows[b]
+                    .gain_pct
+                    .partial_cmp(&rows[a].gain_pct)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let measured_top = order.first().map(|&i| rows[i].name).unwrap_or("none");
+            let predicted = blame_top
+                .map(|(c, _)| predicted_family(c))
+                .unwrap_or("none");
+            let agreement = family(measured_top) == predicted;
+
+            let mut rec = run_record_json(
+                &label,
+                system.name(),
+                n,
+                cfg.payload,
+                cfg.seed,
+                spec,
+                &base,
+                &metrics,
+                None,
+            );
+            // Splice the whatif member in as the record's last member.
+            rec.pop();
+            let mut w = format!(",\"whatif\":{{\"leader\":{leader},\"straggler\":{straggler}");
+            match blame_top {
+                Some((c, share)) => w.push_str(&format!(
+                    ",\"blame_top\":\"{}\",\"blame_top_share_pct\":{share:.1}",
+                    c.name()
+                )),
+                None => w.push_str(",\"blame_top\":null,\"blame_top_share_pct\":0.0"),
+            }
+            w.push_str(&format!(",\"predicted_family\":\"{predicted}\""));
+            w.push_str(",\"counterfactuals\":[");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    w.push(',');
+                }
+                w.push_str(&format!(
+                    "{{\"name\":\"{}\",\"family\":\"{}\",\"window\":{},\
+                     \"throughput_mbps\":{:.4},\"msgs_per_sec\":{:.1},\
+                     \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
+                     \"throughput_gain_pct\":{:.2},\"p50_delta_pct\":{:.2},\"p99_delta_pct\":{:.2}}}",
+                    r.name,
+                    family(r.name),
+                    r.point.window,
+                    r.point.mbps,
+                    r.point.msgs_per_sec,
+                    r.point.mean_us,
+                    r.point.p50_us,
+                    r.point.p99_us,
+                    r.point.p999_us,
+                    r.gain_pct,
+                    r.p50_delta_pct,
+                    r.p99_delta_pct,
+                ));
+            }
+            w.push_str("],\"ranking\":[");
+            for (j, &i) in order.iter().enumerate() {
+                if j > 0 {
+                    w.push(',');
+                }
+                w.push_str(&format!("\"{}\"", rows[i].name));
+            }
+            w.push_str(&format!(
+                "],\"measured_top\":\"{measured_top}\",\"agreement\":{agreement}}}}}"
+            ));
+            rec.push_str(&w);
+            records.push(rec);
+        }
+    }
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"mode\":\"{}\",\"seed\":{},\"nodes\":{},\
+         \"payload_bytes\":{},\"sample_every_us\":0,\"window\":{},\
+         \"sizes\":[{}],\"interventions\":[{}],\"runs\":[{}]}}\n",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.sizes.iter().copied().max().unwrap_or(0),
+        cfg.payload,
+        cfg.window,
+        cfg.sizes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        cfg.interventions
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        records.join(",")
+    )
+}
+
+/// One run's whatif member, read back out of a document.
+struct RunWhatif {
+    label: String,
+    system: String,
+    nodes: u64,
+    whatif: Value,
+}
+
+fn collect_runs(doc: &Value) -> Vec<RunWhatif> {
+    let arr = doc
+        .get("runs")
+        .or_else(|| doc.get("records"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    arr.iter()
+        .filter_map(|r| {
+            let whatif = r.get("whatif")?.clone();
+            Some(RunWhatif {
+                label: r
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                system: r
+                    .get("system")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                nodes: r.get("nodes").and_then(Value::as_u64).unwrap_or(0),
+                whatif,
+            })
+        })
+        .collect()
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for k in path {
+        match cur.get(k) {
+            Some(n) => cur = n,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+fn s<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+/// The greppable headline for one measured counterfactual.
+pub fn headline(system: &str, nodes: u64, cf: &Value) -> String {
+    format!(
+        "whatif {system}@{nodes}: {} \u{2192} {:+.1}% throughput (p50 {:+.1}%, p99 {:+.1}%)",
+        s(cf, "name"),
+        num(cf, &["throughput_gain_pct"]),
+        num(cf, &["p50_delta_pct"]),
+        num(cf, &["p99_delta_pct"]),
+    )
+}
+
+/// The agree/disagree line for one run: the blame vector's prediction vs
+/// the measured top intervention.
+pub fn verdict_line(system: &str, nodes: u64, w: &Value) -> String {
+    let predicted = s(w, "predicted_family");
+    let measured = s(w, "measured_top");
+    let agree = w
+        .get("agreement")
+        .map(|v| matches!(v, Value::Bool(true)))
+        .unwrap_or(false);
+    let blame = match w.get("blame_top").and_then(Value::as_str) {
+        Some(c) => format!("{c} {:.1}%", num(w, &["blame_top_share_pct"])),
+        None => "no blame".to_string(),
+    };
+    format!(
+        "whatif-verdict {system}@{nodes}: blame says {blame} \u{2192} predicted {predicted}; \
+         measured top {measured} \u{2014} {}",
+        if agree { "AGREE" } else { "DISAGREE" }
+    )
+}
+
+/// Render the full `--whatif` report for a parsed document: one block per
+/// run carrying a `"whatif"` member — target nodes, the counterfactual
+/// table in catalog order, the ranking — followed by the greppable
+/// `whatif ` headlines (ranking order) and `whatif-verdict ` lines. Returns
+/// `Err` when the document carries no whatif members at all.
+pub fn whatif_report(doc: &Value) -> Result<String, String> {
+    let runs = collect_runs(doc);
+    if runs.is_empty() {
+        return Err(
+            "no \"whatif\" members found — document predates the what-if profiler (see docs/SIDECARS.md)"
+                .to_string(),
+        );
+    }
+    let mut out = String::new();
+    for r in &runs {
+        out.push_str(&format!(
+            "== {} ({}, n={}) ==\n",
+            r.label, r.system, r.nodes
+        ));
+        out.push_str(&format!(
+            "targets: leader n{}, straggler n{}\n",
+            num(&r.whatif, &["leader"]) as u64,
+            num(&r.whatif, &["straggler"]) as u64,
+        ));
+        let empty = Vec::new();
+        let cfs = r
+            .whatif
+            .get("counterfactuals")
+            .and_then(Value::as_array)
+            .unwrap_or(&empty);
+        out.push_str(&format!(
+            "  {:<20} {:>10} {:>10} {:>10} {:>12}\n",
+            "intervention", "gain%", "p50%", "p99%", "mbps"
+        ));
+        for cf in cfs {
+            out.push_str(&format!(
+                "  {:<20} {:>+10.1} {:>+10.1} {:>+10.1} {:>12.2}\n",
+                s(cf, "name"),
+                num(cf, &["throughput_gain_pct"]),
+                num(cf, &["p50_delta_pct"]),
+                num(cf, &["p99_delta_pct"]),
+                num(cf, &["throughput_mbps"]),
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str("headlines:\n");
+    for r in &runs {
+        let empty = Vec::new();
+        let cfs = r
+            .whatif
+            .get("counterfactuals")
+            .and_then(Value::as_array)
+            .unwrap_or(&empty);
+        let ranking = r
+            .whatif
+            .get("ranking")
+            .and_then(Value::as_array)
+            .unwrap_or(&empty);
+        for name in ranking {
+            let Some(name) = name.as_str() else { continue };
+            if let Some(cf) = cfs.iter().find(|c| s(c, "name") == name) {
+                out.push_str(&format!("{}\n", headline(&r.system, r.nodes, cf)));
+            }
+        }
+        out.push_str(&format!(
+            "{}\n",
+            verdict_line(&r.system, r.nodes, &r.whatif)
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn catalog_families_are_consistent() {
+        for name in CATALOG {
+            assert_ne!(family(name), "unknown", "{name}");
+        }
+        // Every blame cause predicts a family the catalog can measure.
+        for c in BlameCause::ALL {
+            let fam = predicted_family(c);
+            assert!(
+                CATALOG.iter().any(|n| family(n) == fam),
+                "{fam} has no catalog entry"
+            );
+        }
+    }
+
+    #[test]
+    fn build_translates_speedups_to_time_factors() {
+        let (w, set) = build("leader-egress-x2", 0, 2, 3, 8);
+        assert_eq!(w, 8);
+        assert_eq!(
+            set.items(),
+            &[Intervention::EgressTimeScale {
+                node: 0,
+                factor: 0.5
+            }]
+        );
+        let (w, set) = build("window-x2", 0, 2, 3, 8);
+        assert_eq!(w, 16);
+        assert!(set.is_empty());
+        let (_, set) = build("fsync-pmem", 0, 2, 3, 8);
+        assert_eq!(set.items().len(), 3);
+    }
+
+    #[test]
+    fn quick_matrix_is_pinned() {
+        let q = WhatifConfig::new(true);
+        assert_eq!(q.seed, 42);
+        assert_eq!(q.payload, 16384);
+        assert_eq!(q.window, 8);
+        assert_eq!(q.sizes, vec![3, 64]);
+        assert_eq!(q.interventions, CATALOG.to_vec());
+        let f = WhatifConfig::new(false);
+        assert_eq!(f.sizes, vec![3, 16, 64]);
+    }
+
+    #[test]
+    fn report_renders_headlines_and_verdict() {
+        let doc = json::parse(
+            "{\"runs\":[{\"label\":\"acuerdo-n64\",\"system\":\"acuerdo\",\"nodes\":64,\
+             \"whatif\":{\"leader\":0,\"straggler\":32,\
+             \"blame_top\":\"leader_egress_queue\",\"blame_top_share_pct\":59.6,\
+             \"predicted_family\":\"leader-egress\",\
+             \"counterfactuals\":[{\"name\":\"leader-egress-x2\",\"family\":\"leader-egress\",\
+             \"window\":8,\"throughput_mbps\":500.0,\"msgs_per_sec\":1.0,\"mean_us\":1.0,\
+             \"p50_us\":1.0,\"p99_us\":1.0,\"p999_us\":1.0,\"throughput_gain_pct\":37.2,\
+             \"p50_delta_pct\":-20.1,\"p99_delta_pct\":-18.3}],\
+             \"ranking\":[\"leader-egress-x2\"],\
+             \"measured_top\":\"leader-egress-x2\",\"agreement\":true}}]}",
+        )
+        .unwrap();
+        let rep = whatif_report(&doc).unwrap();
+        assert!(rep.contains("== acuerdo-n64 (acuerdo, n=64) =="), "{rep}");
+        assert!(
+            rep.contains("whatif acuerdo@64: leader-egress-x2 \u{2192} +37.2% throughput"),
+            "{rep}"
+        );
+        assert!(
+            rep.contains("whatif-verdict acuerdo@64: blame says leader_egress_queue 59.6%"),
+            "{rep}"
+        );
+        assert!(rep.contains("AGREE"), "{rep}");
+        // A document with no whatif members is rejected, not rendered empty.
+        let old = json::parse("{\"runs\":[{\"label\":\"x\"}]}").unwrap();
+        assert!(whatif_report(&old).is_err());
+    }
+
+    #[test]
+    fn wrong_typed_members_render_without_panicking() {
+        // A hand-damaged sidecar (counterfactuals as a number, ranking as a
+        // string) still renders its verdict line instead of panicking.
+        let doc = json::parse(
+            "{\"runs\":[{\"label\":\"x\",\"system\":\"acuerdo\",\"nodes\":3,\
+             \"whatif\":{\"counterfactuals\":7,\"ranking\":\"oops\",\
+             \"measured_top\":\"leader-egress-x2\"}}]}",
+        )
+        .unwrap();
+        let rep = whatif_report(&doc).unwrap();
+        assert!(rep.contains("whatif-verdict acuerdo@3"), "{rep}");
+        assert!(rep.contains("DISAGREE"), "{rep}");
+    }
+
+    #[test]
+    fn small_end_to_end_matrix_measures_real_gains() {
+        // One cheap point: acuerdo@3 with two interventions. The document
+        // must parse, carry the member in catalog order, and the
+        // links-latency counterfactual must measure a real latency cut on
+        // an RDMA system at window 8.
+        let cfg = WhatifConfig {
+            sizes: vec![3],
+            systems: vec![System::Acuerdo],
+            interventions: vec!["links-latency-half", "window-x2"],
+            ..WhatifConfig::new(true)
+        };
+        let doc = run_whatif(&cfg);
+        let v = json::parse(&doc).expect("valid document");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        let runs = v.get("runs").and_then(Value::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        let w = runs[0].get("whatif").expect("whatif member");
+        let cfs = w.get("counterfactuals").and_then(Value::as_array).unwrap();
+        assert_eq!(cfs.len(), 2);
+        let links = &cfs[0];
+        assert_eq!(s(links, "name"), "links-latency-half");
+        // Compare means — they are exact, where the p50/p99 quantiles are
+        // 5%-bucketed and a small cut can vanish into one bucket.
+        let base_mean = num(&runs[0], &["mean_us"]);
+        assert!(
+            num(links, &["mean_us"]) < base_mean,
+            "halving link latency should cut the mean: {} vs {base_mean}",
+            num(links, &["mean_us"])
+        );
+        // Determinism: the same config renders the same bytes.
+        assert_eq!(doc, run_whatif(&cfg));
+    }
+}

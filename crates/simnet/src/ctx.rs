@@ -53,6 +53,11 @@ pub struct Ctx<'a, M> {
     self_id: NodeId,
     cpu: Duration,
     cpu_scale: f64,
+    /// What-if intervention: per-attribution-slot CPU-cost factors (indexed
+    /// like the resource observatory's CPU table — one slot per
+    /// [`SpanStage`], then `other`, then `idle_poll`). `None` on every
+    /// uninstrumented run.
+    stage_scale: Option<&'a [f64]>,
     rng: &'a mut SmallRng,
     probe: &'a mut Probe,
     disk: &'a mut DurableLog,
@@ -64,10 +69,12 @@ impl<'a, M> Ctx<'a, M> {
     /// `effects` is the (empty) recycled buffer effects accumulate into; the
     /// engine hands each dispatch the previous dispatch's drained buffer so
     /// the hot path allocates nothing per event.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         now: SimTime,
         self_id: NodeId,
         cpu_scale: f64,
+        stage_scale: Option<&'a [f64]>,
         rng: &'a mut SmallRng,
         probe: &'a mut Probe,
         disk: &'a mut DurableLog,
@@ -79,6 +86,7 @@ impl<'a, M> Ctx<'a, M> {
             self_id,
             cpu: Duration::ZERO,
             cpu_scale,
+            stage_scale,
             rng,
             probe,
             disk,
@@ -141,7 +149,11 @@ impl<'a, M> Ctx<'a, M> {
 
     #[inline]
     fn charge(&mut self, slot: usize, d: Duration) {
-        let scaled = Duration::from_nanos((d.as_nanos() as f64 * self.cpu_scale) as u64);
+        let mut ns = d.as_nanos() as f64 * self.cpu_scale;
+        if let Some(s) = self.stage_scale {
+            ns *= s.get(slot).copied().unwrap_or(1.0);
+        }
+        let scaled = Duration::from_nanos(ns as u64);
         self.cpu += scaled;
         self.probe
             .cpu_charge(self.self_id, slot, scaled.as_nanos() as u64);
@@ -182,9 +194,12 @@ impl<'a, M> Ctx<'a, M> {
             .count(self.self_id, Counter::WalDeviceNs, cost.as_nanos() as u64);
         // Forensics: the handler stalls for the scaled barrier time — the
         // same duration `charge` just added to this dispatch's CPU.
-        let scaled = (cost.as_nanos() as f64 * self.cpu_scale) as u64;
+        let mut ns = cost.as_nanos() as f64 * self.cpu_scale;
+        if let Some(s) = self.stage_scale {
+            ns *= s.get(SpanStage::Commit as usize).copied().unwrap_or(1.0);
+        }
         self.probe
-            .wait(self.self_id, WaitReason::FsyncBarrier, scaled);
+            .wait(self.self_id, WaitReason::FsyncBarrier, ns as u64);
     }
 
     /// The persisted records of this node's log — what survived the last
@@ -331,6 +346,7 @@ mod tests {
             SimTime::from_micros(10),
             3,
             2.0,
+            None,
             &mut rng,
             &mut probe,
             &mut disk,
@@ -352,6 +368,7 @@ mod tests {
             SimTime::ZERO,
             0,
             1.0,
+            None,
             &mut rng,
             &mut probe,
             &mut disk,
@@ -385,6 +402,7 @@ mod tests {
             SimTime::ZERO,
             0,
             1.0,
+            None,
             &mut rng,
             &mut probe,
             &mut disk,
@@ -407,6 +425,7 @@ mod tests {
             SimTime::ZERO,
             0,
             1.0,
+            None,
             &mut rng,
             &mut probe,
             &mut disk,

@@ -179,6 +179,10 @@ struct NodeSlot<M> {
     inc: u64,
     factory: Option<RestartFactory<M>>,
     cpu_scale: f64,
+    /// What-if intervention: per-attribution-slot CPU-cost factors (one per
+    /// [`SpanStage`](crate::trace::SpanStage), then `other`, then
+    /// `idle_poll`). `None` — the common case — is the identity fast path.
+    stage_scale: Option<Box<[f64]>>,
     timer_jitter: Duration,
     desched: Option<DeschedProfile>,
     /// The node's persistent log. Lives here — not in the process — so it
@@ -274,6 +278,7 @@ impl<M: 'static> Sim<M> {
             inc: 0,
             factory: None,
             cpu_scale: 1.0,
+            stage_scale: None,
             timer_jitter: Duration::ZERO,
             desched: None,
             disk: DurableLog::default(),
@@ -559,6 +564,60 @@ impl<M: 'static> Sim<M> {
     /// Scale all CPU charges of `node` by `scale` (>1 = slower CPU).
     pub fn set_cpu_scale(&mut self, node: NodeId, scale: f64) {
         self.nodes[node].cpu_scale = scale;
+    }
+
+    /// Scale CPU charges of `node` attributed to lifecycle `stage` by
+    /// `factor` (>1 = slower; composes multiplicatively with
+    /// [`Sim::set_cpu_scale`]). A what-if intervention knob — see
+    /// [`Sim::apply_interventions`].
+    pub fn set_stage_cpu_scale(&mut self, node: NodeId, stage: crate::SpanStage, factor: f64) {
+        let slots = crate::CPU_SLOTS;
+        let s = self.nodes[node]
+            .stage_scale
+            .get_or_insert_with(|| vec![1.0; slots].into_boxed_slice());
+        s[stage as usize] = factor;
+    }
+
+    /// Scale the fsync-barrier cost of `node`'s log device by `factor`
+    /// (records untouched; append cost untouched).
+    pub fn scale_fsync_cost(&mut self, node: NodeId, factor: f64) {
+        let mut dev = self.nodes[node].disk.dev();
+        dev.fsync = Duration::from_nanos((dev.fsync.as_nanos() as f64 * factor) as u64);
+        self.nodes[node].disk.set_dev(dev);
+    }
+
+    /// Apply a deterministic what-if [`InterventionSet`](crate::InterventionSet)
+    /// to the constructed fabric. Called once, between cluster construction
+    /// and the run; the null (empty) set touches nothing, so an intervened
+    /// harness path with no interventions reproduces the uninstrumented run
+    /// byte-identically (`tests/whatif.rs`).
+    pub fn apply_interventions(&mut self, set: &crate::InterventionSet) {
+        for iv in set.items() {
+            match *iv {
+                crate::Intervention::EgressTimeScale { node, factor } => {
+                    self.net.set_egress_time_scale(node, factor)
+                }
+                crate::Intervention::IngressTimeScale { node, factor } => {
+                    self.net.set_ingress_time_scale(node, factor)
+                }
+                crate::Intervention::LinkLatencyScale { factor } => {
+                    self.net.set_latency_scale(factor)
+                }
+                crate::Intervention::CpuScale { node, factor } => {
+                    let scale = self.nodes[node].cpu_scale * factor;
+                    self.set_cpu_scale(node, scale);
+                }
+                crate::Intervention::StageCpuScale {
+                    node,
+                    stage,
+                    factor,
+                } => self.set_stage_cpu_scale(node, stage, factor),
+                crate::Intervention::FsyncScale { node, factor } => {
+                    self.scale_fsync_cost(node, factor)
+                }
+                crate::Intervention::LogDevice { node, dev } => self.set_log_device(node, dev),
+            }
+        }
     }
 
     /// Add bounded uniform noise to every timer of `node` (OS scheduling
@@ -942,11 +1001,13 @@ impl<M: 'static> Sim<M> {
         // the handler's exclusive use, moved back after (a default DurableLog
         // is two empty vecs — nothing is cloned).
         let mut disk = std::mem::take(&mut self.nodes[node].disk);
+        let stage_scale = self.nodes[node].stage_scale.take();
         let buf = std::mem::take(&mut self.effect_pool);
         let mut ctx = Ctx::new(
             self.now,
             node,
             cpu_scale,
+            stage_scale.as_deref(),
             &mut self.rng,
             &mut self.probe,
             &mut disk,
@@ -959,6 +1020,7 @@ impl<M: 'static> Sim<M> {
         drop(ctx);
         self.nodes[node].proc = Some(proc);
         self.nodes[node].disk = disk;
+        self.nodes[node].stage_scale = stage_scale;
         if cpu > Duration::ZERO {
             let slot = &mut self.nodes[node];
             let start = slot.busy_until.max(self.now);

@@ -48,7 +48,7 @@ pub use disk::{DurabilityMode, DurableLog, LogDevParams};
 pub use engine::{DeschedProfile, EngineStats, Process, Sim};
 pub use hash::{FastMap, FastSet};
 pub use net::{LinkParams, NicParams};
-pub use params::NetParams;
+pub use params::{Intervention, InterventionSet, NetParams};
 pub use sched::SchedKind;
 pub use threaded::ThreadedRunner;
 pub use time::SimTime;

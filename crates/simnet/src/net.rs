@@ -119,10 +119,26 @@ pub(crate) struct Network {
     /// Directed per-link drop windows (flap / drop-burst injection): sends on
     /// (src, dst) are dropped while `post < until`.
     flaps: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-node egress serialization-time factors (>1 = slower NIC). Empty
+    /// means no intervention anywhere — the identity fast path.
+    egress_scale: Vec<f64>,
+    /// Per-node ingress serialization-time factors, same convention.
+    ingress_scale: Vec<f64>,
+    /// Whole-fabric propagation-latency factor (applied to the base latency
+    /// of every link, loopback included; jitter and transient extras are
+    /// untouched so the RNG draw sequence is preserved).
+    latency_scale: Option<f64>,
     /// Total bytes placed on the wire (after min-size clamping).
     pub wire_bytes: u64,
     /// Total packets sent.
     pub packets: u64,
+}
+
+/// Scale a duration by a time factor, with the same nanosecond rounding as
+/// [`Ctx`](crate::Ctx) CPU scaling (truncating cast).
+#[inline]
+fn scale_dur(d: Duration, factor: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * factor) as u64)
 }
 
 impl Network {
@@ -136,14 +152,46 @@ impl Network {
             fifo_clamp: Vec::new(),
             partition: HashMap::new(),
             flaps: HashMap::new(),
+            egress_scale: Vec::new(),
+            ingress_scale: Vec::new(),
+            latency_scale: None,
             wire_bytes: 0,
             packets: 0,
         }
     }
 
+    /// Scale `node`'s egress serialization time by `factor` (what-if
+    /// intervention: 0.5 models a NIC with twice the egress bandwidth).
+    pub fn set_egress_time_scale(&mut self, node: NodeId, factor: f64) {
+        if self.egress_scale.is_empty() {
+            self.egress_scale = vec![1.0; self.nics.len()];
+        }
+        self.egress_scale[node] = factor;
+    }
+
+    /// Scale `node`'s ingress serialization time by `factor`.
+    pub fn set_ingress_time_scale(&mut self, node: NodeId, factor: f64) {
+        if self.ingress_scale.is_empty() {
+            self.ingress_scale = vec![1.0; self.nics.len()];
+        }
+        self.ingress_scale[node] = factor;
+    }
+
+    /// Scale every link's base propagation latency by `factor` (jitter and
+    /// transient fault-injected extras are deliberately untouched).
+    pub fn set_latency_scale(&mut self, factor: f64) {
+        self.latency_scale = Some(factor);
+    }
+
     pub fn add_node(&mut self) {
         let old_n = self.nics.len();
         self.nics.push(NicState::default());
+        if !self.egress_scale.is_empty() {
+            self.egress_scale.push(1.0);
+        }
+        if !self.ingress_scale.is_empty() {
+            self.ingress_scale.push(1.0);
+        }
         let n = old_n + 1;
         let mut clamp = vec![SimTime::ZERO; n * n];
         for s in 0..old_n {
@@ -268,6 +316,9 @@ impl Network {
         out: &mut Vec<RouteInfo>,
     ) {
         let mut egress_free = self.nics[src].egress_free;
+        // What-if intervention factor for this source's egress NIC; the
+        // empty-vec fast path keeps the unmodified fabric bit-identical.
+        let egress_factor = self.egress_scale.get(src).copied();
         for p in posts {
             let (dst, wire_bytes) = (p.dst, p.wire_bytes);
             let ser = self.nic.serialize_time(wire_bytes);
@@ -277,8 +328,12 @@ impl Network {
 
             // Sender NIC egress serialization (shared across that node's
             // links).
+            let egress_ser = match egress_factor {
+                None => ser,
+                Some(f) => scale_dur(ser, f),
+            };
             let depart_start = p.post.max(egress_free);
-            let depart = depart_start + ser;
+            let depart = depart_start + egress_ser;
             egress_free = depart;
 
             // Propagation.
@@ -288,7 +343,11 @@ impl Network {
             } else {
                 Duration::from_nanos(rng.random_range(0..=link.jitter.as_nanos() as u64))
             };
-            let arrive = depart + link.latency + jitter + extra;
+            let latency = match self.latency_scale {
+                None => link.latency,
+                Some(f) => scale_dur(link.latency, f),
+            };
+            let arrive = depart + latency + jitter + extra;
 
             // Receiver NIC ingress serialization (shared across inbound
             // links); skipped for loopback, which never touches the receive
@@ -296,8 +355,12 @@ impl Network {
             let (ingress_start, delivered) = if src == dst {
                 (arrive, arrive)
             } else {
+                let ingress_ser = match self.ingress_scale.get(dst) {
+                    None => ser,
+                    Some(&f) => scale_dur(ser, f),
+                };
                 let start = arrive.max(self.nics[dst].ingress_free);
-                let done = start + ser;
+                let done = start + ingress_ser;
                 self.nics[dst].ingress_free = done;
                 (start, done)
             };
@@ -531,6 +594,60 @@ mod tests {
         // A packet posted at t=0 after the reset sees a quiet NIC again.
         let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
         assert_eq!(d.as_nanos(), 26 + 1_500 + 26);
+    }
+
+    #[test]
+    fn egress_scale_slows_only_that_sender() {
+        let mut n = net();
+        let mut r = rng();
+        n.set_egress_time_scale(0, 2.0);
+        // egress 52ns + 1500ns + ingress 26ns (ingress untouched).
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        assert_eq!(d.as_nanos(), 52 + 1_500 + 26);
+        let other = n.route(&mut r, 2, 1, SimTime::ZERO, 10);
+        assert_eq!(other.depart.as_nanos() - other.depart_start.as_nanos(), 26);
+    }
+
+    #[test]
+    fn ingress_scale_slows_only_that_receiver() {
+        let mut n = net();
+        let mut r = rng();
+        n.set_ingress_time_scale(1, 0.5);
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        assert_eq!(d.as_nanos(), 26 + 1_500 + 13);
+        let d2 = n.route(&mut r, 0, 2, SimTime::ZERO, 10).delivered;
+        assert_eq!(d2.as_nanos() - 26, 26 + 1_500 + 26); // queued behind first egress
+    }
+
+    #[test]
+    fn latency_scale_halves_every_link_but_not_jitter() {
+        let mut n = net();
+        let mut r = rng();
+        n.set_latency_scale(0.5);
+        let d = n.route(&mut r, 0, 1, SimTime::ZERO, 10).delivered;
+        assert_eq!(d.as_nanos(), 26 + 750 + 26);
+        // Loopback is a link too.
+        let lb = n.route(&mut r, 2, 2, SimTime::ZERO, 10).delivered;
+        assert_eq!(lb.as_nanos(), 26 + 150);
+    }
+
+    #[test]
+    fn unit_scales_are_identity() {
+        let mut a = net();
+        let mut b = net();
+        for node in 0..4 {
+            b.set_egress_time_scale(node, 1.0);
+            b.set_ingress_time_scale(node, 1.0);
+        }
+        b.set_latency_scale(1.0);
+        let mut ra = rng();
+        let mut rb = rng();
+        for i in 0..50 {
+            let post = SimTime::from_micros(i);
+            let da = a.route(&mut ra, 0, 1, post, 10).delivered;
+            let db = b.route(&mut rb, 0, 1, post, 10).delivered;
+            assert_eq!(da, db);
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! DESIGN.md §5 for the calibration table and EXPERIMENTS.md for measured
 //! results.
 
+use crate::disk::LogDevParams;
 use crate::net::{LinkParams, NicParams};
+use crate::trace::SpanStage;
+use crate::NodeId;
 use std::time::Duration;
 
 /// Network-wide parameters handed to [`Sim::new`](crate::Sim::new).
@@ -71,6 +74,114 @@ impl NetParams {
                 min_wire_bytes: 1,
             },
         }
+    }
+}
+
+/// One deterministic what-if counterfactual, applied to a constructed fabric
+/// by [`Sim::apply_interventions`](crate::Sim::apply_interventions).
+///
+/// Every factor is a **time/cost multiplier** — the same convention as
+/// [`Sim::set_cpu_scale`](crate::Sim::set_cpu_scale): `> 1` models a slower
+/// resource, `< 1` a faster one. A COZ-style virtual speedup of a resource
+/// by `k` is therefore `factor = 1.0 / k`. Interventions change *parameters
+/// only* — never the RNG draw sequence, the event vocabulary, or any
+/// accounting — so an intervened run is exactly "the same workload on
+/// different hardware", and the empty set reproduces the uninstrumented run
+/// byte-identically.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Intervention {
+    /// Scale one node's NIC egress serialization time (0.5 = a NIC with
+    /// twice the egress bandwidth).
+    EgressTimeScale {
+        /// Target node.
+        node: NodeId,
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Scale one node's NIC ingress serialization time.
+    IngressTimeScale {
+        /// Target node.
+        node: NodeId,
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Scale the base propagation latency of *every* link (loopback
+    /// included). Jitter and fault-injected transient extras are untouched,
+    /// which preserves the RNG draw sequence.
+    LinkLatencyScale {
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Scale every CPU charge of one node (composes multiplicatively with
+    /// any fault-layer [`Sim::set_cpu_scale`](crate::Sim::set_cpu_scale)).
+    CpuScale {
+        /// Target node.
+        node: NodeId,
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Scale the CPU charges of one node that are attributed to one
+    /// lifecycle stage (the resource observatory's attribution axis).
+    StageCpuScale {
+        /// Target node.
+        node: NodeId,
+        /// Attribution stage whose charges are scaled.
+        stage: SpanStage,
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Scale the fsync-barrier cost of one node's log device.
+    FsyncScale {
+        /// Target node.
+        node: NodeId,
+        /// Time multiplier.
+        factor: f64,
+    },
+    /// Swap one node's log device for a different cost preset (e.g.
+    /// `fsync → pmem`). Records are untouched.
+    LogDevice {
+        /// Target node.
+        node: NodeId,
+        /// Replacement device parameters.
+        dev: LogDevParams,
+    },
+}
+
+/// An ordered set of [`Intervention`]s — one counterfactual experiment.
+///
+/// The default (empty) value is the **null intervention**: applying it is a
+/// no-op and must reproduce the uninstrumented run byte-identically
+/// (`tests/whatif.rs` holds the proof over the five-system quick matrix).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InterventionSet {
+    items: Vec<Intervention>,
+}
+
+impl InterventionSet {
+    /// The null intervention (same as `Default`).
+    pub fn null() -> Self {
+        InterventionSet::default()
+    }
+
+    /// Append one intervention.
+    pub fn push(&mut self, iv: Intervention) {
+        self.items.push(iv);
+    }
+
+    /// Builder-style [`InterventionSet::push`].
+    pub fn with(mut self, iv: Intervention) -> Self {
+        self.push(iv);
+        self
+    }
+
+    /// Whether this is the null intervention.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The interventions, in application order.
+    pub fn items(&self) -> &[Intervention] {
+        &self.items
     }
 }
 

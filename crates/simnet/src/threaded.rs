@@ -156,6 +156,7 @@ fn run_node<M: Send + 'static>(
             now_sim(epoch),
             id,
             1.0,
+            None,
             &mut rng,
             &mut probe,
             &mut disk,
@@ -174,6 +175,7 @@ fn run_node<M: Send + 'static>(
                 now_sim(epoch),
                 id,
                 1.0,
+                None,
                 &mut rng,
                 &mut probe,
                 &mut disk,
@@ -194,6 +196,7 @@ fn run_node<M: Send + 'static>(
                 now_sim(epoch),
                 id,
                 1.0,
+                None,
                 &mut rng,
                 &mut probe,
                 &mut disk,
@@ -207,6 +210,7 @@ fn run_node<M: Send + 'static>(
                     now_sim(epoch),
                     id,
                     1.0,
+                    None,
                     &mut rng,
                     &mut probe,
                     &mut disk,

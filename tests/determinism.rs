@@ -132,8 +132,8 @@ fn calendar_and_heap_schedulers_export_identical_traces() {
             Observe {
                 traced: true,
                 sample_every: Some(SAMPLE_EVERY),
-                cpu_scale: None,
                 scheduler: k,
+                ..Observe::default()
             },
         );
         chrome_trace_json_full(&events, &gauges)

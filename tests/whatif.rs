@@ -1,0 +1,118 @@
+//! The what-if engine's safety proof: applying the **null** intervention —
+//! or a set of explicit unit (×1.0) factors covering every intervention
+//! kind — reproduces the uninstrumented run byte-identically, for every
+//! system of the quick matrix. Interventions are parameters-only by design
+//! (`simnet::Intervention`): they never touch the RNG draw sequence or the
+//! event vocabulary, so a factor of exactly 1.0 must be invisible down to
+//! the last counter and forensic nanosecond. A real factor, by contrast,
+//! must move the measured point.
+
+use acuerdo_repro::bench::whatif::WHATIF_SYSTEMS;
+use acuerdo_repro::bench::{run_broadcast_observed, run_record_json, Observe, RunSpec, System};
+use acuerdo_repro::simnet::{Intervention, InterventionSet, SpanStage};
+
+/// One run rendered as the full sidecar record: point, counters, util, and
+/// forensics — integer-exact members included, so string equality is byte
+/// identity over everything the observatory exports.
+fn record(system: System, set: InterventionSet) -> String {
+    let (n, payload, window, seed) = (3, 64, 8, 42);
+    let spec = RunSpec::quick(system);
+    let (p, m, _, _) = run_broadcast_observed(
+        system,
+        n,
+        payload,
+        window,
+        seed,
+        spec,
+        Observe {
+            interventions: set,
+            ..Observe::default()
+        },
+    );
+    run_record_json(
+        "whatif-proof",
+        system.name(),
+        n,
+        payload,
+        seed,
+        spec,
+        &p,
+        &m,
+        None,
+    )
+}
+
+/// Every intervention kind, all at identity factors, on every replica.
+fn unit_set(n: usize) -> InterventionSet {
+    let mut set = InterventionSet::null().with(Intervention::LinkLatencyScale { factor: 1.0 });
+    for node in 0..n {
+        set.push(Intervention::EgressTimeScale { node, factor: 1.0 });
+        set.push(Intervention::IngressTimeScale { node, factor: 1.0 });
+        set.push(Intervention::CpuScale { node, factor: 1.0 });
+        set.push(Intervention::FsyncScale { node, factor: 1.0 });
+        for stage in SpanStage::ALL {
+            set.push(Intervention::StageCpuScale {
+                node,
+                stage,
+                factor: 1.0,
+            });
+        }
+    }
+    set
+}
+
+#[test]
+fn null_and_unit_interventions_are_byte_identical_across_the_matrix() {
+    for system in WHATIF_SYSTEMS {
+        let null = record(system, InterventionSet::null());
+        let unit = record(system, unit_set(3));
+        assert!(
+            null == unit,
+            "{}: unit-factor interventions perturbed the run",
+            system.name()
+        );
+    }
+}
+
+#[test]
+fn a_real_intervention_moves_the_measured_point() {
+    let base = record(System::Acuerdo, InterventionSet::null());
+    let halved = record(
+        System::Acuerdo,
+        InterventionSet::null().with(Intervention::LinkLatencyScale { factor: 0.5 }),
+    );
+    assert!(
+        base != halved,
+        "halving every link latency left the record unchanged"
+    );
+}
+
+#[test]
+fn link_latency_halving_cuts_mean_latency() {
+    let run = |set: InterventionSet| {
+        let spec = RunSpec::quick(System::Acuerdo);
+        run_broadcast_observed(
+            System::Acuerdo,
+            3,
+            64,
+            8,
+            42,
+            spec,
+            Observe {
+                interventions: set,
+                ..Observe::default()
+            },
+        )
+        .0
+    };
+    let base = run(InterventionSet::null());
+    let halved = run(InterventionSet::null().with(Intervention::LinkLatencyScale { factor: 0.5 }));
+    // The mean is exact (LatencyHist's quantiles are 5%-bucketed, and a
+    // propagation-delay cut at this tiny payload can be sub-bucket).
+    assert!(
+        halved.mean_us < base.mean_us,
+        "mean {} should drop below baseline {}",
+        halved.mean_us,
+        base.mean_us
+    );
+}
