@@ -5,6 +5,47 @@ use rdma_prims::RingMode;
 use rdma_sim::QpConfig;
 use std::time::Duration;
 
+/// How the leader disseminates payload frames to its followers.
+///
+/// `Star` is the paper's topology: the leader writes every payload into
+/// every follower's ring, so leader egress grows as `O(n)` bytes per
+/// message. `Ring` amortizes dissemination around the successor chain
+/// (Ring-Paxos style): the leader writes each payload to its ring successor
+/// only and every follower forwards frames received from its ring
+/// predecessor one hop further, making leader egress `O(1)` per message.
+/// Ack/commit semantics are unchanged — the frame header *is* the origin
+/// slot, so Accept_SST/Commit_SST work exactly as in star mode. Segments
+/// crossing a crashed or partitioned successor fall back to star fan-out
+/// until a rejoin heals the chain.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum DisseminationMode {
+    /// Leader writes every payload to every follower (the paper's topology).
+    #[default]
+    Star,
+    /// Leader writes to its ring successor only; followers forward
+    /// predecessor frames one hop further around the chain.
+    Ring,
+}
+
+impl DisseminationMode {
+    /// Stable lowercase name (CLI flags, document labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            DisseminationMode::Star => "star",
+            DisseminationMode::Ring => "ring",
+        }
+    }
+
+    /// Parse a `name()` string back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "star" => Some(DisseminationMode::Star),
+            "ring" => Some(DisseminationMode::Ring),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of one Acuerdo instance.
 ///
 /// Defaults reproduce the paper's configuration; the `slot_reuse_on_commit`,
@@ -55,6 +96,13 @@ pub struct AcuerdoConfig {
     /// node recovers its log from the fsync'd prefix instead of rejoining
     /// with empty state.
     pub durability: simnet::DurabilityMode,
+    /// Payload dissemination topology: star fan-out (the paper) or the
+    /// successor-chain ring (ROADMAP item 3, after Ring Paxos).
+    pub dissemination: DisseminationMode,
+    /// Ring mode only: maximum unacked forwarded frames in flight per chain
+    /// hop (the pipeline-depth knob). Bounds how far a fast predecessor can
+    /// outrun its successor's acceptance frontier.
+    pub ring_pipeline_depth: usize,
 }
 
 impl Default for AcuerdoConfig {
@@ -75,6 +123,8 @@ impl Default for AcuerdoConfig {
             max_client_backlog: 1 << 20,
             retain_log: false,
             durability: simnet::DurabilityMode::Volatile,
+            dissemination: DisseminationMode::Star,
+            ring_pipeline_depth: 64,
         }
     }
 }
@@ -133,5 +183,15 @@ mod tests {
         assert!(!c.slot_reuse_on_commit);
         assert!(!c.per_message_acks);
         assert_eq!(c.ring_mode, RingMode::Coupled);
+        assert_eq!(c.dissemination, DisseminationMode::Star);
+    }
+
+    #[test]
+    fn dissemination_mode_names_round_trip() {
+        for m in [DisseminationMode::Star, DisseminationMode::Ring] {
+            assert_eq!(DisseminationMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(DisseminationMode::parse("mesh"), None);
+        assert_eq!(DisseminationMode::default(), DisseminationMode::Star);
     }
 }

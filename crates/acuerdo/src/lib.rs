@@ -31,7 +31,7 @@ mod node;
 pub use cluster::{
     build_cluster, check_cluster, cluster_with_client, current_leader, enable_restarts, histories,
 };
-pub use config::AcuerdoConfig;
+pub use config::{AcuerdoConfig, DisseminationMode};
 pub use node::{AcWire, AcuerdoNode, Role};
 
 #[cfg(test)]

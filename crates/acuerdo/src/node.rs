@@ -40,7 +40,7 @@
 //! node abstains from elections so its reset state cannot outbid the live
 //! epoch; if no diff arrives it eventually falls back to a normal election.
 
-use crate::config::AcuerdoConfig;
+use crate::config::{AcuerdoConfig, DisseminationMode};
 use crate::msg::{self, Frame};
 use abcast::client::RESP_WIRE;
 use abcast::{hdr_span, App, Auditor, ClientReq, ClientResp, DeliveryLog, Epoch, MsgHdr, Vote};
@@ -158,6 +158,14 @@ fn encode_wal_cut(cut: MsgHdr, e: Epoch) -> Vec<u8> {
 /// this many push ticks.
 const FOLLOWER_PUSH_PERIOD: u64 = 10;
 
+/// Extra star-fallback patience the leader grants per chain hop in ring
+/// mode. One store-and-forward hop costs an egress plus an ingress
+/// serialization, a link flight, and a verb post — tens of microseconds for
+/// the scale-study payloads — so the grace is sized to cover a hop with
+/// slack while keeping detection of a genuinely dead segment well under the
+/// election timeout even at the far end of a 64-node chain.
+const RING_HOP_GRACE: Duration = Duration::from_micros(40);
+
 /// Commit_SST cell: the node's last committed header plus a push sequence
 /// number that doubles as the leader heartbeat.
 type CommitCell = (MsgHdr, u64);
@@ -255,6 +263,27 @@ pub struct AcuerdoNode {
     ack_obs_seq: Vec<u64>,
     /// Monotonic source for `ack_obs_seq` ticks.
     ack_obs_counter: u64,
+
+    // Ring dissemination (cfg.dissemination == Ring; inert in star mode).
+    /// Out-of-order chain frames parked until their contiguous turn — star
+    /// fallback and chain copies of a frame can race, and an epoch-opening
+    /// diff (leader lane) can lose a cross-lane race against forwarded
+    /// frames of its own epoch. Acceptance stays strictly prefix-ordered so
+    /// the cumulative Accept_SST acknowledgment stays truthful.
+    pending: BTreeMap<MsgHdr, Bytes>,
+    /// Accepted frames queued for the one-hop forward to the ring successor.
+    fwd_backlog: VecDeque<(MsgHdr, Bytes)>,
+    /// `(hdr, ring seq)` of in-flight forwards, bounded by
+    /// `ring_pipeline_depth` and reused against the successor's Accept_SST
+    /// cell (which it pushes back to us, its predecessor).
+    fwd_sent: VecDeque<(MsgHdr, u64)>,
+    /// Leader-side: peers currently served by star fallback because the
+    /// chain segment covering them stalled (crash / partition downstream).
+    fallback: Vec<bool>,
+    /// Leader-side: when each peer's visible ack frontier last advanced or
+    /// was fully caught up; a stall beyond `fail_timeout` engages fallback.
+    lag_since: Vec<SimTime>,
+
     /// Online invariant monitor (fed every poll; see [`abcast::Auditor`]).
     audit: Auditor,
 
@@ -354,6 +383,11 @@ impl AcuerdoNode {
             ack_seen: vec![MsgHdr::ZERO; n],
             ack_obs_seq: vec![0; n],
             ack_obs_counter: 0,
+            pending: BTreeMap::new(),
+            fwd_backlog: VecDeque::new(),
+            fwd_sent: VecDeque::new(),
+            fallback: vec![false; n],
+            lag_since: vec![SimTime::ZERO; n],
             audit: Auditor::new(),
             app: Box::<DeliveryLog>::default(),
             delivered_count: 0,
@@ -487,6 +521,13 @@ impl AcuerdoNode {
             }
         }
         // Then any log entries of the current epoch this peer hasn't got.
+        // Ring mode streams payloads only along the chain (loopback + ring
+        // successor) or to peers under star fallback; everyone else receives
+        // frames forwarded hop by hop around the chain.
+        if !self.streams_to(j) {
+            return;
+        }
+        let fallback_lane = self.ring_on() && j != self.me && j != self.ring_succ();
         while self.out[j].next_cnt <= self.count {
             let hdr = MsgHdr::new(self.e_new, self.out[j].next_cnt);
             let Some(payload) = self.log.get(&hdr) else {
@@ -502,10 +543,242 @@ impl AcuerdoNode {
             {
                 Ok(seq) => {
                     ctx.span(hdr_span(&hdr), SpanStage::RingWrite, self.peers[j] as u64);
+                    if fallback_lane {
+                        ctx.count(Counter::RingFallbackSends, 1);
+                    }
                     self.out[j].sent.push_back((hdr, seq));
                     self.out[j].next_cnt += 1;
                 }
                 Err(_) => return,
+            }
+        }
+    }
+
+    // ---- ring dissemination (DisseminationMode::Ring) ------------------------
+    //
+    // Ring-Paxos-style chain dissemination (ROADMAP item 3): the leader
+    // writes each payload to its ring successor only and every follower
+    // forwards accepted frames one hop further, so leader egress is O(1)
+    // bytes per message instead of O(n). The chain is replica-index order;
+    // the frame header is the origin slot (epoch.ldr names the proposer),
+    // so ack/commit semantics over the three SSTs are unchanged. A chain
+    // segment crossing a crashed or partitioned node is bridged by star
+    // fallback from the leader until a rejoin heals the chain.
+
+    fn ring_on(&self) -> bool {
+        self.cfg.dissemination == DisseminationMode::Ring
+    }
+
+    /// This node's chain successor (the next replica index, wrapping).
+    fn ring_succ(&self) -> usize {
+        (self.me + 1) % self.cfg.n
+    }
+
+    /// This node's chain predecessor (the previous replica index, wrapping).
+    fn ring_pred(&self) -> usize {
+        (self.me + self.cfg.n - 1) % self.cfg.n
+    }
+
+    /// True when this (leader) node streams payload frames directly into
+    /// peer `j`'s ring: always in star mode; in ring mode only along the
+    /// chain (loopback + successor) or while `j` is under star fallback.
+    fn streams_to(&self, j: usize) -> bool {
+        !self.ring_on() || j == self.me || j == self.ring_succ() || self.fallback[j]
+    }
+
+    /// The next frame the chain contiguity gate will accept.
+    fn ring_expected(&self) -> MsgHdr {
+        if self.accepted.epoch == self.e_cur {
+            self.accepted.next()
+        } else {
+            MsgHdr::new(self.e_cur, 1)
+        }
+    }
+
+    /// Ring-mode Normal-frame ingestion: drop duplicates, park out-of-order
+    /// and ahead-of-epoch frames, accept in strict header order and drain
+    /// parked successors. The gate is what keeps the cumulative Accept_SST
+    /// acknowledgment truthful when star-fallback and chain copies race.
+    fn ring_ingest(
+        &mut self,
+        ctx: &mut Ctx<AcWire>,
+        lane: usize,
+        hdr: MsgHdr,
+        payload: Bytes,
+        accepted_changed: &mut bool,
+    ) {
+        if hdr.epoch != self.e_cur || hdr.epoch != self.e_new {
+            if hdr.epoch > self.e_cur && self.e_new <= hdr.epoch {
+                // A forwarded frame of an epoch whose opening diff (leader
+                // lane) hasn't landed here yet: park it; the diff drains it.
+                self.pending.insert(hdr, payload);
+            } else {
+                // Stale epoch: the leader that originated this is deposed.
+                ctx.count(Counter::RingDupDrops, 1);
+            }
+            return;
+        }
+        let expected = self.ring_expected();
+        if hdr < expected {
+            // Fallback and chain copies of the same frame race; the loser
+            // is a duplicate of an already-accepted header.
+            ctx.count(Counter::RingDupDrops, 1);
+            return;
+        }
+        if hdr > expected {
+            self.pending.insert(hdr, payload);
+            return;
+        }
+        self.ring_accept(ctx, lane, hdr, payload);
+        *accepted_changed = true;
+        if self.cfg.per_message_acks {
+            self.push_accept(ctx);
+            *accepted_changed = false;
+        }
+        self.ring_drain_pending(ctx, lane, accepted_changed);
+    }
+
+    /// Drain parked frames that became contiguous (after an in-order accept
+    /// or an applied diff).
+    fn ring_drain_pending(
+        &mut self,
+        ctx: &mut Ctx<AcWire>,
+        lane: usize,
+        accepted_changed: &mut bool,
+    ) {
+        loop {
+            let next = self.ring_expected();
+            let Some(p) = self.pending.remove(&next) else {
+                break;
+            };
+            self.ring_accept(ctx, lane, next, p);
+            *accepted_changed = true;
+            if self.cfg.per_message_acks {
+                self.push_accept(ctx);
+                *accepted_changed = false;
+            }
+        }
+    }
+
+    /// Accept one in-order chain frame (the ring-mode counterpart of the
+    /// star acceptance in `accept_frames`) and queue its one-hop forward.
+    fn ring_accept(&mut self, ctx: &mut Ctx<AcWire>, lane: usize, hdr: MsgHdr, payload: Bytes) {
+        if self.cfg.durability.is_durable() {
+            ctx.log_append(&encode_wal_entry(hdr, &payload));
+        }
+        self.log.insert(hdr, payload.clone());
+        self.accepted = hdr;
+        self.last_leader_activity = ctx.now();
+        ctx.span(hdr_span(&hdr), SpanStage::FollowerAccept, lane as u64);
+        ctx.count(Counter::Accepts, 1);
+        ctx.trace(
+            Event::new("accept")
+                .a(u64::from(hdr.epoch.round))
+                .b(u64::from(hdr.cnt)),
+        );
+        // Queue the one-hop forward: never at the origin, never back into
+        // the origin (the chain ends at the origin's predecessor).
+        let origin = hdr.epoch.ldr as usize;
+        let succ = self.ring_succ();
+        if self.me != origin && succ != origin && succ != self.me {
+            self.fwd_backlog.push_back((hdr, payload));
+        }
+    }
+
+    /// Forward accepted chain frames one hop to the ring successor, bounded
+    /// by `ring_pipeline_depth`, reusing forwarded slots as the successor's
+    /// Accept_SST cell (pushed back to us, its predecessor) advances.
+    fn flush_forwards(&mut self, ctx: &mut Ctx<AcWire>) {
+        if self.fwd_backlog.is_empty() && self.fwd_sent.is_empty() {
+            return;
+        }
+        let succ = self.ring_succ();
+        // Slot reuse on the forward lane: Acuerdo's rule (§4.1), off the
+        // successor's acceptance frontier.
+        let acc = self.accept_sst.read(&self.ep, succ);
+        let mut max_seq = None;
+        while let Some(&(h, seq)) = self.fwd_sent.front() {
+            if h <= acc {
+                max_seq = Some(seq);
+                self.fwd_sent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(s) = max_seq {
+            self.out_ring.ack(self.peers[succ], s);
+        }
+        while self.fwd_sent.len() < self.cfg.ring_pipeline_depth {
+            let Some((hdr, payload)) = self.fwd_backlog.front().cloned() else {
+                break;
+            };
+            if hdr.epoch != self.e_cur {
+                // A diff moved the epoch on while this frame waited; the
+                // successor is re-seeded by the leader's diff instead.
+                self.fwd_backlog.pop_front();
+                continue;
+            }
+            let frame = msg::encode_normal(hdr, &payload);
+            match self.out_ring.send_to(
+                ctx,
+                &mut self.ep,
+                self.peers[succ],
+                &frame,
+                MsgKind::Payload,
+            ) {
+                Ok(seq) => {
+                    ctx.use_cpu_at(SpanStage::RingWrite, cpu::FRAME_PROC);
+                    ctx.span(
+                        hdr_span(&hdr),
+                        SpanStage::RingWrite,
+                        self.peers[succ] as u64,
+                    );
+                    ctx.count(Counter::RingForwards, 1);
+                    self.fwd_sent.push_back((hdr, seq));
+                    self.fwd_backlog.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Leader-side chain health scan: a peer whose visible ack frontier
+    /// stalled for a whole fail timeout sits behind a dead chain segment —
+    /// stream to it directly (star fallback) until it is fully caught up,
+    /// at which point the healed chain takes back over.
+    ///
+    /// Patience scales with chain distance: a frame needs `d` store-and-
+    /// forward hops (each an egress + ingress serialization plus a verb
+    /// post) to even reach the peer `d` positions downstream, so a flat
+    /// timeout would read ordinary tail propagation as a dead segment and
+    /// dump the whole backlog star-style — exactly the egress collapse the
+    /// chain exists to avoid.
+    fn ring_fallback_scan(&mut self, ctx: &mut Ctx<AcWire>) {
+        if !self.ring_on() || self.role != Role::Leader {
+            return;
+        }
+        let now = ctx.now();
+        let idle = self.accepted.epoch != self.e_cur || self.accepted == MsgHdr::new(self.e_cur, 0);
+        for k in 0..self.cfg.n {
+            if k == self.me || k == self.ring_succ() {
+                continue;
+            }
+            let a = self.ack_seen[k];
+            let caught_up = idle || (a.epoch == self.accepted.epoch && a >= self.accepted);
+            let dist = (k + self.cfg.n - self.me) % self.cfg.n;
+            let patience = self.cfg.fail_timeout + RING_HOP_GRACE * dist as u32;
+            if caught_up {
+                self.lag_since[k] = now;
+                if self.fallback[k] {
+                    self.fallback[k] = false;
+                    ctx.trace(Event::new("ring_fallback_off").a(k as u64));
+                }
+            } else if !self.fallback[k] && now.saturating_since(self.lag_since[k]) > patience {
+                self.fallback[k] = true;
+                ctx.trace(Event::new("ring_fallback_on").a(k as u64));
+                // Resume the direct stream from the peer's visible frontier;
+                // the receiver's dedup gate absorbs any chain overlap.
+                self.out[k].next_cnt = if a.epoch == self.e_new { a.cnt + 1 } else { 1 };
             }
         }
     }
@@ -524,7 +797,9 @@ impl AcuerdoNode {
                 };
                 match frame {
                     Frame::Normal { hdr, payload } => {
-                        if hdr.epoch == self.e_new && hdr.epoch == self.e_cur {
+                        if self.ring_on() {
+                            self.ring_ingest(ctx, j, hdr, payload, &mut accepted_changed);
+                        } else if hdr.epoch == self.e_new && hdr.epoch == self.e_cur {
                             // Normal message acceptance (line 47). Durable
                             // mode stages the entry; the fsync barrier lands
                             // in push_accept, before the ack becomes visible.
@@ -561,6 +836,12 @@ impl AcuerdoNode {
                             if self.collect_diff(hdr, part, parts, entries) {
                                 self.apply_diff(ctx);
                                 accepted_changed = true;
+                                if self.ring_on() {
+                                    // Forwarded frames of the diff's epoch
+                                    // may have lost the cross-lane race and
+                                    // parked; they are contiguous now.
+                                    self.ring_drain_pending(ctx, j, &mut accepted_changed);
+                                }
                             }
                         }
                     }
@@ -584,6 +865,17 @@ impl AcuerdoNode {
             let _ = self
                 .accept_sst
                 .push_mine_to(ctx, &mut self.ep, self.peers[ldr]);
+        }
+        if self.ring_on() {
+            // The chain predecessor reuses its forward-lane slots off our
+            // Accept_SST cell — push it there too (the leader push above
+            // already covers a leader predecessor).
+            let pred = self.ring_pred();
+            if pred != self.me && pred != ldr {
+                let _ = self
+                    .accept_sst
+                    .push_mine_to(ctx, &mut self.ep, self.peers[pred]);
+            }
         }
     }
 
@@ -652,12 +944,23 @@ impl AcuerdoNode {
                 ctx.log_append(&encode_wal_entry(*h, p));
             }
         }
+        let spliced_top = entries.iter().map(|(h, _)| *h).max();
         for (h, p) in entries {
             self.log.insert(h, p);
         }
         // `max`: a re-applied or mid-epoch diff must never regress progress
         // an intact node already made (regression would re-deliver).
         self.accepted = self.accepted.max(hdr);
+        if self.ring_on() {
+            // Advance the accept frontier over the spliced entries so the
+            // chain contiguity gate expects exactly the next stream frame
+            // (star mode leaves `accepted` at the diff header; its dense
+            // per-peer leader stream re-covers the tip implicitly).
+            if let Some(top) = spliced_top {
+                self.accepted = self.accepted.max(top);
+            }
+            self.pending.retain(|h, _| *h > self.accepted);
+        }
         self.next = self.next.max(MsgHdr::new(e, 0));
         self.last_leader_activity = ctx.now();
         self.last_hb_seen = self.commit_cell(e.ldr as usize).1;
@@ -688,6 +991,11 @@ impl AcuerdoNode {
                 self.ack_seen[k] = a;
                 self.ack_obs_counter += 1;
                 self.ack_obs_seq[k] = self.ack_obs_counter;
+                if self.ring_on() {
+                    // An advancing frontier means the chain still feeds this
+                    // peer; only a stall engages star fallback.
+                    self.lag_since[k] = ctx.now();
+                }
             }
         }
     }
@@ -1010,6 +1318,12 @@ impl AcuerdoNode {
         self.count = 0;
         self.elections_won += 1;
         self.frame_stall = None;
+        if self.ring_on() {
+            // A fresh epoch starts with a healthy chain assumption; the
+            // fallback scan re-marks any segment that is still dead.
+            self.fallback = vec![false; self.cfg.n];
+            self.lag_since = vec![ctx.now(); self.cfg.n];
+        }
         ctx.count(Counter::ElectionsWon, 1);
         ctx.trace(Event::new("leader_elected").a(u64::from(self.e_new.round)));
         self.awaiting_ready = true;
@@ -1089,6 +1403,12 @@ impl AcuerdoNode {
         self.resync_attempts += 1;
         self.diff_buf = None;
         self.frame_stall = None;
+        // Ring-mode state dies with the torn-down lanes: parked frames will
+        // be re-covered by the recovery diff, in-flight forwards by their
+        // receivers' own repair.
+        self.pending.clear();
+        self.fwd_backlog.clear();
+        self.fwd_sent.clear();
         // Abandon any election this node was running: diffs are only
         // accepted for epochs at or above `e_new`, so a candidacy raised
         // while cut off (e.g. a partitioned minority electing itself) would
@@ -1131,6 +1451,13 @@ impl AcuerdoNode {
         self.ep.reset_connection(self.peers[j]);
         self.out_ring.retarget_lane(self.peers[j], ring);
         self.out[j] = PeerOut::new();
+        if self.ring_on() && j == self.ring_succ() {
+            // The successor tore its ring down: in-flight forwards died with
+            // it, and the retargeted lane restarts sequencing from zero. The
+            // leader's rejoin diff covers everything we would have forwarded.
+            self.fwd_backlog.clear();
+            self.fwd_sent.clear();
+        }
         if reply {
             // Forget everything mirrored from the (possibly rebooted)
             // sender: its stale SST cells must not count toward quorums its
@@ -1181,6 +1508,12 @@ impl AcuerdoNode {
         };
         self.out[j].rejoin = true;
         self.hello_from[j] = false;
+        if self.ring_on() && j != self.ring_succ() {
+            // Serve the rejoiner directly until the healed chain catches it
+            // up (the fallback hysteresis clears this once it does).
+            self.fallback[j] = true;
+            self.lag_since[j] = ctx.now();
+        }
         self.flush_peer(ctx, j);
     }
 
@@ -1238,10 +1571,19 @@ impl AcuerdoNode {
             }
             // A follower whose inbound stream broke: the leader's commit
             // notifications keep outrunning the frames for longer than a
-            // whole fail timeout.
-            Role::Follower => self
-                .frame_stall
-                .is_some_and(|t| now.saturating_since(t) > self.cfg.fail_timeout),
+            // whole fail timeout. Chain tails legitimately trail the quorum
+            // by many forward hops — and the leader's star fallback repairs
+            // a dead segment in one fail timeout — so ring mode waits two
+            // timeouts before tearing the connection down.
+            Role::Follower => {
+                let patience = if self.ring_on() {
+                    self.cfg.fail_timeout * 2
+                } else {
+                    self.cfg.fail_timeout
+                };
+                self.frame_stall
+                    .is_some_and(|t| now.saturating_since(t) > patience)
+            }
         };
         if desync {
             ctx.trace(Event::new("desync").a(u64::from(self.e_cur.round)));
@@ -1346,6 +1688,9 @@ impl Process<AcWire> for AcuerdoNode {
             TOK_POLL => {
                 ctx.use_cpu_idle(cpu::POLL_IDLE);
                 self.accept_frames(ctx);
+                if self.ring_on() {
+                    self.flush_forwards(ctx);
+                }
                 if self.role == Role::Leader {
                     self.observe_acks(ctx);
                 }
@@ -1359,6 +1704,7 @@ impl Process<AcWire> for AcuerdoNode {
                 self.publish_gauges(ctx);
                 if self.role == Role::Leader {
                     self.reuse_slots();
+                    self.ring_fallback_scan(ctx);
                     self.flush_all(ctx);
                     self.check_ready(ctx);
                 }

@@ -13,6 +13,7 @@
 //! protocols) or convergence failure (Acuerdo only — baselines without a
 //! rejoin path may safely stall and are merely reported).
 
+use acuerdo::DisseminationMode;
 use bench::chaos::{run_chaos_opts, ChaosOpts, Proto, Tier, CHAOS_N};
 use bench::{write_flightrec, write_metrics_file};
 use simnet::{DurabilityMode, SchedKind, SimTime};
@@ -27,6 +28,7 @@ struct Args {
     tier: Tier,
     durability: DurabilityMode,
     sched: SchedKind,
+    dissemination: DisseminationMode,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -36,6 +38,7 @@ fn usage() {
         "usage: chaos [--proto acuerdo|raft|zab|paxos|derecho|all] [--seed N]\n\
          \x20            [--seeds N] [--nodes N] [--max-time-ms MS]\n\
          \x20            [--tier basic|correlated] [--durability volatile|durable]\n\
+         \x20            [--dissemination star|ring]   (acuerdo payload topology)\n\
          \x20            [--sched heap|calendar] [--metrics-out FILE]\n\
          \x20            [--trace-out FILE]   (single --proto + --seed only)\n\
          \n\
@@ -56,6 +59,7 @@ fn parse_args() -> Args {
         tier: Tier::Basic,
         durability: DurabilityMode::Volatile,
         sched: SchedKind::default(),
+        dissemination: DisseminationMode::Star,
         metrics_out: None,
         trace_out: None,
     };
@@ -103,6 +107,13 @@ fn parse_args() -> Args {
                 let v = need(&mut args, "--durability");
                 out.durability = DurabilityMode::parse(&v).unwrap_or_else(|| {
                     eprintln!("unknown durability mode {v}");
+                    exit(2);
+                });
+            }
+            "--dissemination" => {
+                let v = need(&mut args, "--dissemination");
+                out.dissemination = DisseminationMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown dissemination mode {v}");
                     exit(2);
                 });
             }
@@ -172,6 +183,7 @@ fn main() {
                 tier: args.tier,
                 durability: args.durability,
                 sched: args.sched,
+                dissemination: args.dissemination,
                 traced: args.trace_out.is_some(),
                 ..ChaosOpts::new(proto, seed, horizon)
             };

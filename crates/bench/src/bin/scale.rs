@@ -22,9 +22,10 @@ use std::process::exit;
 fn usage() {
     eprintln!(
         "usage: scale [--quick|--full] [--out DIR] [--label NAME] [--seed N] [--sizes A,B,...]\n\
-         \x20            [--sched KIND] [--metrics-out PATH] [--trace-out PATH]\n\
+         \x20            [--dissemination MODE] [--sched KIND] [--metrics-out PATH] [--trace-out PATH]\n\
          \x20  --quick             down-sampled sizes + smoke windows (CI; the committed baseline)\n\
          \x20  --full              the full {{3,5,7,9,16,32,64}} sweep (default)\n\
+         \x20  --dissemination MODE  acuerdo topology rows: star | ring | both (default both)\n\
          \x20  --out DIR           output directory (default .)\n\
          \x20  --label NAME        document name BENCH_<NAME>.json (default scale/scale-full)\n\
          \x20  --seed N            override the pinned seed (default 42)\n\
@@ -44,6 +45,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut sizes: Option<Vec<usize>> = None;
     let mut sched = SchedKind::default();
+    let mut dissemination = "both".to_string();
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -84,6 +86,14 @@ fn main() {
                     exit(2);
                 });
             }
+            "--dissemination" => {
+                let v = need(&mut args, "--dissemination");
+                if !matches!(v.as_str(), "star" | "ring" | "both") {
+                    eprintln!("--dissemination needs 'star', 'ring' or 'both', got '{v}'");
+                    exit(2);
+                }
+                dissemination = v;
+            }
             "--metrics-out" => metrics_out = Some(need(&mut args, "--metrics-out")),
             "--trace-out" => trace_out = Some(need(&mut args, "--trace-out")),
             "--help" | "-h" => {
@@ -109,6 +119,11 @@ fn main() {
         cfg.sizes = s;
     }
     cfg.scheduler = sched;
+    match dissemination.as_str() {
+        "star" => cfg.systems.retain(|s| *s != bench::System::AcuerdoRing),
+        "ring" => cfg.systems.retain(|s| *s != bench::System::Acuerdo),
+        _ => {}
+    }
 
     let label = label.unwrap_or_else(|| if quick { "scale" } else { "scale-full" }.to_string());
     let path = format!("{}/BENCH_{label}.json", out_dir.trim_end_matches('/'));
@@ -119,7 +134,7 @@ fn main() {
     });
     println!(
         "wrote {path} ({} systems x {} sizes, window {}, seed {}, sched {})",
-        bench::scale::SCALE_SYSTEMS.len(),
+        cfg.systems.len(),
         cfg.sizes.len(),
         cfg.window,
         cfg.seed,
@@ -132,7 +147,7 @@ fn main() {
     // Chrome trace per record.
     if metrics_out.is_some() || trace_out.is_some() {
         let mut records = Vec::new();
-        for system in bench::scale::SCALE_SYSTEMS {
+        for &system in &cfg.systems {
             let spec = if cfg.quick {
                 RunSpec::quick(system)
             } else {

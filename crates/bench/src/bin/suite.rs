@@ -19,11 +19,14 @@ use std::process::exit;
 fn usage() {
     eprintln!(
         "usage: suite [--quick] [--out DIR] [--label NAME] [--seed N] [--slow SCALE] [--sched KIND]\n\
+         \x20            [--dissemination MODE]\n\
          \x20  --quick        smoke-sized measurement windows (the CI matrix)\n\
          \x20  --out DIR      output directory (default .)\n\
          \x20  --label NAME   document name BENCH_<NAME>.json (default quick/full)\n\
          \x20  --seed N       override the pinned seed (default 42)\n\
          \x20  --slow SCALE   inject a leader CPU slowdown (regression demo)\n\
+         \x20  --dissemination MODE  acuerdo topology: star (default) | ring\n\
+         \x20                 (ring swaps the acuerdo row for acuerdo-ring)\n\
          \x20  --sched KIND   event queue: heap | calendar (default calendar;\n\
          \x20                 can never change the document — differential knob)"
     );
@@ -34,6 +37,7 @@ fn main() {
     let mut quick = false;
     let mut out_dir = ".".to_string();
     let mut label: Option<String> = None;
+    let mut ring = false;
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -70,6 +74,16 @@ fn main() {
                     exit(2);
                 });
             }
+            "--dissemination" => {
+                ring = match need(&mut args, "--dissemination").as_str() {
+                    "star" => false,
+                    "ring" => true,
+                    other => {
+                        eprintln!("--dissemination needs 'star' or 'ring', got '{other}'");
+                        exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 usage();
                 exit(0);
@@ -90,6 +104,13 @@ fn main() {
         cfg.cpu_scale = scale;
         cfg.scheduler = sched;
     }
+    if ring {
+        for s in &mut cfg.systems {
+            if *s == bench::System::Acuerdo {
+                *s = bench::System::AcuerdoRing;
+            }
+        }
+    }
     let label = label.unwrap_or_else(|| if quick { "quick" } else { "full" }.to_string());
     let path = format!("{}/BENCH_{label}.json", out_dir.trim_end_matches('/'));
     let doc = run_suite(&cfg);
@@ -99,7 +120,7 @@ fn main() {
     });
     println!(
         "wrote {path} ({} systems x {} windows, seed {}{})",
-        bench::suite::SUITE_SYSTEMS.len(),
+        cfg.systems.len(),
         cfg.windows.len(),
         cfg.seed,
         match cfg.cpu_scale {

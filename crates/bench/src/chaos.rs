@@ -40,7 +40,7 @@
 //! scheduler).
 
 use abcast::{DurabilityAuditor, MsgHdr, Violation, WindowClient};
-use acuerdo::{AcWire, AcuerdoConfig};
+use acuerdo::{AcWire, AcuerdoConfig, DisseminationMode};
 use bytes::Bytes;
 use derecho::{DcWire, DerechoConfig, Mode};
 use paxos::{PaxosConfig, PaxosNode, PxWire};
@@ -522,6 +522,8 @@ pub struct ChaosReport {
     pub durability: DurabilityMode,
     /// Event-queue scheduler the simulation ran on.
     pub sched: SchedKind,
+    /// Acuerdo payload topology the run used (star fan-out or chain).
+    pub dissemination: DisseminationMode,
     /// The executed script.
     pub schedule: Schedule,
     /// Longest history at the first fault (entries every live replica must
@@ -581,6 +583,9 @@ impl ChaosReport {
         if self.durability.is_durable() {
             cmd.push_str(&format!(" --durability {}", self.durability.name()));
         }
+        if self.dissemination != DisseminationMode::Star {
+            cmd.push_str(&format!(" --dissemination {}", self.dissemination.name()));
+        }
         cmd
     }
 
@@ -602,9 +607,16 @@ impl ChaosReport {
             None => "null".to_string(),
             Some(v) => format!("\"{}\"", simnet::json_escape(&format!("{v:?}"))),
         };
+        // Only a non-default topology is echoed, so star documents keep
+        // their historical shape byte-for-byte.
+        let dissemination = if self.dissemination == DisseminationMode::Star {
+            String::new()
+        } else {
+            format!("\"dissemination\":\"{}\",", self.dissemination.name())
+        };
         format!(
             "{{\"proto\":\"{}\",\"seed\":{},\"tier\":\"{}\",\"durability\":\"{}\",\
-             \"sched\":\"{}\",\"faults\":[{}],\
+             \"sched\":\"{}\",{dissemination}\"faults\":[{}],\
              \"pre_fault_commits\":{},\"final_min\":{},\"final_max\":{},\
              \"live_nodes\":{},\"safety\":{},\"durability_violation\":{},\
              \"converged\":{},\"metrics\":{}}}",
@@ -681,6 +693,7 @@ fn report(
         tier: opts.tier,
         durability: opts.durability,
         sched: opts.sched,
+        dissemination: opts.dissemination,
         pre_fault_commits: pre,
         final_min,
         final_max,
@@ -737,6 +750,9 @@ pub struct ChaosOpts {
     pub durability: DurabilityMode,
     /// Event-queue scheduler for the simulation.
     pub sched: SchedKind,
+    /// Acuerdo payload topology (star fan-out or ring/chain forwarding;
+    /// the baselines have no chain mode and ignore it).
+    pub dissemination: DisseminationMode,
     /// Whether to record the full trace timeline.
     pub traced: bool,
 }
@@ -753,6 +769,7 @@ impl ChaosOpts {
             tier: Tier::Basic,
             durability: DurabilityMode::Volatile,
             sched: SchedKind::default(),
+            dissemination: DisseminationMode::Star,
             traced: false,
         }
     }
@@ -853,6 +870,7 @@ pub fn run_chaos_opts(opts: &ChaosOpts) -> (ChaosReport, Vec<TraceEvent>, Vec<Tr
         tier,
         durability,
         sched,
+        dissemination,
         traced,
     } = *opts;
     let correlated = tier == Tier::Correlated;
@@ -871,6 +889,7 @@ pub fn run_chaos_opts(opts: &ChaosOpts) -> (ChaosReport, Vec<TraceEvent>, Vec<Tr
             let cfg = AcuerdoConfig {
                 retain_log: true,
                 durability,
+                dissemination,
                 ..AcuerdoConfig::stable(n)
             };
             let (mut sim, ids, client) =

@@ -27,7 +27,7 @@ pub mod util;
 pub mod whatif;
 
 use abcast::{RunResult, StageHist, WindowClient};
-use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode};
+use acuerdo::{AcWire, AcuerdoConfig, AcuerdoNode, DisseminationMode};
 use apus::{ApWire, ApusConfig};
 use dare::{DareConfig, DareWire};
 use derecho::{DcWire, DerechoConfig, Mode};
@@ -40,11 +40,16 @@ use simnet::{
 use std::time::Duration;
 use zab::{ZabConfig, ZabNode, ZkWire};
 
-/// The seven systems of Figure 8.
+/// The seven systems of Figure 8, plus the ring-dissemination variant of
+/// Acuerdo (ROADMAP item 3; not part of the paper's figure legend).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum System {
     /// The paper's contribution.
     Acuerdo,
+    /// Acuerdo with chain dissemination: the leader streams to its ring
+    /// successor only and followers forward hop by hop (Ring-Paxos style),
+    /// breaking the leader-egress ceiling at large n.
+    AcuerdoRing,
     /// Derecho, single-sender mode.
     DerechoLeader,
     /// Derecho, all-sender round-robin mode.
@@ -60,7 +65,10 @@ pub enum System {
 }
 
 impl System {
-    /// All systems, in the paper's legend order.
+    /// The seven systems of the paper's figure legend, in legend order.
+    /// `AcuerdoRing` is deliberately absent: it is a post-paper variant and
+    /// appears only where a matrix asks for it (the scale study and the
+    /// `--dissemination ring` bench flags).
     pub fn all() -> [System; 7] {
         [
             System::Acuerdo,
@@ -77,6 +85,7 @@ impl System {
     pub fn name(&self) -> &'static str {
         match self {
             System::Acuerdo => "acuerdo",
+            System::AcuerdoRing => "acuerdo-ring",
             System::DerechoLeader => "derecho-leader",
             System::DerechoAll => "derecho-all",
             System::Apus => "apus",
@@ -90,7 +99,11 @@ impl System {
     pub fn is_rdma(&self) -> bool {
         matches!(
             self,
-            System::Acuerdo | System::DerechoLeader | System::DerechoAll | System::Apus
+            System::Acuerdo
+                | System::AcuerdoRing
+                | System::DerechoLeader
+                | System::DerechoAll
+                | System::Apus
         )
     }
 }
@@ -299,8 +312,15 @@ fn run_broadcast_run(
     obs: Observe,
 ) -> (Point, MetricsSnapshot, Vec<TraceEvent>, Vec<GaugeSample>) {
     match system {
-        System::Acuerdo => {
-            let cfg = AcuerdoConfig::stable(n);
+        System::Acuerdo | System::AcuerdoRing => {
+            let cfg = AcuerdoConfig {
+                dissemination: if system == System::AcuerdoRing {
+                    DisseminationMode::Ring
+                } else {
+                    DisseminationMode::Star
+                },
+                ..AcuerdoConfig::stable(n)
+            };
             let (mut sim, ids, client) =
                 acuerdo::cluster_with_client(seed, &cfg, window, payload, spec.warmup);
             obs.apply(&mut sim);

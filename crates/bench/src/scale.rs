@@ -21,11 +21,15 @@ use std::time::Duration;
 
 /// Document schema tag; bump when the document shape changes so `bench-diff`
 /// refuses to compare across shapes.
-pub const SCHEMA: &str = "acuerdo-bench-scale-v1";
+pub const SCHEMA: &str = "acuerdo-bench-scale-v2";
 
-/// The five systems swept, one representative per protocol class.
-pub const SCALE_SYSTEMS: [System; 5] = [
+/// The systems swept: one representative per protocol class, plus the
+/// ring-dissemination variant of Acuerdo so the document carries the
+/// star-vs-ring crossover at every size (v2; v1 swept the five
+/// representatives only).
+pub const SCALE_SYSTEMS: [System; 6] = [
     System::Acuerdo,
+    System::AcuerdoRing,
     System::DerechoLeader,
     System::Libpaxos,
     System::Zookeeper,
@@ -57,6 +61,10 @@ pub struct ScaleConfig {
     pub sizes: Vec<usize>,
     /// Gauge-series sampling cadence (sim time).
     pub sample_every: Duration,
+    /// Systems swept, in document order (default: the full
+    /// [`SCALE_SYSTEMS`] matrix; the `--dissemination` flag narrows the
+    /// acuerdo rows to one topology).
+    pub systems: Vec<System>,
     /// Event-queue implementation; can never change the document (the
     /// schedulers share one total order), so it is not part of the emitted
     /// JSON. The differential test in `tests/determinism.rs` runs sweeps
@@ -87,6 +95,7 @@ impl ScaleConfig {
                 SCALE_SIZES.to_vec()
             },
             sample_every: crate::SAMPLE_EVERY,
+            systems: SCALE_SYSTEMS.to_vec(),
             scheduler: SchedKind::default(),
         }
     }
@@ -96,7 +105,7 @@ impl ScaleConfig {
 /// (newline-terminated).
 pub fn run_scale(cfg: &ScaleConfig) -> String {
     let mut records = Vec::new();
-    for system in SCALE_SYSTEMS {
+    for &system in &cfg.systems {
         let spec = if cfg.quick {
             RunSpec::quick(system)
         } else {
@@ -170,8 +179,21 @@ mod tests {
         assert_eq!(q.seed, 42);
         assert_eq!(q.window, 8);
         assert_eq!(q.sizes, vec![3, 16, 64]);
+        assert_eq!(q.systems, SCALE_SYSTEMS.to_vec());
         let f = ScaleConfig::new(false);
         assert_eq!(f.sizes, vec![3, 5, 7, 9, 16, 32, 64]);
+    }
+
+    #[test]
+    fn scale_matrix_carries_both_dissemination_modes() {
+        // The v2 document's acuerdo rows come in star/ring pairs so the
+        // crossover is visible in one file; the ring variant sits right
+        // after its star twin in document order.
+        let systems = SCALE_SYSTEMS.to_vec();
+        let star = systems.iter().position(|s| *s == System::Acuerdo);
+        let ring = systems.iter().position(|s| *s == System::AcuerdoRing);
+        assert_eq!(star, Some(0));
+        assert_eq!(ring, Some(1));
     }
 
     #[test]

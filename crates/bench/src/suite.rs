@@ -51,6 +51,9 @@ pub struct SuiteConfig {
     /// JSON. The differential test in `tests/determinism.rs` runs the matrix
     /// under both and compares bytes.
     pub scheduler: SchedKind,
+    /// Systems to run; defaults to [`SUITE_SYSTEMS`]. The `--dissemination
+    /// ring` CLI swap replaces Acuerdo with its chain-topology variant here.
+    pub systems: Vec<System>,
 }
 
 impl SuiteConfig {
@@ -66,6 +69,7 @@ impl SuiteConfig {
             sample_every: crate::SAMPLE_EVERY,
             cpu_scale: None,
             scheduler: SchedKind::default(),
+            systems: SUITE_SYSTEMS.to_vec(),
         }
     }
 }
@@ -74,7 +78,7 @@ impl SuiteConfig {
 /// (newline-terminated).
 pub fn run_suite(cfg: &SuiteConfig) -> String {
     let mut records = Vec::new();
-    for system in SUITE_SYSTEMS {
+    for &system in &cfg.systems {
         let spec = if cfg.quick {
             RunSpec::quick(system)
         } else {
@@ -212,6 +216,7 @@ mod tests {
         assert_eq!(q.seed, 42);
         assert_eq!(q.windows, vec![1, 16]);
         assert!(q.cpu_scale.is_none());
+        assert_eq!(q.systems, SUITE_SYSTEMS.to_vec());
         let f = SuiteConfig::new(false);
         assert_eq!(f.windows, vec![1, 8, 64]);
     }

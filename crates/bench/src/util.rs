@@ -242,7 +242,15 @@ fn collect_runs(doc: &Value) -> Vec<RunUtil> {
 /// Candidates, each a (utilization, description) pair: leader NIC egress,
 /// the busiest follower's NIC egress, and leader CPU. The most-utilized one
 /// wins; the tail clause turns the dominant byte kind into a prescription.
+///
+/// The prescription grammar is topology-aware: a system already running
+/// chain dissemination (its name carries the `-ring` suffix) must never be
+/// told to *adopt* ring dissemination — a payload-heavy saturated leader
+/// there means the chain degraded to star fallback, and a saturated
+/// follower is the chain's expected steady state (the forwarding hop), not
+/// a spread-out anomaly.
 pub fn verdict_line(system: &str, nodes: u64, util: &Value) -> String {
+    let ring = system.ends_with("-ring");
     let leader_egress = num(util, &["leader", "egress_util_pct"]);
     let follower_egress = num(util, &["followers", "peak_egress_util_pct"]);
     let leader_cpu = num(util, &["leader", "cpu_util_pct"]);
@@ -260,10 +268,18 @@ pub fn verdict_line(system: &str, nodes: u64, util: &Value) -> String {
         let total = num(util, &["tx_bytes", "total"]);
         let ack_share = share(num(util, &["tx_bytes", "ack"]) as u64, total as u64);
         if payload_share >= 50.0 {
-            format!(
-                "{head}: leader egress {leader_egress:.1}% utilized, {payload_share:.1}% of \
-                 bytes are payload fan-out — ring dissemination candidate"
-            )
+            if ring {
+                format!(
+                    "{head}: leader egress {leader_egress:.1}% utilized, {payload_share:.1}% of \
+                     bytes are payload fan-out — chain degraded to star fallback; check ring \
+                     health (ring_fallback_sends)"
+                )
+            } else {
+                format!(
+                    "{head}: leader egress {leader_egress:.1}% utilized, {payload_share:.1}% of \
+                     bytes are payload fan-out — ring dissemination candidate"
+                )
+            }
         } else if ack_share > payload_share {
             format!(
                 "{head}: leader egress {leader_egress:.1}% utilized, {ack_share:.1}% of bytes \
@@ -276,11 +292,20 @@ pub fn verdict_line(system: &str, nodes: u64, util: &Value) -> String {
             )
         }
     } else if top == follower_egress {
-        format!(
-            "{head}: follower egress {follower_egress:.1}% utilized (node {}) — \
-             dissemination already spread; look at per-follower work",
-            num(util, &["followers", "peak_node"]) as i64
-        )
+        if ring {
+            format!(
+                "{head}: follower egress {follower_egress:.1}% utilized (node {}) — \
+                 chain forwarding hop at line rate; the ceiling is per-hop serialization, \
+                 deepen the pipeline or shard the chain",
+                num(util, &["followers", "peak_node"]) as i64
+            )
+        } else {
+            format!(
+                "{head}: follower egress {follower_egress:.1}% utilized (node {}) — \
+                 dissemination already spread; look at per-follower work",
+                num(util, &["followers", "peak_node"]) as i64
+            )
+        }
     } else {
         format!(
             "{head}: leader cpu {leader_cpu:.1}% utilized — cpu-bound; \
@@ -455,6 +480,43 @@ mod tests {
         let line = verdict_line("acuerdo", 2, &v);
         assert!(line.starts_with("bottleneck acuerdo@2: leader egress 90.0% utilized"));
         assert!(line.contains("ring dissemination candidate"), "{line}");
+    }
+
+    #[test]
+    fn ring_system_is_never_told_to_adopt_ring_dissemination() {
+        // Same payload-heavy saturated-leader snapshot, but the system is
+        // already running the chain: the verdict must read it as fallback
+        // degradation, not prescribe the topology it is on.
+        let s = summary_json(&snap(), 2);
+        let v = json::parse(&s).unwrap();
+        let line = verdict_line("acuerdo-ring", 2, &v);
+        assert!(
+            line.starts_with("bottleneck acuerdo-ring@2: leader egress 90.0% utilized"),
+            "{line}"
+        );
+        assert!(!line.contains("ring dissemination candidate"), "{line}");
+        assert!(line.contains("star fallback"), "{line}");
+        assert!(line.contains("ring_fallback_sends"), "{line}");
+    }
+
+    #[test]
+    fn ring_system_saturated_follower_is_the_forwarding_hop() {
+        // Make a follower the top talker: in ring mode that is the chain's
+        // steady state and the verdict should name the per-hop ceiling; in
+        // star mode the old "already spread" grammar must survive.
+        let mut r = snap();
+        r.nodes[1].tx.busy_ns = 950_000;
+        let v = json::parse(&summary_json(&r, 2)).unwrap();
+        let ring_line = verdict_line("acuerdo-ring", 2, &v);
+        assert!(
+            ring_line.contains("chain forwarding hop at line rate"),
+            "{ring_line}"
+        );
+        let star_line = verdict_line("acuerdo", 2, &v);
+        assert!(
+            star_line.contains("dissemination already spread"),
+            "{star_line}"
+        );
     }
 
     #[test]

@@ -35,9 +35,17 @@ use simnet::{Intervention, InterventionSet, LogDevParams, MetricsSnapshot, Sched
 /// refuses to compare across shapes.
 pub const SCHEMA: &str = "acuerdo-bench-whatif-v1";
 
-/// The five systems priced, one representative per protocol class (the same
-/// matrix as the scale sweep).
-pub const WHATIF_SYSTEMS: [System; 5] = crate::scale::SCALE_SYSTEMS;
+/// The five systems priced, one representative per protocol class (the
+/// scale sweep's v1 matrix; the scale document additionally carries the
+/// acuerdo-ring variant, which `whatif --dissemination ring` prices on
+/// demand instead of doubling the committed baseline).
+pub const WHATIF_SYSTEMS: [System; 5] = [
+    System::Acuerdo,
+    System::DerechoLeader,
+    System::Libpaxos,
+    System::Zookeeper,
+    System::Etcd,
+];
 
 /// The fixed counterfactual catalog, in document order. Names are part of
 /// the document contract.

@@ -125,11 +125,20 @@ pub enum Counter {
     /// Durability auditor: a committed entry vanished from the cluster's
     /// adopted history after a fault (bumped by the chaos harness).
     AuditCommitLost,
+    /// Ring dissemination: payload frames forwarded one hop along the
+    /// successor chain (bumped by the forwarder, not the origin leader).
+    RingForwards,
+    /// Ring dissemination: payload frames the leader sent directly to a
+    /// peer because the chain segment covering it was down (star fallback).
+    RingFallbackSends,
+    /// Ring dissemination: duplicate or stale frames dropped by the
+    /// acceptance dedup gate (fallback and chain copies racing).
+    RingDupDrops,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 36;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -166,6 +175,9 @@ impl Counter {
         Counter::WalTruncatedRecords,
         Counter::WalRecoveredRecords,
         Counter::AuditCommitLost,
+        Counter::RingForwards,
+        Counter::RingFallbackSends,
+        Counter::RingDupDrops,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -204,6 +216,9 @@ impl Counter {
             Counter::WalTruncatedRecords => "wal_truncated_records",
             Counter::WalRecoveredRecords => "wal_recovered_records",
             Counter::AuditCommitLost => "audit_commit_lost",
+            Counter::RingForwards => "ring_forwards",
+            Counter::RingFallbackSends => "ring_fallback_sends",
+            Counter::RingDupDrops => "ring_dup_drops",
         }
     }
 }

@@ -7,9 +7,10 @@
 //! Broad seed sweeps stay in the `chaos` bin (`--nodes N --seeds K`); these
 //! tests pin exact (proto, seed, n) triples so a failure is a one-line repro.
 
+use acuerdo_repro::acuerdo::DisseminationMode;
 use acuerdo_repro::bench::audit_fired;
-use acuerdo_repro::bench::chaos::{run_chaos_at, Proto};
-use acuerdo_repro::simnet::SimTime;
+use acuerdo_repro::bench::chaos::{run_chaos_at, run_chaos_opts, ChaosOpts, Fault, Proto, Tier};
+use acuerdo_repro::simnet::{DurabilityMode, SimTime};
 
 const HORIZON_MS: u64 = 20;
 
@@ -61,4 +62,86 @@ fn chaos_thirty_two_nodes() {
     // One 32-node schedule: ring sizing drops a tier (256 KiB) and the
     // quorum math runs over a membership 6x the default.
     assert_clean(Proto::Acuerdo, 7, 32);
+}
+
+/// Run one pinned chaos scenario under **ring dissemination** and assert the
+/// same full verdict as [`assert_clean`]; returns the report so callers can
+/// additionally assert on the fault mix the seed produced.
+fn assert_clean_ring(
+    seed: u64,
+    n: usize,
+    tier: Tier,
+    durability: DurabilityMode,
+) -> acuerdo_repro::bench::chaos::ChaosReport {
+    let opts = ChaosOpts {
+        n,
+        tier,
+        durability,
+        dissemination: DisseminationMode::Ring,
+        ..ChaosOpts::new(Proto::Acuerdo, seed, SimTime::from_millis(HORIZON_MS))
+    };
+    let (r, _, _) = run_chaos_opts(&opts);
+    assert!(
+        !r.fatal(),
+        "ring seed {seed} n={n}: violation {:?}/{:?} (repro: {})",
+        r.safety,
+        r.durability_violation,
+        r.repro()
+    );
+    assert!(
+        r.converged,
+        "ring seed {seed} n={n}: live replicas stalled at [{}..{}] behind pre-fault {} (repro: {})",
+        r.final_min,
+        r.final_max,
+        r.pre_fault_commits,
+        r.repro()
+    );
+    assert!(
+        !audit_fired(&r.metrics),
+        "ring seed {seed} n={n}: online invariant auditor fired on a run the \
+         offline checker passed"
+    );
+    // The repro command round-trips the topology, so a failing ring seed
+    // re-runs as a ring seed.
+    assert!(r.repro().contains("--dissemination ring"), "{}", r.repro());
+    r
+}
+
+#[test]
+fn chaos_ring_sixteen_nodes_crash_mid_forward() {
+    // A 16-node chain with crashes landing while frames are in flight along
+    // the forward path: the leader must bridge the dead segment star-style
+    // and hand back to the healed chain after the rejoin.
+    let has_crash = |r: &acuerdo_repro::bench::chaos::ChaosReport| {
+        r.schedule
+            .faults
+            .iter()
+            .any(|tf| matches!(tf.fault, Fault::Crash { .. }))
+    };
+    let a = assert_clean_ring(3, 16, Tier::Basic, DurabilityMode::Volatile);
+    let b = assert_clean_ring(11, 16, Tier::Basic, DurabilityMode::Volatile);
+    assert!(
+        has_crash(&a) || has_crash(&b),
+        "neither pinned 16-node seed crashed a replica; the scenario lost its point"
+    );
+}
+
+#[test]
+fn chaos_ring_thirty_two_nodes_partition_splits_chain() {
+    // At 32 nodes the basic-tier schedule mixes partitions in: a partition
+    // across the chain severs every forward path crossing the cut, the
+    // worst case for hop-by-hop dissemination.
+    let r = assert_clean_ring(7, 32, Tier::Basic, DurabilityMode::Volatile);
+    assert!(
+        !r.schedule.faults.is_empty(),
+        "seed 7 at 32 nodes generated no faults; pick a different pin"
+    );
+}
+
+#[test]
+fn chaos_ring_sixteen_nodes_crash_during_recovery_durable() {
+    // Correlated tier, durable logs: reboots land while earlier reboots are
+    // still replaying their WAL, with frames arriving over the chain rather
+    // than a leader lane. Every committed entry must resurface.
+    assert_clean_ring(5, 16, Tier::Correlated, DurabilityMode::Durable);
 }

@@ -6,7 +6,7 @@
 //! blind and every green chaos run is meaningless).
 
 use acuerdo_repro::abcast::{DurabilityAuditor, Violation, WindowClient};
-use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig};
+use acuerdo_repro::acuerdo::{self, AcWire, AcuerdoConfig, DisseminationMode};
 use acuerdo_repro::simnet::{Counter, DurabilityMode, SimTime};
 use bytes::Bytes;
 use std::time::Duration;
@@ -14,12 +14,21 @@ use std::time::Duration;
 /// One acuerdo run with a crash/restart of replica 2: returns every live
 /// replica's delivered payload sequence plus replica 2's delivered length.
 fn crash_restart_run(mode: DurabilityMode) -> (Vec<Vec<Bytes>>, usize, u64) {
+    crash_restart_run_with(mode, DisseminationMode::Star, 8)
+}
+
+fn crash_restart_run_with(
+    mode: DurabilityMode,
+    dissemination: DisseminationMode,
+    window: usize,
+) -> (Vec<Vec<Bytes>>, usize, u64) {
     let cfg = AcuerdoConfig {
         retain_log: true,
         durability: mode,
+        dissemination,
         ..AcuerdoConfig::stable(5)
     };
-    let (mut sim, ids, client) = acuerdo::cluster_with_client(7, &cfg, 8, 32, Duration::ZERO);
+    let (mut sim, ids, client) = acuerdo::cluster_with_client(7, &cfg, window, 32, Duration::ZERO);
     acuerdo::enable_restarts(&mut sim, &cfg, &ids);
     // Inert retransmit: the leader never crashes in this schedule, so the
     // client's ingest order (and with it the payload sequence) is identical
@@ -68,6 +77,40 @@ fn acuerdo_recovery_equivalence_durable_vs_fresh_rejoin() {
         &durable[2][..k],
         &fresh[2][..k],
         "durable recovery and fresh rejoin delivered different payload sequences"
+    );
+}
+
+/// Ring-mode recovery equivalence: the crashed replica sits mid-chain, so
+/// its rejoin happens while frames reach it hop-by-hop (and, transiently,
+/// via the leader's star fallback bridging the dead segment). The WAL-replay
+/// path and the fresh-state rejoin path must still converge to a
+/// byte-identical delivered payload prefix — recovery must not observe
+/// *which* lane re-fed the replica.
+///
+/// Window 1 pins the client's submission order exactly: with multiple slots
+/// in flight the client refills completed slots a delivery batch at a time,
+/// and the chain's bursty commit cadence makes batch composition — hence
+/// the submitted id sequence — sensitive to the fsync charges that differ
+/// across durability modes. One outstanding request removes that freedom,
+/// so any prefix mismatch here is a real recovery divergence.
+#[test]
+fn acuerdo_ring_recovery_equivalence_durable_vs_fresh_rejoin() {
+    let (durable, durable_len, durable_wal) =
+        crash_restart_run_with(DurabilityMode::Durable, DisseminationMode::Ring, 1);
+    let (fresh, fresh_len, fresh_wal) =
+        crash_restart_run_with(DurabilityMode::Volatile, DisseminationMode::Ring, 1);
+    assert!(durable_wal > 0, "durable restart must replay its WAL");
+    assert_eq!(fresh_wal, 0, "volatile restart must not touch a WAL");
+    assert!(
+        durable_len > 100 && fresh_len > 100,
+        "recovered replica re-delivered too little (durable {durable_len}, fresh {fresh_len})"
+    );
+    let k = durable[2].len().min(fresh[2].len());
+    assert!(k > 100, "common prefix too short to be meaningful ({k})");
+    assert_eq!(
+        &durable[2][..k],
+        &fresh[2][..k],
+        "ring-mode durable recovery and fresh rejoin delivered different payload sequences"
     );
 }
 
